@@ -1,0 +1,26 @@
+"""Ablation benchmark: adversary strategies on the operational overlay.
+
+Compares the strong adversary (Rules 1+2, biased maintenance) against a
+passive baseline and a greedy-leave variant that skips Relation (2)'s
+probability gate.  Expected ordering: strong >= passive, and greedy
+wastes its seats (the operational face of the paper's randomization
+lesson).
+"""
+
+from repro.analysis.ablations import compare_adversaries, render_adversary_comparison
+
+
+def run_comparison():
+    return compare_adversaries(
+        mu=0.20, d=0.90, n_peers=180, duration=200.0, events_per_unit=2
+    )
+
+
+def test_adversary_comparison(benchmark, report):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    by_name = {r.name: r for r in results}
+    strong = by_name["strong (Rules 1+2)"]
+    passive = by_name["passive"]
+    assert strong.peak_polluted_fraction >= passive.peak_polluted_fraction
+    assert passive.joins_discarded == 0
+    report("ablation_adversary", render_adversary_comparison(results))

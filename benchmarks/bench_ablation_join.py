@@ -1,0 +1,25 @@
+"""Ablation benchmark: spare-first join vs naive direct-core join.
+
+Section IV motivates landing joiners in the spare set ("brute force
+denial of service attacks are discouraged").  This benchmark quantifies
+the claim: a direct-core placement roughly doubles the expected
+polluted time and the probability of ever losing the quorum, and opens
+the polluted-split absorption channel Rule 2 otherwise closes.
+"""
+
+from repro.analysis.ablations import (
+    compute_join_policy_ablation,
+    render_join_policy_ablation,
+    spare_first_dominates,
+)
+
+
+def test_join_policy(benchmark, report):
+    points = benchmark(compute_join_policy_ablation)
+    assert spare_first_dominates(points)
+    naive = [p for p in points if p.policy == "direct-core"]
+    paper = [p for p in points if p.policy == "spare-first"]
+    # The penalty is substantial, not marginal: >= 1.5x polluted time.
+    for n, p in zip(naive, paper):
+        assert n.expected_polluted > 1.5 * p.expected_polluted
+    report("ablation_join", render_join_policy_ablation(points))

@@ -1,0 +1,18 @@
+"""Ablation benchmark: the randomization amount k (paper lesson (i)).
+
+Sweeps k = 1..C and asserts k = 1 minimizes both the expected polluted
+time and the polluted-merge probability -- the counterintuitive result
+the paper highlights (more shuffling is worse).
+"""
+
+from repro.analysis.ablations import compute_k_sweep, k1_dominates, render_k_sweep
+
+MU = 0.20
+D = 0.90
+
+
+def test_k_sweep(benchmark, report):
+    points = benchmark(compute_k_sweep, MU, D)
+    assert k1_dominates(points)
+    assert points[0].expected_safe >= points[-1].expected_safe - 1e-9
+    report("ablation_k", render_k_sweep(points, MU, D))

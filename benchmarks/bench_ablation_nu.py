@@ -1,0 +1,24 @@
+"""Ablation benchmark: Rule 1's trigger threshold nu.
+
+The paper leaves nu unspecified ("a given small positive threshold");
+this sweep shows the model's sensitivity to it at k = C, where Rule 1
+is actually able to fire.
+"""
+
+from repro.analysis.ablations import compute_nu_sweep, render_nu_sweep
+
+K = 7
+MU = 0.20
+D = 0.90
+
+
+def test_nu_sweep(benchmark, report):
+    points = benchmark(compute_nu_sweep, K, MU, D)
+    values = [p.expected_polluted for p in points]
+    assert all(v > 0 for v in values)
+    spread = max(values) / min(values)
+    report(
+        "ablation_nu",
+        render_nu_sweep(points, K, MU, D)
+        + f"\nspread across nu grid: {spread:.4f}x",
+    )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (all four panels).
+
+Paper bars: E(T_S^(k)) and E(T_P^(k)) for protocol_1 vs protocol_7,
+alpha in {delta, beta}, mu in 0..30 %, d in {0, 30, 80, 90} %.
+Shape asserted: the paper's three lessons (delta beats beta, protocol_1
+dominates protocol_7, pollution grows with d) plus the failure-free
+random-walk invariant.
+"""
+
+from repro.analysis.figure3 import compute_figure3, render_figure3, shape_checks
+
+
+def test_figure3(benchmark, report):
+    cells = benchmark.pedantic(compute_figure3, rounds=1, iterations=1)
+    checks = shape_checks(cells)
+    assert all(checks.values()), checks
+    report(
+        "figure3",
+        render_figure3(cells) + f"\n\nshape checks: {checks}",
+    )

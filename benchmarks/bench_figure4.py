@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 4 (absorption probabilities).
+
+Paper bars: p(safe-merge), p(safe-split), p(polluted-merge) for k = 1
+over the (mu, d) grid under both initial laws.  Shape asserted: the
+mu = 0 random-walk anchors (0.57 / 0.43), normalization, the < 8 %
+containment bound under delta, and split probability growing with d.
+"""
+
+from repro.analysis.figure4 import compute_figure4, render_figure4, shape_checks
+
+
+def test_figure4(benchmark, report):
+    cells = benchmark.pedantic(compute_figure4, rounds=1, iterations=1)
+    checks = shape_checks(cells)
+    assert all(checks.values()), checks
+    report(
+        "figure4",
+        render_figure4(cells) + f"\n\nshape checks: {checks}",
+    )

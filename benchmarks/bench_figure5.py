@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (overlay-level proportions).
+
+Paper curves: E(N_S(m))/n and E(N_P(m))/n for m <= 100 000, n in
+{500, 1500}, d in {30 %, 90 %} (L = 6.58 / 46.05).  Shape asserted:
+polluted proportion stays below the published 2.2 % ceiling, the curves
+are nearly independent of d, transient mass dies, and larger overlays
+decay slower.
+"""
+
+from repro.analysis.figure5 import compute_figure5, render_figure5, shape_checks
+
+
+def test_figure5(benchmark, report):
+    curves = benchmark.pedantic(compute_figure5, rounds=1, iterations=1)
+    checks = shape_checks(curves)
+    assert all(checks.values()), checks
+    report(
+        "figure5",
+        render_figure5(curves) + f"\n\nshape checks: {checks}",
+    )

@@ -1,0 +1,49 @@
+"""Benchmark: Monte-Carlo validation of the closed forms.
+
+Not a paper artifact -- the cross-check DESIGN.md commits to: the
+agent-level simulator (which never touches the transition matrix) must
+agree with Relations (5)-(9) at a representative corner.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.cluster_model import ClusterModel
+from repro.core.parameters import ModelParameters
+from repro.simulation.cluster_sim import monte_carlo_summary
+
+PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.8)
+RUNS = 2000
+
+
+def run_simulation():
+    rng = np.random.default_rng(20110627)
+    return monte_carlo_summary(PARAMS, rng, runs=RUNS, initial="delta")
+
+
+def test_montecarlo_agreement(benchmark, report):
+    measured = benchmark.pedantic(run_simulation, rounds=1, iterations=1)
+    analytic = ClusterModel(PARAMS).cluster_fate("delta")
+    assert measured.mean_time_safe == pytest.approx(
+        analytic.expected_time_safe, rel=0.06
+    )
+    assert measured.p_safe_merge == pytest.approx(
+        analytic.p_safe_merge, abs=0.03
+    )
+    assert measured.p_polluted_merge == pytest.approx(
+        analytic.p_polluted_merge, abs=0.02
+    )
+    rows = []
+    reference = analytic.as_dict()
+    empirical = measured.as_dict()
+    for key in reference:
+        rows.append([key, reference[key], empirical[key]])
+    report(
+        "montecarlo",
+        render_table(
+            ["quantity", "closed form", f"Monte Carlo ({RUNS} runs)"],
+            rows,
+            title=f"Validation at {PARAMS.describe()}",
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Benchmark: competing-clusters simulation vs Theorem 2.
+
+Validates the overlay-level closed form (Figure 5's machinery) against
+the empirical n-chain simulation, and times the simulation itself.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.overlay_model import OverlayModel
+from repro.core.parameters import ModelParameters
+from repro.simulation.overlay_sim import CompetingClustersSimulation
+
+PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+N_CLUSTERS = 100
+N_EVENTS = 5000
+RECORD = 500
+
+
+def run_simulation():
+    rng = np.random.default_rng(99)
+    simulation = CompetingClustersSimulation(PARAMS, N_CLUSTERS, rng)
+    return simulation.run(N_EVENTS, record_every=RECORD)
+
+
+def test_overlay_simulation_tracks_theorem2(benchmark, report):
+    series = benchmark.pedantic(run_simulation, rounds=1, iterations=1)
+    overlay = OverlayModel(PARAMS, N_CLUSTERS)
+    analytic = overlay.proportion_series("delta", N_EVENTS, record_every=RECORD)
+    gap = float(
+        np.max(np.abs(series.safe_fraction - analytic.safe_fraction))
+    )
+    assert gap < 0.12, f"single-run deviation {gap:.3f} too large"
+    rows = [
+        [
+            int(analytic.events[i]),
+            analytic.safe_fraction[i],
+            series.safe_fraction[i],
+            analytic.polluted_fraction[i],
+            series.polluted_fraction[i],
+        ]
+        for i in range(len(analytic.events))
+    ]
+    report(
+        "overlay_sim",
+        render_table(
+            [
+                "events",
+                "safe (Thm 2)",
+                "safe (sim)",
+                "polluted (Thm 2)",
+                "polluted (sim)",
+            ],
+            rows,
+            title=(
+                f"n={N_CLUSTERS} clusters, {PARAMS.describe()}, "
+                "one simulated replication vs closed form"
+            ),
+        ),
+    )

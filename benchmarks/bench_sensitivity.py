@@ -1,0 +1,22 @@
+"""Benchmark: sensitivity tornado around the paper's stress point.
+
+Ranks the five design knobs by their impact on E(T_P) at
+mu = 20 %, d = 90 % -- the quantitative version of the paper's
+qualitative guidance (churn first, core size second, never more
+shuffling).
+"""
+
+from repro.analysis.experiments import base_parameters
+from repro.analysis.sensitivity import render_tornado, tornado
+
+BASE = base_parameters(mu=0.2, d=0.9, k=1)
+
+
+def test_sensitivity_tornado(benchmark, report):
+    entries = benchmark(tornado, BASE)
+    by_knob = {entry.knob: entry for entry in entries}
+    # The paper's lessons as swing directions:
+    assert by_knob["mu"].high_value > by_knob["mu"].low_value
+    assert by_knob["d"].high_value > by_knob["d"].low_value
+    assert by_knob["k"].high_value > by_knob["k"].base_value
+    report("sensitivity", render_tornado(entries, BASE))

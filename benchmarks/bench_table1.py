@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table I (polluted-time blow-up as d -> 1).
+
+Paper rows: E(T_S^(1)) and E(T_P^(1)) for mu in {0,10,20,30} % and
+d in {0.95, 0.99, 0.999}, k = 1, alpha = delta.  Shape asserted: the
+measured values match the published cells within 1 % (two known paper
+typos excluded) and E(T_P) explodes by ~5 orders of magnitude per
+column step.
+"""
+
+from repro.analysis.table1 import compute_table1, max_relative_gap, render_table1
+
+
+def test_table1(benchmark, report):
+    cells = benchmark(compute_table1)
+    gap = max_relative_gap(cells)
+    assert gap < 0.01, f"published-cell gap {gap:.4f} exceeds 1 %"
+    by_cell = {(c.mu, c.d): c.expected_polluted for c in cells}
+    for mu in (0.10, 0.20, 0.30):
+        assert by_cell[(mu, 0.999)] > 1e4 * by_cell[(mu, 0.95)]
+    report(
+        "table1",
+        render_table1(cells)
+        + f"\nmax relative gap vs published cells: {100 * gap:.2f}%",
+    )

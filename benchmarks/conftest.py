@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper artifact: it times the
+computation, asserts the paper's qualitative shape, prints the
+paper-shaped rows (visible with ``pytest -s``) and writes them under
+``results/`` so the artifact survives the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Artifact directory shared by every benchmark."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Writer: ``report(name, text)`` prints and persists one artifact."""
+
+    def write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write

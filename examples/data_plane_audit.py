@@ -1,0 +1,86 @@
+"""The data plane under attack: can stored items still be retrieved?
+
+The paper's opening motivation: targeted attacks aim at "preventing
+data indexed at targeted nodes from being discovered and retrieved".
+This example exercises the DHT data plane built on the overlay: it
+populates a clean overlay with items, then replays the same workload
+while the adversary's share of the arriving population grows, auditing
+delivery (routing), correctness (majority reads) and forgery rates.
+
+Run:  python examples/data_plane_audit.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.parameters import ModelParameters
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.overlay.storage import OverlayStorage
+
+ID_BITS = 12
+N_PEERS = 150
+N_ITEMS = 80
+
+
+def build_storage(mu_arrivals: float, seed: int = 13) -> OverlayStorage:
+    """Overlay whose *arriving* population is malicious w.p. mu."""
+    params = ModelParameters(core_size=5, spare_max=5, k=1, mu=0.0, d=0.9)
+    overlay = ClusterOverlay(
+        OverlayConfig(model=params, id_bits=ID_BITS, key_bits=32),
+        np.random.default_rng(seed),
+    )
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(N_PEERS):
+        overlay.join_new_peer(malicious=bool(rng.random() < mu_arrivals))
+    return OverlayStorage(
+        overlay=overlay, rng=np.random.default_rng(seed + 2)
+    )
+
+
+def main() -> None:
+    rows = []
+    for mu in (0.0, 0.10, 0.20, 0.30, 0.40):
+        storage = build_storage(mu)
+        keys = storage.populate(N_ITEMS)
+        if not keys:
+            rows.append([f"{round(100 * mu)}%", 0.0, 0.0, 0.0, 0.0])
+            continue
+        audit = storage.audit(keys)
+        stored_rate = len(keys) / N_ITEMS
+        rows.append(
+            [
+                f"{round(100 * mu)}%",
+                stored_rate,
+                audit["delivery_rate"],
+                audit["correct_rate"],
+                audit["forgery_rate"],
+            ]
+        )
+    print(
+        render_table(
+            [
+                "malicious arrivals",
+                "put delivered",
+                "get delivered",
+                "get correct",
+                "get forged",
+            ],
+            rows,
+            title=(
+                f"Data-plane audit: {N_ITEMS} items over "
+                f"{N_PEERS} peers (C=5, majority reads)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading: routing and majority reads absorb small infiltration\n"
+        "levels; once clusters lose their read majority (x > C/2),\n"
+        "forged values start winning votes and items effectively\n"
+        "disappear -- the failure mode the paper's induced churn and\n"
+        "randomized maintenance are designed to keep improbable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Tune the incarnation lifetime L for a target resilience level.
+
+Operators choose L (how long a certificate incarnation lives).  The
+paper's conclusion (ii): an adequate L reduces attack propagation
+*without* keeping the system in hyper-activity.  This example inverts
+the model: given the adversary strength ``mu`` and a pollution budget,
+find the largest ``d`` (i.e. the *longest* lifetime = least induced
+churn) that still meets the budget.
+
+Run:  python examples/induced_churn_tuning.py
+"""
+
+from repro import ClusterModel, ModelParameters
+from repro.analysis.tables import render_table
+from repro.core.calibration import expected_sojourn_at_position, lifetime_from_d
+
+
+def polluted_merge_probability(mu: float, d: float) -> float:
+    model = ClusterModel(
+        ModelParameters(core_size=7, spare_max=7, k=1, mu=mu, d=d)
+    )
+    return model.absorption_probabilities("delta")["polluted-merge"]
+
+
+def max_d_for_budget(
+    mu: float, budget: float, precision: float = 1e-3
+) -> float | None:
+    """Largest d whose polluted-merge probability stays within budget.
+
+    The probability is monotone in d (more squatting time helps the
+    adversary), so a bisection applies.  Returns ``None`` when even the
+    most aggressive churn (d = 0, fresh ids every unit) cannot meet the
+    budget -- at that point churn alone is not enough and the operator
+    must grow the core (larger C) instead.
+    """
+    low, high = 0.0, 0.999
+    if polluted_merge_probability(mu, low) > budget:
+        return None
+    if polluted_merge_probability(mu, high) <= budget:
+        return high
+    while high - low > precision:
+        mid = (low + high) / 2.0
+        if polluted_merge_probability(mu, mid) <= budget:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def main() -> None:
+    budget = 0.05  # at most 5 % of dissolving clusters may be polluted
+    rows = []
+    for mu in (0.10, 0.15, 0.20, 0.25, 0.30):
+        d_star = max_d_for_budget(mu, budget)
+        if d_star is None:
+            rows.append(
+                [f"{round(100 * mu)}%", "unreachable", "-", "-", "-"]
+            )
+            continue
+        rows.append(
+            [
+                f"{round(100 * mu)}%",
+                f"{d_star:.3f}",
+                f"{lifetime_from_d(d_star):.1f}" if d_star > 0 else "-",
+                f"{expected_sojourn_at_position(d_star):.1f}",
+                polluted_merge_probability(mu, d_star),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "mu",
+                "max d",
+                "lifetime L",
+                "mean sojourn (units)",
+                "p(polluted-merge)",
+            ],
+            rows,
+            title=(
+                "Least induced churn meeting a 5 % polluted-merge budget "
+                "(C=7, Delta=7, protocol_1, alpha=delta)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading: against a weak adversary identifiers may live through\n"
+        "many events (d close to 1) -- almost no induced churn is\n"
+        "needed.  As mu grows the admissible lifetime collapses; past\n"
+        "the point where even d=0 misses the budget, churn alone cannot\n"
+        "save the cluster and the core size C must grow.  This is the\n"
+        "paper's conclusion (ii): smoothly calibrated pushes suffice;\n"
+        "hyper-activity is unnecessary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Overlay-wide fault containment (the paper's Section VIII story).
+
+Shows that pollution does not propagate: even with the adversary holding
+25 % of the universe, the expected proportion of polluted clusters in a
+large overlay stays around 2 % -- first through Theorem 2's closed form,
+then through an independent competing-clusters simulation.
+
+Run:  python examples/overlay_pollution_containment.py
+"""
+
+import numpy as np
+
+from repro import ModelParameters, OverlayModel
+from repro.analysis.tables import render_table
+from repro.core.calibration import lifetime_from_d
+from repro.simulation import CompetingClustersSimulation, SeriesAccumulator
+
+PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.90)
+N_CLUSTERS = 500
+N_EVENTS = 50_000
+RECORD = 5_000
+
+
+def analytic_series():
+    overlay = OverlayModel(PARAMS, N_CLUSTERS)
+    return overlay.proportion_series("delta", N_EVENTS, record_every=RECORD)
+
+
+def empirical_series(replications: int = 5):
+    safe = SeriesAccumulator()
+    polluted = SeriesAccumulator()
+    for replication in range(replications):
+        rng = np.random.default_rng(7_000 + replication)
+        simulation = CompetingClustersSimulation(PARAMS, N_CLUSTERS, rng)
+        run = simulation.run(N_EVENTS, record_every=RECORD)
+        safe.add(run.safe_fraction)
+        polluted.add(run.polluted_fraction)
+    return safe.mean(), polluted.mean()
+
+
+def main() -> None:
+    print(
+        f"Overlay: n={N_CLUSTERS} clusters, {PARAMS.describe()}, "
+        f"L={lifetime_from_d(PARAMS.d):.2f}"
+    )
+    print()
+    series = analytic_series()
+    simulated_safe, simulated_polluted = empirical_series()
+    rows = []
+    for i, m in enumerate(series.events):
+        rows.append(
+            [
+                int(m),
+                series.safe_fraction[i],
+                simulated_safe[i],
+                series.polluted_fraction[i],
+                simulated_polluted[i],
+            ]
+        )
+    print(
+        render_table(
+            [
+                "events m",
+                "safe (Thm 2)",
+                "safe (sim)",
+                "polluted (Thm 2)",
+                "polluted (sim)",
+            ],
+            rows,
+            title="Expected proportions of safe and polluted clusters",
+        )
+    )
+    print()
+    print(
+        f"peak polluted proportion (Thm 2):     "
+        f"{series.peak_polluted_fraction:.4f}"
+    )
+    print(
+        f"peak polluted proportion (simulated): "
+        f"{float(simulated_polluted.max()):.4f}"
+    )
+    print()
+    print(
+        "Fault containment: even with mu=25 % the adversary never holds\n"
+        "more than ~2 % of clusters in expectation -- polluted clusters\n"
+        "dissolve (merge) before contaminating their neighbours, which\n"
+        "is why the paper's beta-style contaminated restarts are rare."
+    )
+
+
+if __name__ == "__main__":
+    main()

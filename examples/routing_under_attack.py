@@ -1,0 +1,96 @@
+"""Routing degradation and the redundant-routing defense.
+
+Eclipse-style attacks reroute or drop messages crossing polluted
+clusters (paper Section I / related work).  This example runs the full
+agent-based overlay under the strong adversary, lets pollution build,
+and measures greedy-routing delivery rates with and without the
+classical redundant-routing mitigation (Castro et al.), which the
+cluster substrate makes cheap: route via several random entry clusters.
+
+Run:  python examples/routing_under_attack.py
+"""
+
+import numpy as np
+
+from repro.adversary import StrongAdversary
+from repro.analysis.tables import render_table
+from repro.core.parameters import ModelParameters
+from repro.overlay.overlay import OverlayConfig
+from repro.overlay.routing import redundant_route, route
+from repro.simulation.overlay_sim import AgentOverlaySimulation
+
+PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+ID_BITS = 14
+PROBES = 300
+
+
+def build_attacked_overlay(seed: int = 5):
+    simulation = AgentOverlaySimulation(
+        OverlayConfig(model=PARAMS, id_bits=ID_BITS, key_bits=32),
+        np.random.default_rng(seed),
+        adversary=StrongAdversary(PARAMS),
+        events_per_unit=2,
+    )
+    simulation.bootstrap(400)
+    simulation.run(120.0, sample_every=30.0)
+    return simulation.overlay
+
+
+def measure_delivery(overlay, rng, paths: int) -> tuple[float, float]:
+    """(delivery rate, mean hops) for `paths`-way redundant routing."""
+    topology = overlay.topology
+    clusters = topology.clusters()
+    quorum = overlay.params.pollution_quorum
+
+    def drops(cluster) -> bool:
+        # Polluted cores silently drop transit messages.
+        return cluster.is_polluted(quorum)
+
+    delivered = 0
+    hops_total = 0
+    for _ in range(PROBES):
+        target = int(rng.integers(0, 1 << ID_BITS))
+        entries = [
+            clusters[int(i)]
+            for i in rng.choice(len(clusters), size=min(paths, len(clusters)), replace=False)
+        ]
+        success, results = redundant_route(
+            topology, entries, target, drop_predicate=drops
+        )
+        delivered += success
+        hops_total += min(r.hop_count for r in results)
+    return delivered / PROBES, hops_total / PROBES
+
+
+def main() -> None:
+    overlay = build_attacked_overlay()
+    fraction = overlay.polluted_fraction()
+    print(
+        f"attacked overlay: {overlay.n_peers} peers, "
+        f"{len(overlay.topology)} clusters, "
+        f"{100 * fraction:.1f}% polluted"
+    )
+    print()
+    rng = np.random.default_rng(11)
+    rows = []
+    for paths in (1, 2, 3, 5):
+        rate, hops = measure_delivery(overlay, rng, paths)
+        rows.append([paths, rate, hops])
+    print(
+        render_table(
+            ["independent paths", "delivery rate", "mean hops"],
+            rows,
+            title="Greedy prefix routing through a partially polluted overlay",
+        )
+    )
+    print()
+    print(
+        "Reading: single-path greedy routing loses messages crossing\n"
+        "polluted clusters; a handful of independent entry points\n"
+        "restores delivery -- the redundancy the robust operations keep\n"
+        "affordable because every vertex is a whole cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

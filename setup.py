@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships no ``wheel`` package, so PEP-660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs the same editable egg-link without needing wheel.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro -- reproduction of Anceaume, Sericola, Ludinard & Tronel,
+"Modeling and Evaluating Targeted Attacks in Large Scale Dynamic
+Systems", DSN 2011.
+
+The package provides three layers:
+
+* :mod:`repro.core` -- the paper's analytical model: the cluster Markov
+  chain ``X = {(s, x, y)}``, Relations (5)-(9) and Theorems 1-2.
+* :mod:`repro.overlay` + :mod:`repro.adversary` +
+  :mod:`repro.simulation` -- an executable cluster-based overlay with
+  robust join/leave/split/merge operations, a strong adversary playing
+  Rules 1 and 2, and discrete-event / Monte-Carlo simulators used to
+  validate the analytical results.
+* :mod:`repro.analysis` -- the experiment harness regenerating every
+  table and figure of the paper (also exposed as ``python -m repro``).
+
+Quickstart
+----------
+>>> from repro import ClusterModel, ModelParameters
+>>> model = ClusterModel(ModelParameters(mu=0.2, d=0.9))
+>>> model.expected_time_safe("delta")      # doctest: +ELLIPSIS
+11.9...
+"""
+
+from repro.core import (
+    PAPER_BASE,
+    Category,
+    ClusterChain,
+    ClusterFate,
+    ClusterModel,
+    ModelParameters,
+    OverlayModel,
+    OverlaySeries,
+    ParameterError,
+    SojournProfile,
+    State,
+    StateSpace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ClusterChain",
+    "ClusterFate",
+    "ClusterModel",
+    "Category",
+    "ModelParameters",
+    "OverlayModel",
+    "OverlaySeries",
+    "ParameterError",
+    "PAPER_BASE",
+    "SojournProfile",
+    "State",
+    "StateSpace",
+]

@@ -1,0 +1,16 @@
+"""Adversary strategies plugged into the overlay operations."""
+
+from repro.adversary.base import AdversaryStrategy, HonestEnvironment
+from repro.adversary.strategies import (
+    GreedyLeaveAdversary,
+    PassiveAdversary,
+    StrongAdversary,
+)
+
+__all__ = [
+    "AdversaryStrategy",
+    "HonestEnvironment",
+    "StrongAdversary",
+    "PassiveAdversary",
+    "GreedyLeaveAdversary",
+]

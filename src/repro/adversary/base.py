@@ -1,0 +1,69 @@
+"""Adversary interface consulted by the overlay operations.
+
+The operations layer (:mod:`repro.overlay.operations`) is written
+against this small surface: a passive system runs with
+:class:`HonestEnvironment` (every hook is a no-op), while
+:class:`~repro.adversary.strategies.StrongAdversary` implements the
+paper's Rules 1 and 2.
+
+Honest protocol code never learns which peers are malicious; the hooks
+receive full cluster objects because the *adversary* knows its own
+peers (Section III-B: colluding malicious peers coordinate behaviour).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # imported for annotations only: keeps this module
+    # free of runtime overlay dependencies (operations imports us).
+    from repro.overlay.cluster import Cluster
+    from repro.overlay.peer import Peer
+
+
+class AdversaryStrategy(abc.ABC):
+    """Decision hooks the overlay consults at each operation."""
+
+    @abc.abstractmethod
+    def discards_join(self, cluster: Cluster, joiner: Peer) -> bool:
+        """Should the (malicious) core of ``cluster`` silently drop this
+        join?  Only consulted when the adversary holds the cluster's
+        quorum; honest clusters always process joins."""
+
+    @abc.abstractmethod
+    def suppresses_leave(self, cluster: Cluster, peer: Peer) -> bool:
+        """Should a natural-churn leave event targeting ``peer`` be
+        ignored?  The paper's adversary never lets malicious peers
+        leave voluntarily except under Rule 1 or Property 1."""
+
+    @abc.abstractmethod
+    def replacement_choice(
+        self, cluster: Cluster, candidates: list[Peer], count: int
+    ) -> list[Peer] | None:
+        """Replacement members the colluding quorum pushes through the
+        (controlled) agreement; ``None`` leaves the choice uniform.
+        Only effective when the adversary holds the quorum."""
+
+    @abc.abstractmethod
+    def voluntary_leave_candidate(self, cluster: Cluster) -> Peer | None:
+        """Rule 1 probe: a malicious core member that should leave
+        voluntarily right now, or ``None``."""
+
+
+class HonestEnvironment(AdversaryStrategy):
+    """No adversary: every hook declines to interfere."""
+
+    def discards_join(self, cluster: Cluster, joiner: Peer) -> bool:
+        return False
+
+    def suppresses_leave(self, cluster: Cluster, peer: Peer) -> bool:
+        return False
+
+    def replacement_choice(
+        self, cluster: Cluster, candidates: list[Peer], count: int
+    ) -> list[Peer] | None:
+        return None
+
+    def voluntary_leave_candidate(self, cluster: Cluster) -> Peer | None:
+        return None

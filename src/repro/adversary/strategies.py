@@ -1,0 +1,124 @@
+"""Adversary strategies (paper Section V) and baselines for ablations.
+
+* :class:`StrongAdversary` -- the paper's adversary: maximizes malicious
+  presence, plays Rule 1 (probability-gated voluntary core leaves),
+  Rule 2 (join filtering in polluted clusters), biases replacements once
+  it holds a quorum and never gives up seats otherwise.
+* :class:`PassiveAdversary` -- joins maliciously but never strategizes;
+  isolates the benefit of Rules 1/2 in ablation benchmarks.
+* :class:`GreedyLeaveAdversary` -- triggers a voluntary core leave
+  whenever *any* malicious spare exists, ignoring Relation (2)'s
+  probability gate; shows why the gate matters.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import AdversaryStrategy
+from repro.core.parameters import ModelParameters
+from repro.core.rules import rule1_triggers, rule2_discards_join
+from repro.core.statespace import State
+from repro.overlay.cluster import Cluster
+from repro.overlay.peer import Peer
+
+
+class StrongAdversary(AdversaryStrategy):
+    """The coordinating adversary of Section V.
+
+    The strategy object is stateless across clusters -- all situational
+    knowledge is read from the cluster at decision time, matching the
+    model's assumption that the adversary observes cluster composition
+    and coordinates its peers instantaneously.
+    """
+
+    def __init__(self, params: ModelParameters) -> None:
+        self._params = params
+
+    @property
+    def params(self) -> ModelParameters:
+        """Model parameters (quorum, k, nu) driving the decisions."""
+        return self._params
+
+    def _state_of(self, cluster: Cluster) -> State:
+        return State(*cluster.model_state())
+
+    def discards_join(self, cluster: Cluster, joiner: Peer) -> bool:
+        """Rule 2, verbatim."""
+        state = self._state_of(cluster)
+        if not self._params.is_polluted(state.x):
+            return False
+        return rule2_discards_join(state, joiner.malicious, self._params)
+
+    def suppresses_leave(self, cluster: Cluster, peer: Peer) -> bool:
+        """Malicious peers never leave on natural churn; they only
+        depart under Property 1 (expiry) or Rule 1."""
+        return peer.malicious
+
+    def replacement_choice(
+        self, cluster: Cluster, candidates: list[Peer], count: int
+    ) -> list[Peer] | None:
+        """Prefer malicious candidates; only effective with a quorum."""
+        if not cluster.is_polluted(self._params.pollution_quorum):
+            return None
+        malicious = [p for p in candidates if p.malicious]
+        honest = [p for p in candidates if not p.malicious]
+        if len(malicious) + len(honest) < count:
+            return None
+        # Honest padding keeps the core at size C so neighbours do not
+        # detect the attack (Section V-A).
+        return (malicious + honest)[:count]
+
+    def voluntary_leave_candidate(self, cluster: Cluster) -> Peer | None:
+        """Rule 1: sacrifice the malicious core member whose identifier
+        expires soonest when Relation (2) clears the ``1 - nu`` bar."""
+        state = self._state_of(cluster)
+        if self._params.is_polluted(state.x):
+            return None
+        if state.s <= 1:
+            # A departure would empty the spare set and force a merge,
+            # which the adversary never volunteers for (Section V-B).
+            return None
+        if not rule1_triggers(state, self._params):
+            return None
+        malicious_core = [p for p in cluster.core if p.malicious]
+        if not malicious_core:
+            return None
+        return min(malicious_core, key=lambda p: p.clock.t0)
+
+
+class PassiveAdversary(AdversaryStrategy):
+    """Baseline: malicious peers exist but follow the protocol."""
+
+    def discards_join(self, cluster: Cluster, joiner: Peer) -> bool:
+        return False
+
+    def suppresses_leave(self, cluster: Cluster, peer: Peer) -> bool:
+        return False
+
+    def replacement_choice(
+        self, cluster: Cluster, candidates: list[Peer], count: int
+    ) -> list[Peer] | None:
+        return None
+
+    def voluntary_leave_candidate(self, cluster: Cluster) -> Peer | None:
+        return None
+
+
+class GreedyLeaveAdversary(StrongAdversary):
+    """Ablation: voluntary leaves fire whenever a malicious spare
+    exists, skipping Relation (2)'s probability gate.
+
+    Against ``protocol_1`` this is strictly wasteful (the departing
+    member can at best be replaced one-for-one), which the ablation
+    benchmark demonstrates.
+    """
+
+    def voluntary_leave_candidate(self, cluster: Cluster) -> Peer | None:
+        state = State(*cluster.model_state())
+        if self._params.is_polluted(state.x):
+            return None
+        if state.s <= 1 or state.y == 0 or state.x == 0:
+            return None
+        malicious_core = [p for p in cluster.core if p.malicious]
+        if not malicious_core:
+            return None
+        return min(malicious_core, key=lambda p: p.clock.t0)

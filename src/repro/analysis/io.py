@@ -1,0 +1,61 @@
+"""Result persistence: CSV series and JSON records.
+
+Experiments write machine-readable artifacts next to the human-readable
+console report, so downstream plotting (outside this offline
+environment) can regenerate the paper's figures directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Mapping, Sequence
+
+#: Default artifact directory, relative to the repository root.
+DEFAULT_RESULTS_DIR = pathlib.Path("results")
+
+
+def ensure_directory(path: pathlib.Path | str) -> pathlib.Path:
+    """Create ``path`` (and parents) if needed; return it as a Path."""
+    directory = pathlib.Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def write_csv(
+    path: pathlib.Path | str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> pathlib.Path:
+    """Write one CSV file, returning its path."""
+    target = pathlib.Path(path)
+    ensure_directory(target.parent)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row with {len(row)} cells under {len(headers)} headers"
+                )
+            writer.writerow(row)
+    return target
+
+
+def write_json(
+    path: pathlib.Path | str, record: Mapping[str, object]
+) -> pathlib.Path:
+    """Write one JSON record, returning its path."""
+    target = pathlib.Path(path)
+    ensure_directory(target.parent)
+    with open(target, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+    return target
+
+
+def read_json(path: pathlib.Path | str) -> dict:
+    """Load one JSON record."""
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,182 @@
+"""Sensitivity of the resilience metrics to the design knobs.
+
+Answers the operator's question the paper's sweeps imply but never
+tabulate: *which knob buys the most resilience per unit of change?*
+
+* continuous knobs (``mu``, ``d``): central finite-difference
+  elasticities ``(x / f) df/dx`` of a chosen metric;
+* discrete knobs (``core_size``, ``spare_max``, ``k``): one-step
+  differences;
+* a tornado summary ranking all knobs by impact on ``E(T_P)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.experiments import ModelCache
+from repro.analysis.tables import render_table
+from repro.core.cluster_model import ClusterModel
+from repro.core.parameters import ModelParameters, ParameterError
+
+#: Metric extractors usable by the sensitivity machinery.
+METRICS: dict[str, Callable[[ClusterModel], float]] = {
+    "E(T_P)": lambda model: model.expected_time_polluted("delta"),
+    "E(T_S)": lambda model: model.expected_time_safe("delta"),
+    "p(polluted-merge)": lambda model: model.absorption_probabilities(
+        "delta"
+    )["polluted-merge"],
+}
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Impact of one knob on one metric around a base point."""
+
+    knob: str
+    metric: str
+    base_value: float
+    low_value: float
+    high_value: float
+    low_setting: float
+    high_setting: float
+
+    @property
+    def swing(self) -> float:
+        """Total metric variation across the probed knob interval."""
+        return abs(self.high_value - self.low_value)
+
+    @property
+    def elasticity(self) -> float:
+        """Normalized sensitivity ``(dF / F) / (dx / x)`` (continuous
+        knobs; 0 when the base metric vanishes)."""
+        if self.base_value == 0.0:
+            return 0.0
+        dx = self.high_setting - self.low_setting
+        if dx == 0.0:
+            return 0.0
+        midpoint = (self.high_setting + self.low_setting) / 2.0
+        derivative = (self.high_value - self.low_value) / dx
+        return derivative * midpoint / self.base_value
+
+
+def _evaluate(
+    params: ModelParameters, metric: str, cache: ModelCache
+) -> float:
+    return METRICS[metric](cache.get(params))
+
+
+def continuous_sensitivity(
+    base: ModelParameters,
+    knob: str,
+    metric: str = "E(T_P)",
+    step: float = 0.02,
+    cache: ModelCache | None = None,
+) -> SensitivityEntry:
+    """Central-difference sensitivity for ``mu`` or ``d``."""
+    if knob not in ("mu", "d"):
+        raise ParameterError(f"{knob!r} is not a continuous knob")
+    if metric not in METRICS:
+        raise ParameterError(f"unknown metric {metric!r}")
+    cache = cache if cache is not None else ModelCache()
+    center = getattr(base, knob)
+    low_setting = max(0.0, center - step)
+    high_cap = 0.999 if knob == "d" else 1.0
+    high_setting = min(high_cap, center + step)
+    return SensitivityEntry(
+        knob=knob,
+        metric=metric,
+        base_value=_evaluate(base, metric, cache),
+        low_value=_evaluate(
+            base.with_overrides(**{knob: low_setting}), metric, cache
+        ),
+        high_value=_evaluate(
+            base.with_overrides(**{knob: high_setting}), metric, cache
+        ),
+        low_setting=low_setting,
+        high_setting=high_setting,
+    )
+
+
+def discrete_sensitivity(
+    base: ModelParameters,
+    knob: str,
+    metric: str = "E(T_P)",
+    cache: ModelCache | None = None,
+) -> SensitivityEntry:
+    """One-step difference for ``core_size``, ``spare_max`` or ``k``."""
+    if knob not in ("core_size", "spare_max", "k"):
+        raise ParameterError(f"{knob!r} is not a discrete knob")
+    if metric not in METRICS:
+        raise ParameterError(f"unknown metric {metric!r}")
+    cache = cache if cache is not None else ModelCache()
+    center = getattr(base, knob)
+    low_setting = center - 1
+    high_setting = center + 1
+    if knob == "k":
+        low_setting = max(1, low_setting)
+        high_setting = min(base.core_size, high_setting)
+    if knob == "core_size":
+        low_setting = max(2, low_setting)
+        # Keep k valid when shrinking the core.
+        low_params = base.with_overrides(
+            core_size=low_setting, k=min(base.k, low_setting)
+        )
+    else:
+        low_params = base.with_overrides(**{knob: low_setting})
+    if knob == "spare_max":
+        low_setting = max(2, low_setting)
+        low_params = base.with_overrides(spare_max=low_setting)
+    high_params = base.with_overrides(**{knob: high_setting})
+    return SensitivityEntry(
+        knob=knob,
+        metric=metric,
+        base_value=_evaluate(base, metric, cache),
+        low_value=_evaluate(low_params, metric, cache),
+        high_value=_evaluate(high_params, metric, cache),
+        low_setting=float(low_setting),
+        high_setting=float(high_setting),
+    )
+
+
+def tornado(
+    base: ModelParameters,
+    metric: str = "E(T_P)",
+    cache: ModelCache | None = None,
+) -> list[SensitivityEntry]:
+    """All knobs probed around ``base``, sorted by descending swing."""
+    cache = cache if cache is not None else ModelCache()
+    entries = [
+        continuous_sensitivity(base, "mu", metric, cache=cache),
+        continuous_sensitivity(base, "d", metric, cache=cache),
+        discrete_sensitivity(base, "core_size", metric, cache=cache),
+        discrete_sensitivity(base, "spare_max", metric, cache=cache),
+        discrete_sensitivity(base, "k", metric, cache=cache),
+    ]
+    return sorted(entries, key=lambda entry: entry.swing, reverse=True)
+
+
+def render_tornado(
+    entries: list[SensitivityEntry], base: ModelParameters
+) -> str:
+    """Tornado table around one base point."""
+    rows = [
+        [
+            entry.knob,
+            f"{entry.low_setting:g}..{entry.high_setting:g}",
+            entry.low_value,
+            entry.base_value,
+            entry.high_value,
+            entry.swing,
+        ]
+        for entry in entries
+    ]
+    return render_table(
+        ["knob", "probed range", "low", "base", "high", "swing"],
+        rows,
+        title=(
+            f"Sensitivity tornado for {entries[0].metric} around "
+            f"{base.describe()}"
+        ),
+    )

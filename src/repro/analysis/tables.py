@@ -1,0 +1,75 @@
+"""Plain-text table rendering for paper-shaped reports.
+
+The benchmarks print the same rows the paper's tables and figure
+captions report; this module renders them without third-party
+formatting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Compact numeric formatting: integers verbatim, small floats with
+    fixed precision, large ones in scientific notation."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "nan"
+    magnitude = abs(value)
+    if magnitude != 0.0 and (magnitude >= 1e6 or magnitude < 1e-4):
+        return f"{value:.4g}"
+    return f"{value:.{precision}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned fixed-width table."""
+    text_rows = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row with {len(row)} cells under {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    labels: Sequence[str],
+    paper_values: Sequence[float | None],
+    measured_values: Sequence[float],
+    title: str | None = None,
+) -> str:
+    """Paper-vs-measured two-column comparison with relative gaps."""
+    rows = []
+    for label, paper, measured in zip(labels, paper_values, measured_values):
+        if paper is None:
+            rows.append([label, "-", measured, "-"])
+            continue
+        gap = abs(measured - paper) / max(abs(paper), 1e-12)
+        rows.append([label, paper, measured, f"{100 * gap:.1f}%"])
+    return render_table(
+        ["quantity", "paper", "measured", "gap"], rows, title=title
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Regenerates any table or figure of the paper on the console and,
+optionally, as CSV artifacts for external plotting::
+
+    python -m repro table1
+    python -m repro figure5 --out results/
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis import ablations
+from repro.analysis import figure3 as fig3
+from repro.analysis import figure4 as fig4
+from repro.analysis import figure5 as fig5
+from repro.analysis import table1 as tab1
+from repro.analysis import table2 as tab2
+from repro.analysis.io import write_csv
+
+EXPERIMENTS = ("figure3", "figure4", "figure5", "table1", "table2", "ablations")
+
+#: ``report`` reruns everything and writes one markdown document; it is
+#: not part of ``all`` to keep that invocation non-redundant.
+EXTRA_EXPERIMENTS = ("report",)
+
+
+def _run_figure3(out: pathlib.Path | None) -> str:
+    cells = fig3.compute_figure3()
+    checks = fig3.shape_checks(cells)
+    if out is not None:
+        write_csv(
+            out / "figure3.csv",
+            ["k", "initial", "d", "mu", "E(T_S)", "E(T_P)"],
+            [
+                [c.k, c.initial, c.d, c.mu, c.expected_safe, c.expected_polluted]
+                for c in cells
+            ],
+        )
+    return fig3.render_figure3(cells) + "\n\nshape checks: " + str(checks)
+
+
+def _run_figure4(out: pathlib.Path | None) -> str:
+    cells = fig4.compute_figure4()
+    checks = fig4.shape_checks(cells)
+    if out is not None:
+        write_csv(
+            out / "figure4.csv",
+            ["initial", "d", "mu", "p_safe_merge", "p_safe_split", "p_polluted_merge"],
+            [
+                [
+                    c.initial,
+                    c.d,
+                    c.mu,
+                    c.p_safe_merge,
+                    c.p_safe_split,
+                    c.p_polluted_merge,
+                ]
+                for c in cells
+            ],
+        )
+    return fig4.render_figure4(cells) + "\n\nshape checks: " + str(checks)
+
+
+def _run_figure5(out: pathlib.Path | None) -> str:
+    curves = fig5.compute_figure5()
+    checks = fig5.shape_checks(curves)
+    if out is not None:
+        for curve in curves:
+            name = f"figure5_n{curve.n_clusters}_d{round(100 * curve.d)}.csv"
+            write_csv(
+                out / name,
+                ["events", "safe_fraction", "polluted_fraction"],
+                list(
+                    zip(
+                        curve.series.events.tolist(),
+                        curve.series.safe_fraction.tolist(),
+                        curve.series.polluted_fraction.tolist(),
+                    )
+                ),
+            )
+    return fig5.render_figure5(curves) + "\n\nshape checks: " + str(checks)
+
+
+def _run_table1(out: pathlib.Path | None) -> str:
+    cells = tab1.compute_table1()
+    if out is not None:
+        write_csv(
+            out / "table1.csv",
+            ["mu", "d", "E(T_S)", "E(T_P)", "paper_E(T_S)", "paper_E(T_P)"],
+            [
+                [
+                    c.mu,
+                    c.d,
+                    c.expected_safe,
+                    c.expected_polluted,
+                    c.paper_safe,
+                    c.paper_polluted,
+                ]
+                for c in cells
+            ],
+        )
+    gap = tab1.max_relative_gap(cells)
+    return (
+        tab1.render_table1(cells)
+        + f"\n\nmax relative gap vs published cells: {100 * gap:.2f}%"
+    )
+
+
+def _run_table2(out: pathlib.Path | None) -> str:
+    rows = tab2.compute_table2()
+    if out is not None:
+        write_csv(
+            out / "table2.csv",
+            [
+                "mu",
+                "E(T_S,1)",
+                "E(T_S,2)",
+                "E(T_P,1)",
+                "E(T_P,2)",
+                "E(T_S)",
+                "E(T_P)",
+            ],
+            [
+                [
+                    r.mu,
+                    r.safe_first,
+                    r.safe_second,
+                    r.polluted_first,
+                    r.polluted_second,
+                    r.total_safe,
+                    r.total_polluted,
+                ]
+                for r in rows
+            ],
+        )
+    negligible = tab2.alternation_is_negligible(rows)
+    return (
+        tab2.render_table2(rows)
+        + f"\n\nfirst sojourn carries the mass: {negligible}"
+    )
+
+
+def _run_ablations(out: pathlib.Path | None) -> str:
+    k_points = ablations.compute_k_sweep()
+    nu_points = ablations.compute_nu_sweep()
+    join_points = ablations.compute_join_policy_ablation()
+    adversaries = ablations.compare_adversaries()
+    if out is not None:
+        write_csv(
+            out / "ablation_k.csv",
+            ["k", "E(T_S)", "E(T_P)", "p_polluted_merge"],
+            [
+                [p.k, p.expected_safe, p.expected_polluted, p.p_polluted_merge]
+                for p in k_points
+            ],
+        )
+        write_csv(
+            out / "ablation_nu.csv",
+            ["nu", "E(T_P)", "p_polluted_merge"],
+            [[p.nu, p.expected_polluted, p.p_polluted_merge] for p in nu_points],
+        )
+    sections = [
+        ablations.render_k_sweep(k_points, mu=0.20, d=0.90),
+        f"k=1 minimizes E(T_P): {ablations.k1_dominates(k_points)}",
+        ablations.render_nu_sweep(nu_points, k=7, mu=0.20, d=0.90),
+        ablations.render_join_policy_ablation(join_points),
+        (
+            "spare-first join dominates: "
+            f"{ablations.spare_first_dominates(join_points)}"
+        ),
+        ablations.render_adversary_comparison(adversaries),
+    ]
+    return "\n\n".join(sections)
+
+
+def _run_report(out: pathlib.Path | None) -> str:
+    from repro.analysis.report import build_sections, render_report
+
+    sections = build_sections()
+    text = render_report(sections)
+    if out is not None:
+        target = out / "report.md"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+        return f"report written to {target}"
+    return text
+
+
+_RUNNERS = {
+    "figure3": _run_figure3,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "ablations": _run_ablations,
+    "report": _run_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the tables and figures of 'Modeling and "
+            "Evaluating Targeted Attacks in Large Scale Dynamic Systems' "
+            "(DSN 2011)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + EXTRA_EXPERIMENTS + ("all",),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory for CSV artifacts (omit to print only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point."""
+    arguments = build_parser().parse_args(argv)
+    names = EXPERIMENTS if arguments.experiment == "all" else (arguments.experiment,)
+    for name in names:
+        print(f"=== {name} ===")
+        print(_RUNNERS[name](arguments.out))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Probability kernels used by the transition tree (paper Figure 2).
+
+* :func:`hypergeometric_pmf` -- the paper's
+  ``q(k, l, u, v) = C(v, u) C(l-v, k-u) / C(l, k)``, the probability of
+  drawing ``u`` red balls when ``k`` balls are drawn without replacement
+  from an urn of ``l`` balls of which ``v`` are red.
+* :func:`maintenance_kernel` -- the two-stage kernel ``tau`` of the
+  leave-triggered core maintenance: ``k - 1`` core members pushed to the
+  spare set, then ``k`` drawn back from the enlarged spare set.
+* :func:`binomial_pmf` -- used by the ``beta`` initial distribution.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator
+
+
+def hypergeometric_pmf(draws: int, population: int, hits: int, reds: int) -> float:
+    """The paper's ``q(k, l, u, v)`` with ``k=draws``, ``l=population``,
+    ``u=hits``, ``v=reds``.
+
+    Returns 0 for structurally impossible outcomes instead of raising,
+    which lets the transition tree iterate generous ranges safely.
+    """
+    if draws < 0 or population < 0 or reds < 0 or reds > population:
+        raise ValueError(
+            f"invalid urn: draws={draws} population={population} reds={reds}"
+        )
+    if draws > population:
+        raise ValueError(
+            f"cannot draw {draws} from a population of {population}"
+        )
+    if hits < 0 or hits > draws or hits > reds:
+        return 0.0
+    whites_needed = draws - hits
+    if whites_needed > population - reds:
+        return 0.0
+    return comb(reds, hits) * comb(population - reds, whites_needed) / comb(
+        population, draws
+    )
+
+
+def hypergeometric_support(draws: int, population: int, reds: int) -> range:
+    """Support of ``q(draws, population, ., reds)`` as a ``range``."""
+    low = max(0, draws - (population - reds))
+    high = min(draws, reds)
+    return range(low, high + 1)
+
+
+def maintenance_kernel(
+    malicious_core_after: int,
+    malicious_spare: int,
+    spare_size: int,
+    core_size: int,
+    k: int,
+) -> Iterator[tuple[int, int, float]]:
+    """Joint law ``tau`` of the core maintenance randomization.
+
+    After a core member has departed (leaving ``malicious_core_after``
+    malicious among the remaining ``C - 1`` core members), the procedure
+
+    1. pushes ``k - 1`` uniformly chosen core members to the spare set
+       (``a`` of them malicious), then
+    2. draws ``k`` members uniformly from the enlarged spare set of size
+       ``spare_size + k - 1`` holding ``malicious_spare + a`` malicious
+       peers (``b`` of the drawn are malicious).
+
+    Yields ``(a, b, probability)`` triples with
+    ``probability = q(k-1, C-1, a, x') * q(k, s+k-1, b, y+a)``;
+    probabilities over all yielded pairs sum to one.
+
+    The post-maintenance state is ``(s-1, x' - a + b, y + a - b)``.
+    """
+    if not 1 <= k <= core_size:
+        raise ValueError(f"k must satisfy 1 <= k <= {core_size}, got {k}")
+    if spare_size < 1:
+        raise ValueError(
+            f"maintenance requires at least one spare, got s={spare_size}"
+        )
+    if not 0 <= malicious_core_after <= core_size - 1:
+        raise ValueError(
+            f"malicious_core_after={malicious_core_after} outside "
+            f"[0, {core_size - 1}]"
+        )
+    if not 0 <= malicious_spare <= spare_size:
+        raise ValueError(
+            f"malicious_spare={malicious_spare} outside [0, {spare_size}]"
+        )
+    pool = spare_size + k - 1
+    for a in hypergeometric_support(k - 1, core_size - 1, malicious_core_after):
+        p_push = hypergeometric_pmf(
+            k - 1, core_size - 1, a, malicious_core_after
+        )
+        if p_push == 0.0:
+            continue
+        reds = malicious_spare + a
+        for b in hypergeometric_support(k, pool, reds):
+            p_draw = hypergeometric_pmf(k, pool, b, reds)
+            if p_draw == 0.0:
+                continue
+            yield a, b, p_push * p_draw
+
+
+def binomial_pmf(n: int, p: float, successes: int) -> float:
+    """``C(n, k) p^k (1-p)^(n-k)``; 0 outside the support."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if successes < 0 or successes > n:
+        return 0.0
+    return comb(n, successes) * p**successes * (1.0 - p) ** (n - successes)

@@ -1,0 +1,105 @@
+"""Initial distributions of the cluster chain (paper Section VII-A).
+
+Two initial laws are studied:
+
+* ``delta`` -- the cluster starts free of malicious peers at spare size
+  ``s0 = floor(Delta / 2)``: all mass on state ``(s0, 0, 0)``.
+* ``beta``  -- the spare size ``s0`` is uniform on ``{1, .., Delta-1}``
+  and the malicious counts are independent binomials
+  ``x ~ Bin(C, mu)``, ``y ~ Bin(s0, mu)`` (Relation (3)).
+
+Both laws put all their mass on transient states, so they are returned
+as vectors over the ``S + P`` transient ordering of
+:class:`~repro.core.matrix.ClusterChain`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distributions import binomial_pmf
+from repro.core.matrix import ClusterChain
+from repro.core.statespace import State
+
+
+class InitialDistributionError(ValueError):
+    """Raised for unknown initial-law specifications."""
+
+
+def delta_distribution(chain: ClusterChain) -> np.ndarray:
+    """All mass on the malicious-free state ``(floor(Delta/2), 0, 0)``."""
+    space = chain.space
+    start = State(space.initial_spare_size(), 0, 0)
+    vector = np.zeros(len(space.transient))
+    vector[chain.transient_index_of(start)] = 1.0
+    return vector
+
+
+def beta_distribution(chain: ClusterChain) -> np.ndarray:
+    """Binomially contaminated start (paper Relation (3)).
+
+    ``P{X_0 = (s0, x, y)} = (1/(Delta-1)) Bin(C, mu)(x) Bin(s0, mu)(y)``
+    for ``s0`` in ``{1, .., Delta-1}``.
+    """
+    params = chain.params
+    space = chain.space
+    spare_choices = range(1, params.spare_max)
+    weight_per_size = 1.0 / len(spare_choices)
+    vector = np.zeros(len(space.transient))
+    for s0 in spare_choices:
+        for x in range(params.core_size + 1):
+            p_core = binomial_pmf(params.core_size, params.mu, x)
+            if p_core == 0.0:
+                continue
+            for y in range(s0 + 1):
+                p_spare = binomial_pmf(s0, params.mu, y)
+                if p_spare == 0.0:
+                    continue
+                state = State(s0, x, y)
+                index = chain.transient_index_of(state)
+                vector[index] += weight_per_size * p_core * p_spare
+    return vector
+
+
+def point_distribution(chain: ClusterChain, state: State) -> np.ndarray:
+    """All mass on one given transient state."""
+    vector = np.zeros(len(chain.space.transient))
+    vector[chain.transient_index_of(State(*state))] = 1.0
+    return vector
+
+
+def resolve_initial(
+    chain: ClusterChain, initial: str | State | np.ndarray
+) -> np.ndarray:
+    """Normalize an initial-law specification to a transient vector.
+
+    Accepts the strings ``"delta"`` and ``"beta"``, a single transient
+    :class:`~repro.core.statespace.State` (or plain tuple), or an
+    explicit probability vector over the transient ordering.
+    """
+    if isinstance(initial, str):
+        if initial == "delta":
+            return delta_distribution(chain)
+        if initial == "beta":
+            return beta_distribution(chain)
+        raise InitialDistributionError(
+            f"unknown initial distribution {initial!r}; "
+            "expected 'delta' or 'beta'"
+        )
+    if isinstance(initial, (State, tuple)) and len(initial) == 3:
+        return point_distribution(chain, State(*initial))
+    vector = np.asarray(initial, dtype=float)
+    n_transient = len(chain.space.transient)
+    if vector.shape != (n_transient,):
+        raise InitialDistributionError(
+            f"initial vector has shape {vector.shape}, expected "
+            f"({n_transient},)"
+        )
+    if np.any(vector < 0.0):
+        raise InitialDistributionError("initial vector has negative mass")
+    total = vector.sum()
+    if not np.isclose(total, 1.0, atol=1e-9):
+        raise InitialDistributionError(
+            f"initial vector sums to {total!r}, expected 1.0"
+        )
+    return vector.copy()

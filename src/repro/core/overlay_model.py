@@ -1,0 +1,119 @@
+"""Overlay-level model: n clusters competing for events (Section VIII).
+
+The overlay holds ``n`` clusters, each following the same chain ``X``;
+every join/leave event hits a uniformly chosen cluster.  Theorem 2 gives
+the expected fraction of safe and polluted clusters after ``m`` events
+as ``alpha (T/n + (1 - 1/n) I)^m 1_{S or P}`` -- reproduced in Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.initial import resolve_initial
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+from repro.markov.competing import (
+    competing_subset_series,
+    competing_transient_law,
+)
+
+
+@dataclass(frozen=True)
+class OverlaySeries:
+    """Recorded trajectory of expected overlay-wide proportions."""
+
+    events: np.ndarray
+    safe_fraction: np.ndarray
+    polluted_fraction: np.ndarray
+    n_clusters: int
+
+    @property
+    def absorbed_fraction(self) -> np.ndarray:
+        """Expected fraction of clusters already merged or split."""
+        return 1.0 - self.safe_fraction - self.polluted_fraction
+
+    @property
+    def peak_polluted_fraction(self) -> float:
+        """Maximum of the polluted-fraction series (paper: < 2.2 %)."""
+        return float(self.polluted_fraction.max())
+
+
+class OverlayModel:
+    """Expected behaviour of an overlay of ``n_clusters`` identical
+    clusters under uniformly dispatched events (Theorems 1 and 2)."""
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        n_clusters: int,
+        chain: ClusterChain | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self._params = params
+        self._n = n_clusters
+        self._chain = chain if chain is not None else ClusterChain(params)
+
+    @property
+    def params(self) -> ModelParameters:
+        """Cluster-level parameters."""
+        return self._params
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of competing clusters ``n``."""
+        return self._n
+
+    @property
+    def chain(self) -> ClusterChain:
+        """Underlying single-cluster chain."""
+        return self._chain
+
+    def marginal_law(
+        self, initial: str | np.ndarray, n_events: int
+    ) -> np.ndarray:
+        """Theorem 1/2: law of one cluster's chain after ``n_events``
+        global events, over the transient ordering."""
+        alpha = resolve_initial(self._chain, initial)
+        return competing_transient_law(
+            alpha, self._chain.transient_matrix, self._n, n_events
+        )
+
+    def proportion_series(
+        self,
+        initial: str | np.ndarray,
+        n_events: int,
+        record_every: int = 1,
+    ) -> OverlaySeries:
+        """Expected safe/polluted fractions after each recorded event
+        count (Figure 5's two panels)."""
+        alpha = resolve_initial(self._chain, initial)
+        series = competing_subset_series(
+            alpha,
+            self._chain.transient_matrix,
+            self._n,
+            n_events,
+            indicators={
+                "safe": self._chain.safe_indicator(),
+                "polluted": self._chain.polluted_indicator(),
+            },
+            record_every=record_every,
+        )
+        return OverlaySeries(
+            events=series["events"],
+            safe_fraction=series["safe"],
+            polluted_fraction=series["polluted"],
+            n_clusters=self._n,
+        )
+
+    def expected_counts(
+        self, initial: str | np.ndarray, n_events: int
+    ) -> tuple[float, float]:
+        """``(E(N_S(m)), E(N_P(m)))`` -- Theorem 2 scaled by ``n``."""
+        law = self.marginal_law(initial, n_events)
+        safe = float(law @ self._chain.safe_indicator())
+        polluted = float(law @ self._chain.polluted_indicator())
+        return safe * self._n, polluted * self._n

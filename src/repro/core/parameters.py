@@ -1,0 +1,110 @@
+"""Model parameters of the cluster chain (paper Sections III-VI).
+
+All analytical and simulated components share a single frozen
+:class:`ModelParameters` record.  Symbols follow the paper:
+
+====================  =====================================================
+``core_size``         ``C`` -- constant size of the cluster core set
+``spare_max``         ``Delta = Smax - C`` -- maximal size of the spare set
+``k``                 randomization amount of the leave-triggered core
+                      maintenance (``protocol_k``), ``1 <= k <= C``
+``mu``                fraction of malicious peers in the universe
+``d``                 probability per unit of time that a given peer
+                      identifier has *not* expired (Property 1)
+``nu``                Rule 1 threshold: the adversary triggers a voluntary
+                      leave when Relation (2) exceeds ``1 - nu``
+``p_join``            probability that an event is a join (paper: 1/2)
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+class ParameterError(ValueError):
+    """Raised when a parameter combination is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Immutable parameter set for one cluster-chain instance.
+
+    The defaults reproduce the paper's experimental base point
+    ``C = 7``, ``Delta = 7``, ``k = 1`` with an attack-free universe.
+    """
+
+    core_size: int = 7
+    spare_max: int = 7
+    k: int = 1
+    mu: float = 0.0
+    d: float = 0.0
+    nu: float = 0.1
+    p_join: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.core_size < 1:
+            raise ParameterError(f"core_size must be >= 1, got {self.core_size}")
+        if self.spare_max < 2:
+            raise ParameterError(
+                "spare_max must be >= 2 so that transient spare sizes "
+                f"0 < s < spare_max exist, got {self.spare_max}"
+            )
+        if not 1 <= self.k <= self.core_size:
+            raise ParameterError(
+                f"k must satisfy 1 <= k <= core_size={self.core_size}, "
+                f"got {self.k}"
+            )
+        if not 0.0 <= self.mu <= 1.0:
+            raise ParameterError(f"mu must be in [0, 1], got {self.mu}")
+        if not 0.0 <= self.d <= 1.0:
+            raise ParameterError(f"d must be in [0, 1], got {self.d}")
+        if not 0.0 < self.nu < 1.0:
+            raise ParameterError(f"nu must be in (0, 1), got {self.nu}")
+        if not 0.0 < self.p_join < 1.0:
+            raise ParameterError(
+                f"p_join must be in (0, 1), got {self.p_join}"
+            )
+
+    # -- derived quantities ------------------------------------------------
+
+    @property
+    def pollution_quorum(self) -> int:
+        """``c = floor((C - 1) / 3)``: the cluster is polluted when the
+        core holds strictly more than ``c`` malicious members."""
+        return (self.core_size - 1) // 3
+
+    @property
+    def max_cluster_size(self) -> int:
+        """``Smax = C + Delta``: total size that triggers a split."""
+        return self.core_size + self.spare_max
+
+    @property
+    def p_leave(self) -> float:
+        """Probability that an event is a leave (``1 - p_join``)."""
+        return 1.0 - self.p_join
+
+    def p_core(self, spare_size: int) -> float:
+        """``p_c = C / (C + s)``: a leave event targets the core set."""
+        if spare_size < 0:
+            raise ParameterError(f"spare_size must be >= 0, got {spare_size}")
+        return self.core_size / (self.core_size + spare_size)
+
+    def is_polluted(self, malicious_core: int) -> bool:
+        """Pollution predicate ``x > c`` on a malicious core count."""
+        return malicious_core > self.pollution_quorum
+
+    def with_overrides(self, **changes) -> "ModelParameters":
+        """Copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by reports and the CLI."""
+        return (
+            f"C={self.core_size} Delta={self.spare_max} k={self.k} "
+            f"mu={self.mu:.3f} d={self.d:.4f} nu={self.nu:.3f}"
+        )
+
+
+#: Parameter set used by the bulk of the paper's experiments.
+PAPER_BASE = ModelParameters(core_size=7, spare_max=7, k=1)

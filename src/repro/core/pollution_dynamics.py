@@ -1,0 +1,122 @@
+"""Distribution-level pollution dynamics (extension of the paper).
+
+The paper reports expectations (Relations (5)-(8)); the same machinery
+yields full laws, which this module exposes for the cluster chain:
+
+* the *time to first pollution* -- a defective phase-type law: with some
+  probability the cluster dissolves before ever being polluted;
+* the laws of the *total* time spent safe/polluted (Sericola 1990);
+* the laws of individual sojourn durations.
+
+These power the extended benchmarks and give operators percentile-level
+answers ("with what probability does a cluster stay safe for its whole
+lifetime?") the expectations cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.absorption import sojourn_analysis
+from repro.core.matrix import ClusterChain
+from repro.markov.hitting import HittingAnalysis
+
+
+@dataclass(frozen=True)
+class PollutionOnset:
+    """Summary of the first-pollution law for one initial distribution."""
+
+    probability_ever_polluted: float
+    expected_onset_given_polluted: float
+    survival: np.ndarray
+
+    @property
+    def probability_never_polluted(self) -> float:
+        """Probability the cluster dissolves without ever being polluted."""
+        return 1.0 - self.probability_ever_polluted
+
+
+def pollution_hitting_analysis(
+    chain: ClusterChain, initial: np.ndarray
+) -> HittingAnalysis:
+    """First-passage analysis into *any* polluted state.
+
+    "Polluted" covers the transient class ``P`` *and* the polluted
+    closed classes: from ``s = 1`` a maintenance step can promote a
+    malicious spare and dissolve the cluster polluted in one transition,
+    which an indicator over transient states alone would miss.
+    """
+    from repro.core.statespace import Category
+
+    alpha = np.asarray(initial, dtype=float)
+    n_safe = len(chain.space.safe)
+    taboo = chain.block_safe
+    entry = chain.block_safe_to_polluted.sum(axis=1)
+    entry = entry + chain.absorbing_block(Category.POLLUTED_MERGE)[
+        :n_safe
+    ].sum(axis=1)
+    if Category.POLLUTED_SPLIT in chain.closed_categories:
+        entry = entry + chain.absorbing_block(Category.POLLUTED_SPLIT)[
+            :n_safe
+        ].sum(axis=1)
+    return HittingAnalysis.from_components(
+        taboo_block=taboo,
+        entry_vector=entry,
+        initial_outside=alpha[:n_safe],
+        initial_hit_mass=float(alpha[n_safe:].sum()),
+    )
+
+
+def pollution_onset(
+    chain: ClusterChain, initial: np.ndarray, horizon: int = 200
+) -> PollutionOnset:
+    """The law of the time until the core first loses its quorum."""
+    analysis = pollution_hitting_analysis(chain, initial)
+    probability = analysis.hit_probability()
+    if probability > 0.0:
+        onset = analysis.expected_hitting_time_given_hit()
+    else:
+        onset = float("inf")
+    return PollutionOnset(
+        probability_ever_polluted=probability,
+        expected_onset_given_polluted=onset,
+        survival=analysis.hitting_time_survival(horizon),
+    )
+
+
+def safe_time_survival(
+    chain: ClusterChain, initial: np.ndarray, horizon: int
+) -> np.ndarray:
+    """``P{T_S > n}`` for ``n = 0 .. horizon``."""
+    return sojourn_analysis(chain, initial).total_time_survival_s(horizon)
+
+
+def polluted_time_survival(
+    chain: ClusterChain, initial: np.ndarray, horizon: int
+) -> np.ndarray:
+    """``P{T_P > n}`` for ``n = 0 .. horizon``."""
+    return sojourn_analysis(chain, initial).total_time_survival_p(horizon)
+
+
+def polluted_time_pmf(
+    chain: ClusterChain, initial: np.ndarray, horizon: int
+) -> np.ndarray:
+    """``P{T_P = n}``; ``P{T_P = 0}`` is the never-polluted mass."""
+    return sojourn_analysis(chain, initial).total_time_pmf_p(horizon)
+
+
+def quantile_from_survival(survival: np.ndarray, level: float) -> int:
+    """Smallest ``n`` with ``P{T > n} <= 1 - level`` (truncated).
+
+    Returns ``len(survival)`` when the quantile lies beyond the horizon,
+    so callers can detect truncation explicitly.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    threshold = 1.0 - level
+    below = np.nonzero(survival <= threshold + 1e-15)[0]
+    if below.size == 0:
+        return len(survival)
+    return int(below[0])

@@ -1,0 +1,125 @@
+"""Adversarial decision rules (paper Section V) and Property 1.
+
+The three behavioural ingredients of the model:
+
+* **Property 1** (limited sojourn time) -- per unit of time, a set of
+  ``z`` malicious identifiers survives unexpired with probability
+  ``d**z``.
+* **Rule 1** (adversarial leave) -- Relation (2): the adversary makes a
+  malicious core member leave voluntarily when the probability that the
+  randomized maintenance *strictly increases* the malicious core count
+  exceeds ``1 - nu``.  Structurally impossible for ``k = 1`` and for
+  ``y <= 1``.
+* **Rule 2** (adversarial join) -- a polluted cluster discards a join
+  issued by ``q`` when ``q`` is honest and ``s > 1``, or when
+  ``s = Delta - 1`` (any issuer), preventing splits of polluted
+  clusters.
+"""
+
+from __future__ import annotations
+
+from repro.core.distributions import hypergeometric_pmf
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State
+
+
+def relation2_probability(state: State, params: ModelParameters) -> float:
+    """Probability that maintenance after a *voluntary* malicious core
+    leave strictly increases the malicious core count (Relation (2)).
+
+    From state ``(s, x, y)`` with ``x >= 1``: the departing malicious
+    member leaves ``x - 1`` malicious among ``C - 1`` core members;
+    ``i`` malicious are pushed out with the ``k - 1`` evicted members
+    and ``j`` malicious are drawn back with the ``k`` replacements.  The
+    new count ``x - 1 - i + j`` exceeds ``x`` iff ``j >= i + 2``::
+
+        sum_{i=i0}^{imax} sum_{j=i+2}^{jmax}
+            q(k-1, C-1, i, x-1) q(k, s+k-1, j, y+i)
+
+    with ``i0 = max(0, k-1-(C-x))``, ``imax = min(k-1, x-1)`` and
+    ``jmax = min(k, y+i)``.
+    """
+    s, x, y = state
+    core = params.core_size
+    k = params.k
+    if x < 1:
+        return 0.0
+    if s < 1:
+        return 0.0
+    i_low = max(0, (k - 1) - (core - x))
+    i_high = min(k - 1, x - 1)
+    total = 0.0
+    for i in range(i_low, i_high + 1):
+        p_evict = hypergeometric_pmf(k - 1, core - 1, i, x - 1)
+        if p_evict == 0.0:
+            continue
+        j_high = min(k, y + i)
+        for j in range(i + 2, j_high + 1):
+            total += p_evict * hypergeometric_pmf(k, s + k - 1, j, y + i)
+    return total
+
+
+def rule1_triggers(state: State, params: ModelParameters) -> bool:
+    """Rule 1 predicate: the adversary orders a voluntary core leave.
+
+    Requires a malicious core member to exist (``x >= 1``) and
+    Relation (2) to exceed ``1 - nu``.  The paper's extra preconditions
+    (``x <= c`` -- the cluster is still safe -- and no merge being
+    triggered, ``s > 1``) are enforced by the transition tree, not here,
+    so this predicate can also be probed in isolation by the adversary
+    implementation and by tests.
+    """
+    s, x, _ = state
+    if params.k == 1:
+        # q(k, s+k-1, j, y+i) needs j <= k = 1 < i + 2: Relation (2) is
+        # an empty sum, hence never exceeds the positive 1 - nu.
+        return False
+    if x < 1 or s < 1:
+        return False
+    return relation2_probability(state, params) > 1.0 - params.nu
+
+
+def rule2_discards_join(
+    state: State, joiner_is_malicious: bool, params: ModelParameters
+) -> bool:
+    """Rule 2 predicate for a *polluted* cluster receiving a join.
+
+    ``True`` means the (colluding) core positively acknowledges the
+    joiner but silently drops the operation.  Callers must ensure the
+    cluster is polluted; safe clusters always process joins.
+    """
+    s, x, _ = state
+    if not params.is_polluted(x):
+        raise ValueError(
+            f"Rule 2 only applies to polluted clusters, got x={x} <= "
+            f"c={params.pollution_quorum}"
+        )
+    if s == params.spare_max - 1:
+        return True
+    if not joiner_is_malicious and s > 1:
+        return True
+    return False
+
+
+def property1_survival(set_size: int, params: ModelParameters) -> float:
+    """Probability that no identifier among ``set_size`` malicious peers
+    expired during one unit of time (``d**z``, Section VI)."""
+    if set_size < 0:
+        raise ValueError(f"set size must be >= 0, got {set_size}")
+    return params.d**set_size
+
+
+def adversary_prevents_split(state: State, params: ModelParameters) -> bool:
+    """True when Rule 2's split-prevention clause is active
+    (polluted cluster with ``s = Delta - 1``)."""
+    s, x, _ = state
+    return params.is_polluted(x) and s == params.spare_max - 1
+
+
+def adversary_prevents_merge(state: State, params: ModelParameters) -> bool:
+    """True when the adversary would refuse a voluntary leave because it
+    would shrink the spare set to zero and trigger a merge
+    (Section V-B: departures are triggered only if they do not lead the
+    cluster to merge)."""
+    s, _, _ = state
+    return s <= 1

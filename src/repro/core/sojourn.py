@@ -1,0 +1,69 @@
+"""Successive sojourn times in S and P (paper Section VII-D).
+
+Relations (7) and (8): the expected duration of the ``n``-th sojourn of
+the cluster chain in the safe and polluted subsets.  The paper's
+Table II instantiates these for ``n = 1, 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.absorption import sojourn_analysis
+from repro.core.matrix import ClusterChain
+
+
+@dataclass(frozen=True)
+class SojournProfile:
+    """Expected successive sojourn durations plus their totals."""
+
+    safe_sojourns: tuple[float, ...]
+    polluted_sojourns: tuple[float, ...]
+    total_safe: float
+    total_polluted: float
+
+    @property
+    def depth(self) -> int:
+        """Number of successive sojourns computed."""
+        return len(self.safe_sojourns)
+
+    def alternation_residual_safe(self) -> float:
+        """``E(T_S) - sum_n E(T_S,n)`` over the computed depth; close to
+        zero when the chain rarely alternates (paper's observation that
+        ``E(T_S) ~= E(T_S,1)``)."""
+        return self.total_safe - sum(self.safe_sojourns)
+
+    def alternation_residual_polluted(self) -> float:
+        """``E(T_P) - sum_n E(T_P,n)`` over the computed depth."""
+        return self.total_polluted - sum(self.polluted_sojourns)
+
+
+def expected_sojourn_safe(
+    chain: ClusterChain, initial: np.ndarray, n: int
+) -> float:
+    """``E(T_S,n)`` -- Relation (7)."""
+    return sojourn_analysis(chain, initial).expected_sojourn_s(n)
+
+
+def expected_sojourn_polluted(
+    chain: ClusterChain, initial: np.ndarray, n: int
+) -> float:
+    """``E(T_P,n)`` -- Relation (8)."""
+    return sojourn_analysis(chain, initial).expected_sojourn_p(n)
+
+
+def sojourn_profile(
+    chain: ClusterChain, initial: np.ndarray, depth: int = 2
+) -> SojournProfile:
+    """Evaluate Relations (5)-(8) for sojourn indices ``1 .. depth``."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    analysis = sojourn_analysis(chain, initial)
+    return SojournProfile(
+        safe_sojourns=tuple(analysis.expected_sojourns_s(depth)),
+        polluted_sojourns=tuple(analysis.expected_sojourns_p(depth)),
+        total_safe=analysis.expected_total_time_s(),
+        total_polluted=analysis.expected_total_time_p(),
+    )

@@ -1,0 +1,257 @@
+"""The transition tree of the cluster chain (paper Figure 2).
+
+:func:`transition_distribution` returns, for one transient state
+``(s, x, y)``, the full one-step law of the chain as a mapping
+``State -> probability``.  The code follows the paper's tree literally;
+each branch is annotated with the corresponding edge labels.
+
+Branch structure (root probabilities ``p_j = p_l = 1/2``):
+
+* **join event** (``p_j``), joiner malicious w.p. ``p_m = mu``:
+
+  - safe cluster (``x <= c``): the join operation runs; the joiner
+    enters the spare set.
+  - polluted cluster (``x > c``), Rule 2:
+
+    * ``s = Delta - 1``: every join is discarded (split prevention);
+    * ``s < Delta - 1``: malicious joins accepted; honest joins are
+      discarded when ``s > 1`` and accepted when ``s = 1`` (merge
+      avoidance).
+
+* **leave event** (``p_l``), targeting the core w.p.
+  ``p_c = C / (C + s)``:
+
+  - spare member targeted (``1 - p_c``), malicious w.p. ``p_ms = y/s``:
+
+    * honest: leaves (natural churn);
+    * malicious: leaves only if Property 1 forces it
+      (w.p. ``1 - d**y``), otherwise the adversary keeps it in place.
+
+  - core member targeted (``p_c``), malicious w.p. ``p_mc = x/C``:
+
+    * honest core member: leaves; if the cluster is polluted the
+      (colluding) quorum biases the replacement -- a malicious spare if
+      any, else an honest spare; if safe, the randomized maintenance
+      kernel ``tau(x, ., .)`` runs;
+    * malicious core member, identifiers surviving (w.p. ``d**x``): a
+      *voluntary* leave happens only when the cluster is safe, no merge
+      would result (``s > 1``) and Rule 1 fires, in which case
+      maintenance ``tau(x-1, ., .)`` runs; otherwise nothing changes;
+    * malicious core member forced out (w.p. ``1 - d**x``): if the
+      remainder still holds the quorum (``x - 1 > c``) the adversary
+      biases the replacement, else maintenance ``tau(x-1, ., .)`` runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.distributions import maintenance_kernel
+from repro.core.parameters import ModelParameters
+from repro.core.rules import property1_survival, rule1_triggers
+from repro.core.statespace import State, StateSpaceError
+
+
+def transition_distribution(
+    state: State, params: ModelParameters
+) -> dict[State, float]:
+    """One-step law of the chain from a transient state.
+
+    Raises :class:`StateSpaceError` when called on a closed state
+    (``s = 0`` or ``s = Delta``): closed states are absorbing by
+    definition and carry identity rows in the matrix.
+    """
+    s, x, y = state
+    delta = params.spare_max
+    if not 0 < s < delta:
+        raise StateSpaceError(
+            f"transitions are defined on transient states only, got s={s}"
+        )
+    law: dict[State, float] = defaultdict(float)
+    _add_join_branch(law, state, params)
+    _add_leave_branch(law, state, params)
+    return {target: p for target, p in law.items() if p > 0.0}
+
+
+def _add_join_branch(
+    law: dict[State, float], state: State, params: ModelParameters
+) -> None:
+    """Accumulate the join sub-tree (left half of Figure 2)."""
+    s, x, y = state
+    p_join = params.p_join
+    p_malicious = params.mu
+    if not params.is_polluted(x):
+        # Safe cluster: the join operation always runs.
+        law[State(s + 1, x, y + 1)] += p_join * p_malicious
+        law[State(s + 1, x, y)] += p_join * (1.0 - p_malicious)
+        return
+    # Polluted cluster: Rule 2 filters join events.
+    if s == params.spare_max - 1:
+        # Split prevention: all joins (malicious included) discarded.
+        law[state] += p_join
+        return
+    law[State(s + 1, x, y + 1)] += p_join * p_malicious
+    if s > 1:
+        # Honest joiner acknowledged but silently dropped.
+        law[state] += p_join * (1.0 - p_malicious)
+    else:
+        # s == 1: merge avoidance, the honest joiner is admitted.
+        law[State(s + 1, x, y)] += p_join * (1.0 - p_malicious)
+
+
+def _add_leave_branch(
+    law: dict[State, float], state: State, params: ModelParameters
+) -> None:
+    """Accumulate the leave sub-tree (right half of Figure 2)."""
+    s, x, y = state
+    p_leave = params.p_leave
+    p_core = params.p_core(s)
+    _add_spare_leave(law, state, params, weight=p_leave * (1.0 - p_core))
+    _add_core_leave(law, state, params, weight=p_leave * p_core)
+
+
+def _add_spare_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """Leave event targeting a spare member."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    p_malicious_spare = y / s
+    honest_weight = weight * (1.0 - p_malicious_spare)
+    if honest_weight > 0.0:
+        # Honest spares leave with the natural churn.
+        law[State(s - 1, x, y)] += honest_weight
+    malicious_weight = weight * p_malicious_spare
+    if malicious_weight > 0.0:
+        survive = property1_survival(y, params)
+        # The adversary keeps its spares in place while ids are valid.
+        law[state] += malicious_weight * survive
+        law[State(s - 1, x, y - 1)] += malicious_weight * (1.0 - survive)
+
+
+def _add_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """Leave event targeting a core member."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    p_malicious_core = x / params.core_size
+    _add_honest_core_leave(
+        law, state, params, weight=weight * (1.0 - p_malicious_core)
+    )
+    _add_malicious_core_leave(
+        law, state, params, weight=weight * p_malicious_core
+    )
+
+
+def _add_honest_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """An honest core member departs; the core view is repaired."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    if params.is_polluted(x):
+        # The malicious quorum biases the replacement.
+        if y > 0:
+            law[State(s - 1, x + 1, y - 1)] += weight
+        else:
+            law[State(s - 1, x, y)] += weight
+        return
+    _add_maintenance(law, state, params, malicious_core_after=x, weight=weight)
+
+
+def _add_malicious_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """A malicious core member is targeted by the leave event."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    survive = property1_survival(x, params)
+    no_expiry_weight = weight * survive
+    if no_expiry_weight > 0.0:
+        _add_voluntary_core_leave(law, state, params, weight=no_expiry_weight)
+    forced_weight = weight * (1.0 - survive)
+    if forced_weight > 0.0:
+        _add_forced_core_leave(law, state, params, weight=forced_weight)
+
+
+def _add_voluntary_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """No identifier expired: the adversary leaves only under Rule 1."""
+    s, x, y = state
+    if params.is_polluted(x):
+        # Never give up a won quorum.
+        law[state] += weight
+        return
+    if s > 1 and rule1_triggers(state, params):
+        _add_maintenance(
+            law, state, params, malicious_core_after=x - 1, weight=weight
+        )
+    else:
+        law[state] += weight
+
+
+def _add_forced_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    weight: float,
+) -> None:
+    """Property 1 forces a malicious core member out."""
+    s, x, y = state
+    if x - 1 > params.pollution_quorum:
+        # Quorum retained: the adversary biases the replacement.
+        if y > 0:
+            law[State(s - 1, x, y - 1)] += weight
+        else:
+            law[State(s - 1, x - 1, y)] += weight
+        return
+    _add_maintenance(
+        law, state, params, malicious_core_after=x - 1, weight=weight
+    )
+
+
+def _add_maintenance(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    malicious_core_after: int,
+    weight: float,
+) -> None:
+    """Randomized core maintenance after a core departure.
+
+    ``malicious_core_after`` is the malicious count among the remaining
+    ``C - 1`` core members (``x`` for an honest departure, ``x - 1`` for
+    a malicious one).  The new state is
+    ``(s - 1, malicious_core_after - a + b, y + a - b)``.
+    """
+    s, _, y = state
+    for a, b, probability in maintenance_kernel(
+        malicious_core_after=malicious_core_after,
+        malicious_spare=y,
+        spare_size=s,
+        core_size=params.core_size,
+        k=params.k,
+    ):
+        target = State(s - 1, malicious_core_after - a + b, y + a - b)
+        law[target] += weight * probability

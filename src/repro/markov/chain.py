@@ -1,0 +1,204 @@
+"""A validated finite discrete-time Markov chain with labeled states.
+
+:class:`MarkovChain` is the convenience wrapper used across the
+reproduction: it stores the transition matrix together with hashable
+state labels, exposes classification and partitioning helpers, computes
+transient laws, and can simulate trajectories with a seeded generator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.markov import classify
+from repro.markov.linalg import (
+    MarkovNumericsError,
+    as_square_array,
+    stochastic_check,
+)
+
+
+class MarkovChain:
+    """Finite DTMC over labeled states.
+
+    Parameters
+    ----------
+    matrix:
+        Right-stochastic square matrix.
+    labels:
+        Optional sequence of hashable labels, one per state; defaults to
+        ``range(n)``.  Labels give the cluster model readable states
+        such as ``(s, x, y)`` tuples.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        labels: Sequence[Hashable] | None = None,
+    ) -> None:
+        arr = as_square_array(matrix)
+        stochastic_check(arr)
+        self._matrix = arr
+        if labels is None:
+            labels = list(range(arr.shape[0]))
+        labels = list(labels)
+        if len(labels) != arr.shape[0]:
+            raise MarkovNumericsError(
+                f"{len(labels)} labels for {arr.shape[0]} states"
+            )
+        if len(set(labels)) != len(labels):
+            raise MarkovNumericsError("state labels must be unique")
+        self._labels = labels
+        self._index = {label: i for i, label in enumerate(labels)}
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The transition matrix (read-only view)."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def labels(self) -> list[Hashable]:
+        """State labels in index order."""
+        return list(self._labels)
+
+    @property
+    def n_states(self) -> int:
+        """Number of states."""
+        return self._matrix.shape[0]
+
+    def index_of(self, label: Hashable) -> int:
+        """Index of the state carrying ``label``."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise KeyError(f"unknown state label {label!r}") from None
+
+    def probability(self, source: Hashable, target: Hashable) -> float:
+        """One-step transition probability between two labeled states."""
+        return float(self._matrix[self.index_of(source), self.index_of(target)])
+
+    # -- classification ----------------------------------------------------
+
+    def absorbing_states(self) -> list[Hashable]:
+        """Labels of states with a probability-one self loop."""
+        return [self._labels[i] for i in classify.absorbing_states(self._matrix)]
+
+    def recurrent_classes(self) -> list[frozenset[Hashable]]:
+        """Closed communicating classes, as label sets."""
+        return [
+            frozenset(self._labels[i] for i in cls)
+            for cls in classify.recurrent_classes(self._matrix)
+        ]
+
+    def transient_states(self) -> list[Hashable]:
+        """Labels of transient states in index order."""
+        return [self._labels[i] for i in classify.transient_states(self._matrix)]
+
+    # -- block extraction ---------------------------------------------------
+
+    def submatrix(
+        self, rows: Sequence[Hashable], cols: Sequence[Hashable]
+    ) -> np.ndarray:
+        """Block of the transition matrix indexed by label sequences."""
+        row_idx = [self.index_of(label) for label in rows]
+        col_idx = [self.index_of(label) for label in cols]
+        return self._matrix[np.ix_(row_idx, col_idx)]
+
+    def indicator(self, members: Sequence[Hashable]) -> np.ndarray:
+        """0/1 vector flagging ``members`` over the full state space."""
+        flags = np.zeros(self.n_states)
+        for label in members:
+            flags[self.index_of(label)] = 1.0
+        return flags
+
+    # -- transient behaviour -------------------------------------------------
+
+    def distribution_after(
+        self, initial: np.ndarray, n_steps: int
+    ) -> np.ndarray:
+        """Law of the chain after ``n_steps`` from row vector ``initial``."""
+        alpha = np.asarray(initial, dtype=float)
+        if alpha.shape != (self.n_states,):
+            raise MarkovNumericsError(
+                f"initial vector has shape {alpha.shape}, "
+                f"expected ({self.n_states},)"
+            )
+        law = alpha.copy()
+        for _ in range(n_steps):
+            law = law @ self._matrix
+        return law
+
+    def hitting_probability_series(
+        self, initial: np.ndarray, members: Sequence[Hashable], n_steps: int
+    ) -> np.ndarray:
+        """``P{X_m in members}`` for ``m = 0 .. n_steps``."""
+        flags = self.indicator(members)
+        law = np.asarray(initial, dtype=float).copy()
+        series = [float(law @ flags)]
+        for _ in range(n_steps):
+            law = law @ self._matrix
+            series.append(float(law @ flags))
+        return np.asarray(series)
+
+    # -- simulation ---------------------------------------------------------
+
+    def sample_path(
+        self,
+        initial: Hashable | np.ndarray,
+        n_steps: int,
+        rng: np.random.Generator,
+    ) -> list[Hashable]:
+        """Simulate a trajectory of labels of length ``n_steps + 1``.
+
+        ``initial`` is either a state label or a probability vector from
+        which the starting state is drawn.
+        """
+        if isinstance(initial, np.ndarray) or (
+            not isinstance(initial, Hashable) or initial not in self._index
+        ):
+            law = np.asarray(initial, dtype=float)
+            state = int(rng.choice(self.n_states, p=law / law.sum()))
+        else:
+            state = self.index_of(initial)
+        path = [self._labels[state]]
+        for _ in range(n_steps):
+            state = int(rng.choice(self.n_states, p=self._matrix[state]))
+            path.append(self._labels[state])
+        return path
+
+    def sample_until(
+        self,
+        initial: Hashable | np.ndarray,
+        absorbing: Sequence[Hashable],
+        rng: np.random.Generator,
+        max_steps: int = 10_000_000,
+    ) -> list[Hashable]:
+        """Simulate until one of ``absorbing`` is entered.
+
+        Raises ``RuntimeError`` after ``max_steps`` to protect callers
+        against chains that pollute so rarely they effectively never
+        absorb within a Monte-Carlo budget.
+        """
+        stop = {self.index_of(label) for label in absorbing}
+        if isinstance(initial, np.ndarray) or (
+            not isinstance(initial, Hashable) or initial not in self._index
+        ):
+            law = np.asarray(initial, dtype=float)
+            state = int(rng.choice(self.n_states, p=law / law.sum()))
+        else:
+            state = self.index_of(initial)
+        path = [self._labels[state]]
+        for _ in range(max_steps):
+            if state in stop:
+                return path
+            state = int(rng.choice(self.n_states, p=self._matrix[state]))
+            path.append(self._labels[state])
+        raise RuntimeError(
+            f"no absorption within {max_steps} steps; increase the budget"
+        )

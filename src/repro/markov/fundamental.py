@@ -1,0 +1,129 @@
+"""Absorbing-chain analysis: fundamental matrix and derived quantities.
+
+Given a chain whose state space splits into transient states ``T`` and
+absorbing classes ``A_1 .. A_r``, the fundamental matrix
+``N = (I - Q)^{-1}`` (with ``Q`` the transient-to-transient block) yields
+
+* expected number of visits to each transient state,
+* expected number of steps before absorption,
+* absorption probabilities into each absorbing class
+  (paper's Relation (9)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.markov.linalg import (
+    MarkovNumericsError,
+    as_square_array,
+    solve_fundamental,
+    substochastic_check,
+)
+
+
+@dataclass(frozen=True)
+class AbsorbingAnalysis:
+    """Closed-form analysis of an absorbing Markov chain.
+
+    Parameters
+    ----------
+    transient_block:
+        Square matrix ``Q`` of transitions among transient states.
+    absorbing_blocks:
+        Mapping-like sequence of ``(name, block)`` pairs where ``block``
+        has one row per transient state and one column per state of the
+        corresponding absorbing class.
+    initial:
+        Probability row vector over transient states.  Mass placed on
+        absorbing states should be handled by the caller before reaching
+        this class (the paper's experiments always start transient).
+    """
+
+    transient_block: np.ndarray
+    absorbing_blocks: tuple[tuple[str, np.ndarray], ...]
+    initial: np.ndarray
+    _fundamental: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        q = as_square_array(self.transient_block, name="transient block")
+        substochastic_check(q)
+        alpha = np.asarray(self.initial, dtype=float)
+        if alpha.shape != (q.shape[0],):
+            raise MarkovNumericsError(
+                f"initial vector has shape {alpha.shape}, expected ({q.shape[0]},)"
+            )
+        if np.any(alpha < -1e-12):
+            raise MarkovNumericsError("initial vector has negative mass")
+        total_out = q.sum(axis=1).copy()
+        for name, block in self.absorbing_blocks:
+            arr = np.asarray(block, dtype=float)
+            if arr.shape[0] != q.shape[0]:
+                raise MarkovNumericsError(
+                    f"absorbing block {name!r} has {arr.shape[0]} rows, "
+                    f"expected {q.shape[0]}"
+                )
+            total_out += arr.sum(axis=1)
+        if np.any(np.abs(total_out - 1.0) > 1e-8):
+            worst = int(np.argmax(np.abs(total_out - 1.0)))
+            raise MarkovNumericsError(
+                f"transient row {worst} plus absorbing blocks sums to "
+                f"{total_out[worst]!r}, expected 1.0"
+            )
+        object.__setattr__(self, "transient_block", q)
+        object.__setattr__(self, "initial", alpha)
+        object.__setattr__(self, "_fundamental", solve_fundamental(q))
+
+    @property
+    def fundamental_matrix(self) -> np.ndarray:
+        """``N = (I - Q)^{-1}``; entry ``(i, j)`` is the expected number
+        of visits to transient state ``j`` starting from ``i``."""
+        return self._fundamental
+
+    def expected_visits(self) -> np.ndarray:
+        """Expected visits to each transient state from ``initial``."""
+        return self.initial @ self._fundamental
+
+    def expected_steps_to_absorption(self) -> float:
+        """Expected number of transitions before entering a closed class."""
+        return float(self.expected_visits().sum())
+
+    def expected_steps_by_state(self) -> np.ndarray:
+        """Expected absorption time conditioned on each starting state."""
+        return self._fundamental.sum(axis=1)
+
+    def absorption_probability(self, name: str) -> float:
+        """Probability of absorption into the named class (Relation (9))."""
+        for block_name, block in self.absorbing_blocks:
+            if block_name == name:
+                arr = np.asarray(block, dtype=float)
+                return float(self.initial @ self._fundamental @ arr.sum(axis=1))
+        raise KeyError(f"unknown absorbing class {name!r}")
+
+    def absorption_probabilities(self) -> dict[str, float]:
+        """Absorption probability for every registered class."""
+        return {
+            name: self.absorption_probability(name)
+            for name, _ in self.absorbing_blocks
+        }
+
+    def absorption_distribution(self, name: str) -> np.ndarray:
+        """Probability of absorption into each *state* of the named class."""
+        for block_name, block in self.absorbing_blocks:
+            if block_name == name:
+                arr = np.asarray(block, dtype=float)
+                return self.initial @ self._fundamental @ arr
+        raise KeyError(f"unknown absorbing class {name!r}")
+
+    def time_in_states(self, indicator: np.ndarray) -> float:
+        """Expected time spent in the transient states flagged by
+        ``indicator`` (a 0/1 vector) before absorption."""
+        flags = np.asarray(indicator, dtype=float)
+        if flags.shape != (self.transient_block.shape[0],):
+            raise MarkovNumericsError(
+                f"indicator has shape {flags.shape}, expected "
+                f"({self.transient_block.shape[0]},)"
+            )
+        return float(self.expected_visits() @ flags)

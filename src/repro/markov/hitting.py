@@ -1,0 +1,178 @@
+"""First-passage (hitting) analysis on Markov chains.
+
+Complements :mod:`repro.markov.fundamental` with distribution-level
+results used by the extended analyses:
+
+* probability that a target set is *ever* hit before (non-target)
+  absorption,
+* the full (defective) phase-type law of the hitting time,
+* expected hitting time conditioned on hitting.
+
+The core representation is the *taboo* decomposition: a sub-stochastic
+block of transitions among non-target states, plus the one-step entry
+probability from each non-target state into the target.  Two
+constructors cover the common cases:
+
+* :meth:`HittingAnalysis.from_indicator` -- target is a subset of a
+  transient block (every excursion outside the block counts as a miss);
+* :meth:`HittingAnalysis.from_components` -- caller supplies taboo and
+  entry directly, which lets the target include absorbing classes (the
+  cluster model's "ever polluted" includes dissolving *into* a polluted
+  closed state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.linalg import (
+    MarkovNumericsError,
+    as_square_array,
+    solve_fundamental,
+    substochastic_check,
+)
+
+
+@dataclass(frozen=True)
+class HittingAnalysis:
+    """First-passage analysis into a target set.
+
+    Parameters
+    ----------
+    taboo_block:
+        Sub-stochastic transitions among non-target states.
+    entry_vector:
+        One-step probability of entering the target from each
+        non-target state.
+    initial_outside:
+        Initial mass on each non-target state.
+    initial_hit_mass:
+        Initial mass already inside the target (hits at time zero).
+    """
+
+    taboo_block: np.ndarray
+    entry_vector: np.ndarray
+    initial_outside: np.ndarray
+    initial_hit_mass: float = 0.0
+
+    def __post_init__(self) -> None:
+        taboo = as_square_array(self.taboo_block, name="taboo block")
+        substochastic_check(taboo)
+        entry = np.asarray(self.entry_vector, dtype=float)
+        alpha = np.asarray(self.initial_outside, dtype=float)
+        if entry.shape != (taboo.shape[0],):
+            raise MarkovNumericsError(
+                f"entry vector has shape {entry.shape}, expected "
+                f"({taboo.shape[0]},)"
+            )
+        if alpha.shape != (taboo.shape[0],):
+            raise MarkovNumericsError(
+                f"initial has shape {alpha.shape}, expected "
+                f"({taboo.shape[0]},)"
+            )
+        if np.any(entry < -1e-12) or np.any(entry > 1.0 + 1e-12):
+            raise MarkovNumericsError("entry probabilities outside [0, 1]")
+        if not -1e-12 <= self.initial_hit_mass <= 1.0 + 1e-12:
+            raise MarkovNumericsError(
+                f"initial hit mass {self.initial_hit_mass} outside [0, 1]"
+            )
+        object.__setattr__(self, "taboo_block", taboo)
+        object.__setattr__(self, "entry_vector", entry)
+        object.__setattr__(self, "initial_outside", alpha)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_indicator(
+        cls,
+        transient_block: np.ndarray,
+        target_indicator: np.ndarray,
+        initial: np.ndarray,
+    ) -> "HittingAnalysis":
+        """Target = flagged subset of one transient block."""
+        block = as_square_array(transient_block, name="transient block")
+        flags = np.asarray(target_indicator, dtype=float)
+        alpha = np.asarray(initial, dtype=float)
+        if flags.shape != (block.shape[0],):
+            raise MarkovNumericsError(
+                f"indicator has shape {flags.shape}, expected "
+                f"({block.shape[0]},)"
+            )
+        if not set(np.unique(flags)) <= {0.0, 1.0}:
+            raise MarkovNumericsError("indicator must be 0/1 valued")
+        if alpha.shape != (block.shape[0],):
+            raise MarkovNumericsError(
+                f"initial has shape {alpha.shape}, expected "
+                f"({block.shape[0]},)"
+            )
+        outside = flags == 0.0
+        inside = ~outside
+        return cls(
+            taboo_block=block[np.ix_(outside, outside)],
+            entry_vector=block[np.ix_(outside, inside)].sum(axis=1),
+            initial_outside=alpha[outside],
+            initial_hit_mass=float(alpha[inside].sum()),
+        )
+
+    @classmethod
+    def from_components(
+        cls,
+        taboo_block: np.ndarray,
+        entry_vector: np.ndarray,
+        initial_outside: np.ndarray,
+        initial_hit_mass: float = 0.0,
+    ) -> "HittingAnalysis":
+        """Explicit taboo/entry decomposition (target may include
+        absorbing classes)."""
+        return cls(
+            taboo_block=taboo_block,
+            entry_vector=entry_vector,
+            initial_outside=initial_outside,
+            initial_hit_mass=initial_hit_mass,
+        )
+
+    # -- results ------------------------------------------------------------
+
+    def hit_probability(self) -> float:
+        """Probability the target is ever entered."""
+        if self.initial_outside.sum() == 0.0:
+            return self.initial_hit_mass
+        reach = solve_fundamental(self.taboo_block, self.entry_vector)
+        return self.initial_hit_mass + float(self.initial_outside @ reach)
+
+    def hitting_time_pmf(self, horizon: int) -> np.ndarray:
+        """``P{T_hit = n}`` for ``n = 0 .. horizon`` (defective law).
+
+        The law is defective when non-target absorption can preempt the
+        hit; the missing mass is ``1 - hit_probability()``.
+        """
+        if horizon < 0:
+            raise MarkovNumericsError(f"horizon must be >= 0, got {horizon}")
+        pmf = np.zeros(horizon + 1)
+        pmf[0] = self.initial_hit_mass
+        law = self.initial_outside.copy()
+        for n in range(1, horizon + 1):
+            pmf[n] = float(law @ self.entry_vector)
+            law = law @ self.taboo_block
+        return pmf
+
+    def hitting_time_survival(self, horizon: int) -> np.ndarray:
+        """``P{T_hit > n}`` including the never-hit mass."""
+        pmf = self.hitting_time_pmf(horizon)
+        return 1.0 - np.cumsum(pmf)
+
+    def expected_hitting_time_given_hit(self) -> float:
+        """``E[T_hit | hit]``; raises when the hit has probability 0."""
+        probability = self.hit_probability()
+        if probability <= 0.0:
+            raise MarkovNumericsError(
+                "the target set is unreachable from the initial law"
+            )
+        # E[T 1{hit}] = sum_{n>=1} n alpha taboo^{n-1} entry
+        #             = alpha (I - taboo)^{-2} entry.
+        first = solve_fundamental(self.taboo_block, self.entry_vector)
+        second = solve_fundamental(self.taboo_block, first)
+        weighted = float(self.initial_outside @ second)
+        return weighted / probability

@@ -1,0 +1,170 @@
+"""Linear-algebra helpers shared by the Markov-chain machinery.
+
+All routines accept plain ``numpy.ndarray`` inputs.  Matrices handled by
+the reproduction are small (a few hundred states), so dense solvers are
+the default; the helpers still centralize tolerance handling and error
+reporting so the higher-level code stays readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Default absolute tolerance used when checking stochasticity.
+STOCHASTIC_ATOL = 1e-10
+
+
+class MarkovNumericsError(ValueError):
+    """Raised when a matrix fails a structural or numerical check."""
+
+
+def as_square_array(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``matrix`` as a float ndarray, checking it is square.
+
+    Parameters
+    ----------
+    matrix:
+        Anything convertible to a 2-D ``numpy`` array.
+    name:
+        Name used in error messages.
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise MarkovNumericsError(
+            f"{name} must be square, got shape {arr.shape!r}"
+        )
+    return arr
+
+
+def row_sums(matrix: np.ndarray) -> np.ndarray:
+    """Row sums of ``matrix`` as a 1-D array."""
+    return np.asarray(matrix, dtype=float).sum(axis=1)
+
+
+def stochastic_check(matrix: np.ndarray, atol: float = STOCHASTIC_ATOL) -> None:
+    """Validate that ``matrix`` is a right-stochastic matrix.
+
+    Every entry must be in ``[0, 1]`` (within ``atol``) and every row must
+    sum to one (within ``atol``).  Raises :class:`MarkovNumericsError`
+    otherwise.
+    """
+    arr = as_square_array(matrix)
+    if arr.shape[0] == 0:
+        return  # vacuously stochastic
+    if np.any(arr < -atol) or np.any(arr > 1.0 + atol):
+        bad = np.argwhere((arr < -atol) | (arr > 1.0 + atol))[0]
+        raise MarkovNumericsError(
+            f"entry {tuple(bad)} = {arr[tuple(bad)]!r} outside [0, 1]"
+        )
+    sums = row_sums(arr)
+    worst = int(np.argmax(np.abs(sums - 1.0)))
+    if abs(sums[worst] - 1.0) > atol:
+        raise MarkovNumericsError(
+            f"row {worst} sums to {sums[worst]!r}, expected 1.0"
+        )
+
+
+def substochastic_check(
+    matrix: np.ndarray, atol: float = STOCHASTIC_ATOL
+) -> None:
+    """Validate that ``matrix`` is sub-stochastic (row sums at most one).
+
+    Sub-matrices of a stochastic matrix restricted to transient states are
+    sub-stochastic; the fundamental-matrix machinery relies on this.
+    """
+    arr = as_square_array(matrix)
+    if arr.shape[0] == 0:
+        return  # vacuously sub-stochastic
+    if np.any(arr < -atol):
+        bad = np.argwhere(arr < -atol)[0]
+        raise MarkovNumericsError(
+            f"entry {tuple(bad)} = {arr[tuple(bad)]!r} is negative"
+        )
+    sums = row_sums(arr)
+    worst = int(np.argmax(sums))
+    if sums[worst] > 1.0 + atol:
+        raise MarkovNumericsError(
+            f"row {worst} sums to {sums[worst]!r}, expected <= 1.0"
+        )
+
+
+def solve_fundamental(
+    transient: np.ndarray, rhs: np.ndarray | None = None
+) -> np.ndarray:
+    """Solve ``(I - T) Z = rhs`` for a sub-stochastic ``T``.
+
+    When ``rhs`` is ``None`` the full fundamental matrix
+    ``N = (I - T)^{-1}`` is returned.  A singular ``I - T`` means some
+    transient subset cannot reach an absorbing state, which is reported
+    as a modeling error rather than a bare ``LinAlgError``.
+    """
+    arr = as_square_array(transient, name="transient block")
+    eye = np.eye(arr.shape[0])
+    target = eye if rhs is None else np.asarray(rhs, dtype=float)
+    if arr.shape[0] == 0:
+        # Degenerate (fully restricted-away) block: nothing to solve.
+        return target.copy()
+    try:
+        return np.linalg.solve(eye - arr, target)
+    except np.linalg.LinAlgError as exc:
+        raise MarkovNumericsError(
+            "I - T is singular: the transient block has an invariant "
+            "subset that never reaches absorption"
+        ) from exc
+
+
+def spectral_radius(matrix: np.ndarray) -> float:
+    """Spectral radius (largest eigenvalue modulus) of ``matrix``."""
+    arr = as_square_array(matrix)
+    if arr.size == 0:
+        return 0.0
+    return float(np.max(np.abs(np.linalg.eigvals(arr))))
+
+
+def stationary_distribution(
+    matrix: np.ndarray, atol: float = STOCHASTIC_ATOL
+) -> np.ndarray:
+    """Stationary distribution of an irreducible stochastic ``matrix``.
+
+    Solves ``pi P = pi`` with ``sum(pi) = 1`` via the standard replaced-
+    equation linear system.  Used by tests and by the ergodic variants of
+    the overlay model; the paper's chain itself is absorbing.
+    """
+    arr = as_square_array(matrix)
+    stochastic_check(arr, atol=atol)
+    n = arr.shape[0]
+    system = (np.eye(n) - arr).T
+    system[-1, :] = 1.0
+    rhs = np.zeros(n)
+    rhs[-1] = 1.0
+    try:
+        pi = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise MarkovNumericsError(
+            "stationary distribution is not unique (chain reducible?)"
+        ) from exc
+    if np.any(pi < -1e-8):
+        raise MarkovNumericsError(
+            "stationary solve produced negative mass (chain reducible?)"
+        )
+    pi = np.clip(pi, 0.0, None)
+    return pi / pi.sum()
+
+
+def geometric_tail_bound(
+    transient: np.ndarray, tol: float = 1e-12
+) -> int:
+    """Number of steps after which transient mass falls below ``tol``.
+
+    Uses the spectral radius ``rho`` of the transient block: mass decays
+    like ``rho**m``, so ``m >= log(tol) / log(rho)`` suffices.  Returns a
+    small constant when the block is empty or nilpotent.
+    """
+    rho = spectral_radius(transient)
+    if rho <= 0.0:
+        return 1
+    if rho >= 1.0:
+        raise MarkovNumericsError(
+            f"transient block has spectral radius {rho} >= 1"
+        )
+    return max(1, int(np.ceil(np.log(tol) / np.log(rho))))

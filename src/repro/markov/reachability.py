@@ -1,0 +1,72 @@
+"""Reachability restriction for transient analyses.
+
+Closed-form transient analyses solve systems in ``I - T``.  When the
+model's state space contains states that are *structurally present but
+unreachable from the initial distribution* (the cluster model at
+``mu = 0`` keeps contaminated states nobody can enter), those states may
+form invariant subsets that make ``I - T`` singular even though every
+quantity of interest is finite.  Restricting all blocks to the states
+reachable from the initial support removes the singularity without
+changing any answer: unreachable states carry zero probability mass
+throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.linalg import as_square_array
+
+
+def reachable_indices(
+    matrix: np.ndarray, support: np.ndarray, epsilon: float = 0.0
+) -> np.ndarray:
+    """Indices reachable from ``support`` through positive entries.
+
+    ``support`` is a boolean mask or an index array; the result is a
+    sorted index array including the support itself.
+    """
+    arr = as_square_array(matrix)
+    size = arr.shape[0]
+    mask = np.zeros(size, dtype=bool)
+    support = np.asarray(support)
+    if support.dtype == bool:
+        mask[:] = support
+    else:
+        mask[support] = True
+    frontier = list(np.nonzero(mask)[0])
+    while frontier:
+        index = frontier.pop()
+        for successor in np.nonzero(arr[index] > epsilon)[0]:
+            if not mask[successor]:
+                mask[successor] = True
+                frontier.append(int(successor))
+    return np.nonzero(mask)[0]
+
+
+def restrict_transient_system(
+    transient: np.ndarray,
+    initial: np.ndarray,
+    extra_blocks: list[np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
+    """Restrict a transient system to the reachable states.
+
+    Returns ``(transient', initial', extra_blocks', kept_indices)``
+    where ``extra_blocks`` are row-indexed companions (e.g. the
+    transient-to-absorbing blocks) sliced to the same rows.
+    """
+    arr = as_square_array(transient)
+    alpha = np.asarray(initial, dtype=float)
+    if alpha.shape != (arr.shape[0],):
+        raise ValueError(
+            f"initial has shape {alpha.shape}, expected ({arr.shape[0]},)"
+        )
+    kept = reachable_indices(arr, alpha > 0.0)
+    if kept.size == arr.shape[0]:
+        blocks = list(extra_blocks) if extra_blocks else []
+        return arr, alpha, blocks, kept
+    restricted = arr[np.ix_(kept, kept)]
+    blocks = [
+        np.asarray(block, dtype=float)[kept] for block in (extra_blocks or [])
+    ]
+    return restricted, alpha[kept], blocks, kept

@@ -1,0 +1,110 @@
+"""Executable cluster-based overlay substrate (paper Sections III-IV).
+
+Layers, bottom up:
+
+* :mod:`~repro.overlay.identifiers` -- the m-bit space, hashing, labels.
+* :mod:`~repro.overlay.crypto` -- simulation-grade RSA, certificates, CA.
+* :mod:`~repro.overlay.incarnation` -- limited identifier lifetimes.
+* :mod:`~repro.overlay.peer` / :mod:`~repro.overlay.cluster` -- members
+  and core/spare role separation.
+* :mod:`~repro.overlay.consensus` -- simulated Byzantine agreement.
+* :mod:`~repro.overlay.topology` / :mod:`~repro.overlay.routing` -- the
+  prefix-tree cluster graph and greedy bit-correcting routing.
+* :mod:`~repro.overlay.operations` -- robust join/leave/split/merge.
+* :mod:`~repro.overlay.overlay` -- the :class:`ClusterOverlay` facade.
+"""
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.consensus import AgreementOutcome, SimulatedByzantineAgreement
+from repro.overlay.crypto import (
+    Certificate,
+    CertificateAuthority,
+    KeyPair,
+    PublicKey,
+    SignedMessage,
+    sign_message,
+)
+from repro.overlay.errors import (
+    CertificateError,
+    ConsensusError,
+    IdentifierError,
+    IncarnationError,
+    MembershipError,
+    OperationRefused,
+    OverlayError,
+    RoutingError,
+    SignatureError,
+    TopologyError,
+)
+from repro.overlay.incarnation import (
+    IncarnationClock,
+    current_incarnation,
+    expiry_time,
+    valid_incarnations,
+)
+from repro.overlay.operations import (
+    OperationReport,
+    OperationStats,
+    OverlayOperations,
+    find_cluster_of,
+)
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig, PeerRecord
+from repro.overlay.peer import Peer, PeerFactory
+from repro.overlay.routing import (
+    RouteResult,
+    average_path_length,
+    redundant_route,
+    route,
+)
+from repro.overlay.storage import (
+    OverlayStorage,
+    ReadOutcome,
+    StorageError,
+    StorageStats,
+)
+from repro.overlay.topology import PrefixTopology, sibling_label
+
+__all__ = [
+    "Cluster",
+    "ClusterOverlay",
+    "OverlayConfig",
+    "PeerRecord",
+    "Peer",
+    "PeerFactory",
+    "PrefixTopology",
+    "sibling_label",
+    "OverlayOperations",
+    "OperationReport",
+    "OperationStats",
+    "find_cluster_of",
+    "SimulatedByzantineAgreement",
+    "AgreementOutcome",
+    "CertificateAuthority",
+    "Certificate",
+    "KeyPair",
+    "PublicKey",
+    "SignedMessage",
+    "sign_message",
+    "IncarnationClock",
+    "current_incarnation",
+    "expiry_time",
+    "valid_incarnations",
+    "RouteResult",
+    "route",
+    "redundant_route",
+    "average_path_length",
+    "OverlayStorage",
+    "ReadOutcome",
+    "StorageStats",
+    "StorageError",
+    "OverlayError",
+    "CertificateError",
+    "SignatureError",
+    "IdentifierError",
+    "IncarnationError",
+    "MembershipError",
+    "TopologyError",
+    "RoutingError",
+    "OperationRefused",
+    "ConsensusError",
+]

@@ -1,0 +1,218 @@
+"""Clusters: core/spare role separation at each overlay vertex.
+
+Section III-A: every vertex of the structured graph hosts a cluster
+whose members split into a *core set* maintained at constant size ``C``
+(it runs routing and the overlay operations) and a *spare set* of size
+``s <= Delta`` absorbing churn.  The cluster must split when its total
+size exceeds ``Smax = C + Delta`` and must merge when its spare set
+drains empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.overlay.errors import MembershipError
+from repro.overlay.identifiers import validate_label
+from repro.overlay.peer import Peer
+
+
+@dataclass(eq=False)
+class Cluster:
+    """One overlay vertex: a labeled core/spare peer group.
+
+    Clusters are *entities*: equality and hashing are by identity
+    (``eq=False``), never by field values -- two clusters with the same
+    label exist transiently during splits and merges.
+
+    The class enforces structural invariants (no duplicate membership,
+    spare capacity, core size) and exposes *role* operations; protocol
+    logic (who gets promoted, Rule 2 filtering, ...) lives in
+    :mod:`repro.overlay.operations` and the adversary strategies.
+    """
+
+    label: str
+    core_size: int
+    spare_max: int
+    core: list[Peer] = field(default_factory=list)
+    spare: list[Peer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        validate_label(self.label)
+        if self.core_size < 1:
+            raise MembershipError(
+                f"core size must be >= 1, got {self.core_size}"
+            )
+        if self.spare_max < 2:
+            raise MembershipError(
+                f"spare capacity must be >= 2, got {self.spare_max}"
+            )
+        self._assert_disjoint()
+
+    def _assert_disjoint(self) -> None:
+        names = [p.name for p in self.core] + [p.name for p in self.spare]
+        if len(names) != len(set(names)):
+            raise MembershipError(
+                f"cluster {self.label!r} holds duplicate members"
+            )
+
+    # -- structural views -----------------------------------------------------
+
+    @property
+    def spare_size(self) -> int:
+        """Current spare size ``s``."""
+        return len(self.spare)
+
+    @property
+    def total_size(self) -> int:
+        """Total population ``|core| + |spare|``."""
+        return len(self.core) + len(self.spare)
+
+    @property
+    def members(self) -> list[Peer]:
+        """Core then spare members (copy)."""
+        return list(self.core) + list(self.spare)
+
+    def holds(self, peer: Peer) -> bool:
+        """True when ``peer`` is a member of this cluster."""
+        return peer in self.core or peer in self.spare
+
+    def role_of(self, peer: Peer) -> str:
+        """``"core"`` or ``"spare"``; raises when not a member."""
+        if peer in self.core:
+            return "core"
+        if peer in self.spare:
+            return "spare"
+        raise MembershipError(
+            f"{peer!r} is not a member of cluster {self.label!r}"
+        )
+
+    # -- adversary-facing metrics (never consulted by honest protocol code) ----
+
+    @property
+    def malicious_core_count(self) -> int:
+        """``x`` -- malicious peers in the core set."""
+        return sum(1 for p in self.core if p.malicious)
+
+    @property
+    def malicious_spare_count(self) -> int:
+        """``y`` -- malicious peers in the spare set."""
+        return sum(1 for p in self.spare if p.malicious)
+
+    def is_polluted(self, quorum: int) -> bool:
+        """Pollution predicate ``x > c`` (Section V)."""
+        return self.malicious_core_count > quorum
+
+    def model_state(self) -> tuple[int, int, int]:
+        """The Markov-chain coordinates ``(s, x, y)`` of this cluster."""
+        return (
+            self.spare_size,
+            self.malicious_core_count,
+            self.malicious_spare_count,
+        )
+
+    # -- capacity predicates -----------------------------------------------------
+
+    @property
+    def must_split(self) -> bool:
+        """Spare capacity exhausted: ``s = Delta`` triggers a split."""
+        return self.spare_size >= self.spare_max
+
+    @property
+    def must_merge(self) -> bool:
+        """Spare set empty: the cluster merges with its closest
+        neighbour (Section IV)."""
+        return self.spare_size == 0
+
+    # -- membership mutations ------------------------------------------------------
+
+    def add_spare(self, peer: Peer) -> None:
+        """Insert a joining peer into the spare set."""
+        if self.holds(peer):
+            raise MembershipError(
+                f"{peer!r} already belongs to cluster {self.label!r}"
+            )
+        if self.spare_size >= self.spare_max:
+            raise MembershipError(
+                f"cluster {self.label!r} spare set is full "
+                f"({self.spare_size}/{self.spare_max})"
+            )
+        self.spare.append(peer)
+
+    def add_core(self, peer: Peer) -> None:
+        """Insert a peer straight into the core (bootstrap/split only)."""
+        if self.holds(peer):
+            raise MembershipError(
+                f"{peer!r} already belongs to cluster {self.label!r}"
+            )
+        if len(self.core) >= self.core_size:
+            raise MembershipError(
+                f"cluster {self.label!r} core set is full "
+                f"({len(self.core)}/{self.core_size})"
+            )
+        self.core.append(peer)
+
+    def remove_spare(self, peer: Peer) -> None:
+        """Remove a departing spare member."""
+        if peer not in self.spare:
+            raise MembershipError(
+                f"{peer!r} is not a spare of cluster {self.label!r}"
+            )
+        self.spare.remove(peer)
+
+    def remove_core(self, peer: Peer) -> None:
+        """Remove a departing core member.
+
+        Callers (the leave operation) are responsible for running the
+        core maintenance procedure immediately afterwards so the core
+        size returns to ``C``.
+        """
+        if peer not in self.core:
+            raise MembershipError(
+                f"{peer!r} is not a core member of cluster {self.label!r}"
+            )
+        self.core.remove(peer)
+
+    def demote_to_spare(self, peer: Peer) -> None:
+        """Push a core member into the spare set (maintenance step 1)."""
+        self.remove_core(peer)
+        self.spare.append(peer)
+
+    def promote_to_core(self, peer: Peer) -> None:
+        """Pull a spare member into the core (maintenance step 2)."""
+        if peer not in self.spare:
+            raise MembershipError(
+                f"{peer!r} is not a spare of cluster {self.label!r}"
+            )
+        if len(self.core) >= self.core_size:
+            raise MembershipError(
+                f"cluster {self.label!r} core set is full; demote first"
+            )
+        self.spare.remove(peer)
+        self.core.append(peer)
+
+    def check_invariants(self) -> None:
+        """Raise :class:`MembershipError` on any structural violation.
+
+        Called by tests and by the simulation engine after every
+        operation: core at size ``C`` (unless the whole cluster is
+        smaller than ``C`` during bootstrap), spare within capacity,
+        disjoint role sets.
+        """
+        self._assert_disjoint()
+        if self.total_size >= self.core_size and len(self.core) != self.core_size:
+            raise MembershipError(
+                f"cluster {self.label!r} core has {len(self.core)} members, "
+                f"expected {self.core_size}"
+            )
+        if self.spare_size > self.spare_max:
+            raise MembershipError(
+                f"cluster {self.label!r} spare overflow "
+                f"({self.spare_size}/{self.spare_max})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(label={self.label!r}, core={len(self.core)}, "
+            f"spare={self.spare_size})"
+        )

@@ -1,0 +1,120 @@
+"""Simulated Byzantine-tolerant agreement for randomized selections.
+
+Section IV: the random choices of the leave-triggered core maintenance
+and of the split operation are "handled through a Byzantine-tolerant
+consensus run among core members".  The experiments only rely on the
+*outcome* of that agreement:
+
+* while at most ``c = floor((C-1)/3)`` core members are malicious, the
+  decided value is an unbiased common random draw (the classical
+  ``n > 3f`` bound of Lamport, Shostak & Pease);
+* once the adversary holds strictly more than ``c`` core seats, it
+  dictates the outcome.
+
+:class:`SimulatedByzantineAgreement` reproduces this behaviour while
+also accounting for the message complexity of a round-based protocol
+(``rounds = f + 1`` with all-to-all traffic), so the simulation can
+report realistic operation costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.errors import ConsensusError
+from repro.overlay.peer import Peer
+
+
+@dataclass(frozen=True)
+class AgreementOutcome:
+    """Result of one simulated agreement instance."""
+
+    chosen: tuple[Peer, ...]
+    honest_decision: bool
+    rounds: int
+    messages: int
+
+
+class SimulatedByzantineAgreement:
+    """Agreement used by core members to pick peers uniformly at random.
+
+    Parameters
+    ----------
+    rng:
+        Seeded generator driving the honest common coin.
+    quorum:
+        The fault threshold ``c``; strictly more malicious core members
+        than this lets the adversary fix the outcome.
+    """
+
+    def __init__(self, rng: np.random.Generator, quorum: int) -> None:
+        if quorum < 0:
+            raise ConsensusError(f"quorum must be >= 0, got {quorum}")
+        self._rng = rng
+        self._quorum = quorum
+        self._instances = 0
+        self._messages = 0
+
+    @property
+    def instances_run(self) -> int:
+        """Number of agreement instances executed so far."""
+        return self._instances
+
+    @property
+    def messages_sent(self) -> int:
+        """Total simulated message count across instances."""
+        return self._messages
+
+    def select_members(
+        self,
+        cluster: Cluster,
+        candidates: list[Peer],
+        count: int,
+        adversary_choice: list[Peer] | None = None,
+    ) -> AgreementOutcome:
+        """Agree on ``count`` members of ``candidates``.
+
+        ``adversary_choice`` is the selection the colluding core members
+        push; it only prevails when the cluster core holds strictly more
+        than ``quorum`` malicious members.  Honest decisions are uniform
+        without replacement.
+        """
+        if count < 0:
+            raise ConsensusError(f"selection count must be >= 0, got {count}")
+        if count > len(candidates):
+            raise ConsensusError(
+                f"cannot select {count} peers out of {len(candidates)}"
+            )
+        faults = cluster.malicious_core_count
+        rounds = min(faults, self._quorum) + 1
+        participants = len(cluster.core)
+        messages = rounds * participants * max(participants - 1, 0)
+        self._instances += 1
+        self._messages += messages
+        adversary_controls = faults > self._quorum
+        if adversary_controls and adversary_choice is not None:
+            if len(adversary_choice) != count:
+                raise ConsensusError(
+                    f"adversary proposed {len(adversary_choice)} peers, "
+                    f"expected {count}"
+                )
+            missing = [p for p in adversary_choice if p not in candidates]
+            if missing:
+                raise ConsensusError(
+                    f"adversary proposed non-candidates: {missing!r}"
+                )
+            chosen = tuple(adversary_choice)
+        else:
+            indices = self._rng.choice(
+                len(candidates), size=count, replace=False
+            )
+            chosen = tuple(candidates[int(i)] for i in indices)
+        return AgreementOutcome(
+            chosen=chosen,
+            honest_decision=not adversary_controls,
+            rounds=rounds,
+            messages=messages,
+        )

@@ -1,0 +1,45 @@
+"""Exception hierarchy of the operational overlay substrate."""
+
+from __future__ import annotations
+
+
+class OverlayError(Exception):
+    """Base class for all overlay-level failures."""
+
+
+class CertificateError(OverlayError):
+    """Certificate issuance or verification failed."""
+
+
+class SignatureError(OverlayError):
+    """Message signature verification failed."""
+
+
+class IdentifierError(OverlayError):
+    """Malformed identifier or label."""
+
+
+class IncarnationError(OverlayError):
+    """Invalid incarnation arithmetic (expired, negative lifetime, ...)."""
+
+
+class MembershipError(OverlayError):
+    """Cluster membership invariant violated (duplicate peer, unknown
+    peer, core size drift, spare overflow)."""
+
+
+class TopologyError(OverlayError):
+    """Prefix-tree covering invariant violated."""
+
+
+class RoutingError(OverlayError):
+    """No route could be established towards a key."""
+
+
+class OperationRefused(OverlayError):
+    """An overlay operation was received but deliberately not executed
+    (e.g. Rule 2 silently dropping a join)."""
+
+
+class ConsensusError(OverlayError):
+    """The Byzantine agreement could not reach a decision."""

@@ -1,0 +1,108 @@
+"""m-bit identifier space, hashing and prefix distance (Section III).
+
+Peers and data keys live in the same ``m``-bit space (the paper uses
+``m = 128``).  Clusters carry binary-string *labels*; a peer belongs to
+the unique cluster whose label is a prefix of its current identifier
+(the PeerCube distance ``D``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.overlay.errors import IdentifierError
+
+#: Default identifier width in bits (the paper's ``m``).
+DEFAULT_ID_BITS = 128
+
+
+def digest_to_identifier(data: bytes, bits: int = DEFAULT_ID_BITS) -> int:
+    """SHA-256 of ``data`` truncated to ``bits`` bits."""
+    if bits < 1:
+        raise IdentifierError(f"identifier width must be >= 1, got {bits}")
+    digest = hashlib.sha256(data).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> max(0, 256 - bits) if bits <= 256 else value
+
+def initial_identifier(
+    certificate_bytes: bytes, bits: int = DEFAULT_ID_BITS
+) -> int:
+    """``id0 = H(certificate fields)`` -- includes the creation date
+    ``t0``, making identifiers unpredictable (Section III-D)."""
+    return digest_to_identifier(b"id0|" + certificate_bytes, bits)
+
+
+def incarnation_identifier(
+    id0: int, incarnation: int, bits: int = DEFAULT_ID_BITS
+) -> int:
+    """``id = H(id0 x k)`` -- the identifier of incarnation ``k``."""
+    if incarnation < 1:
+        raise IdentifierError(
+            f"incarnation numbers start at 1, got {incarnation}"
+        )
+    payload = f"{id0:x}|{incarnation:d}".encode()
+    return digest_to_identifier(b"ik|" + payload, bits)
+
+
+def to_bit_string(identifier: int, bits: int = DEFAULT_ID_BITS) -> str:
+    """Zero-padded binary representation, most significant bit first."""
+    if identifier < 0 or identifier >= (1 << bits):
+        raise IdentifierError(
+            f"identifier {identifier} outside [0, 2^{bits})"
+        )
+    return format(identifier, f"0{bits}b")
+
+
+def has_prefix(identifier: int, label: str, bits: int = DEFAULT_ID_BITS) -> bool:
+    """True when the cluster ``label`` is a prefix of ``identifier``.
+
+    The empty label is a prefix of everything (single-cluster overlay).
+    """
+    validate_label(label, bits)
+    if not label:
+        return True
+    return to_bit_string(identifier, bits).startswith(label)
+
+
+def validate_label(label: str, bits: int = DEFAULT_ID_BITS) -> str:
+    """Check a cluster label is a binary string shorter than ``bits``."""
+    if len(label) >= bits:
+        raise IdentifierError(
+            f"label length {len(label)} must be < identifier width {bits}"
+        )
+    if any(ch not in "01" for ch in label):
+        raise IdentifierError(f"label {label!r} is not a binary string")
+    return label
+
+
+def common_prefix_length(a: int, b: int, bits: int = DEFAULT_ID_BITS) -> int:
+    """Length of the longest common prefix of two identifiers."""
+    diff = (a ^ b) & ((1 << bits) - 1)
+    if diff == 0:
+        return bits
+    return bits - diff.bit_length()
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Kademlia-style XOR distance, used to pick the *closest* cluster
+    among candidates (merge target selection)."""
+    return a ^ b
+
+
+def label_region_size(label: str, bits: int = DEFAULT_ID_BITS) -> int:
+    """Number of identifiers covered by a label (``2^(bits-|label|)``).
+
+    A merge doubles this quantity and a split halves it -- the identifier
+    subspace stakes discussed in Section V-B.
+    """
+    validate_label(label, bits)
+    return 1 << (bits - len(label))
+
+
+def label_of_identifier_at_depth(
+    identifier: int, depth: int, bits: int = DEFAULT_ID_BITS
+) -> str:
+    """The depth-``depth`` label containing ``identifier``."""
+    if depth < 0 or depth >= bits:
+        raise IdentifierError(f"depth {depth} outside [0, {bits})")
+    return to_bit_string(identifier, bits)[:depth]

@@ -1,0 +1,115 @@
+"""Incarnation numbers, limited identifier lifetime and grace window.
+
+Section III-D: the current incarnation of a peer whose certificate was
+created at ``t0`` is ``k = ceil((t - t0) / L)``; incarnation ``k``
+expires when the peer's local clock reads ``t0 + k L``.  Because clocks
+are only loosely synchronized (maximum deviation ``W``), an observer at
+time ``t`` accepts both
+
+    k  = ceil((t - W/2 - t0) / L)      and
+    k' = ceil((t + W/2 - t0) / L)
+
+which differ exactly when ``t`` is within ``W/2`` of an expiry boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.overlay.errors import IncarnationError
+
+
+def current_incarnation(t: float, t0: float, lifetime: float) -> int:
+    """``k = ceil((t - t0) / L)``, clamped to at least 1.
+
+    The clamp covers ``t == t0`` (the paper's formula yields 0 at the
+    exact creation instant; the first incarnation is 1).
+    """
+    if lifetime <= 0.0:
+        raise IncarnationError(f"lifetime must be positive, got {lifetime}")
+    if t < t0:
+        raise IncarnationError(
+            f"observation time {t} precedes certificate creation {t0}"
+        )
+    return max(1, math.ceil((t - t0) / lifetime))
+
+
+def expiry_time(incarnation: int, t0: float, lifetime: float) -> float:
+    """Local-clock instant ``t0 + k L`` at which incarnation ``k`` dies."""
+    if incarnation < 1:
+        raise IncarnationError(
+            f"incarnation numbers start at 1, got {incarnation}"
+        )
+    if lifetime <= 0.0:
+        raise IncarnationError(f"lifetime must be positive, got {lifetime}")
+    return t0 + incarnation * lifetime
+
+
+def valid_incarnations(
+    t: float, t0: float, lifetime: float, grace_window: float
+) -> frozenset[int]:
+    """Incarnation numbers an observer accepts at time ``t``.
+
+    Returns ``{k}`` away from boundaries and ``{k, k'}`` inside the
+    grace window around an expiry (``k' = k + 1`` there).
+    """
+    if grace_window < 0.0:
+        raise IncarnationError(
+            f"grace window must be >= 0, got {grace_window}"
+        )
+    half = grace_window / 2.0
+    low = current_incarnation(max(t - half, t0), t0, lifetime)
+    high = current_incarnation(t + half, t0, lifetime)
+    return frozenset(range(low, high + 1))
+
+
+@dataclass(frozen=True)
+class IncarnationClock:
+    """Per-peer view of incarnation arithmetic.
+
+    ``skew`` models the peer's loosely synchronized local clock: the
+    peer reads ``t + skew`` when the global time is ``t``.  Honest peers
+    have ``|skew| <= W/2``.
+    """
+
+    t0: float
+    lifetime: float
+    grace_window: float
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lifetime <= 0.0:
+            raise IncarnationError(
+                f"lifetime must be positive, got {self.lifetime}"
+            )
+        if self.grace_window < 0.0:
+            raise IncarnationError(
+                f"grace window must be >= 0, got {self.grace_window}"
+            )
+
+    def local_time(self, global_time: float) -> float:
+        """The peer's clock reading at ``global_time``."""
+        return global_time + self.skew
+
+    def own_incarnation(self, global_time: float) -> int:
+        """The single incarnation number the peer itself uses."""
+        return current_incarnation(
+            max(self.local_time(global_time), self.t0), self.t0, self.lifetime
+        )
+
+    def own_expiry(self, global_time: float) -> float:
+        """When (on the peer's clock) its current incarnation expires."""
+        return expiry_time(
+            self.own_incarnation(global_time), self.t0, self.lifetime
+        )
+
+    def accepted_by_observer(self, global_time: float) -> frozenset[int]:
+        """Incarnations a *correct observer* accepts for this peer."""
+        return valid_incarnations(
+            global_time, self.t0, self.lifetime, self.grace_window
+        )
+
+    def is_accepted(self, incarnation: int, global_time: float) -> bool:
+        """Whether observers accept ``incarnation`` at ``global_time``."""
+        return incarnation in self.accepted_by_observer(global_time)

@@ -1,0 +1,413 @@
+"""The four robust overlay operations (paper Section IV).
+
+``join``, ``leave``, ``split`` and ``merge`` make up ``protocol_k``:
+
+* **join(p)** -- the peer enters the *spare* set of the cluster owning
+  its identifier (never the core), which discourages brute-force
+  denial-of-service: freshly joined peers get no operational power.
+* **leave(p)** -- a spare departure only updates views; a core departure
+  triggers the randomized core maintenance: ``k - 1`` randomly chosen
+  core members are demoted and ``k`` peers randomly chosen from the
+  whole cluster are promoted, making the post-leave core composition
+  unpredictable.
+* **split(D)** -- when the spare set reaches ``Delta``, the cluster
+  splits into the two child regions; child cores keep the old core
+  members first (priority) and complete with randomly chosen spares
+  through the simulated Byzantine agreement.
+* **merge(D', D'')** -- when its spare set empties, ``D'`` merges with
+  the closest cluster ``D''``: the surviving core is ``D''``'s and every
+  ``D'`` member is demoted to spare -- by construction, triggering a
+  merge is never in the adversary's interest.
+
+The adversary interferes exactly where the model says it can: Rule 2
+join filtering, biased replacement once it holds a quorum, and leave
+suppression for its own peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.base import AdversaryStrategy, HonestEnvironment
+from repro.core.parameters import ModelParameters
+from repro.overlay.cluster import Cluster
+from repro.overlay.consensus import SimulatedByzantineAgreement
+from repro.overlay.errors import MembershipError
+from repro.overlay.peer import Peer
+from repro.overlay.topology import PrefixTopology, _label_floor, sibling_label
+
+
+@dataclass(frozen=True)
+class OperationReport:
+    """What one overlay operation actually did.
+
+    ``kind`` is one of ``join``, ``join-discarded``, ``leave``,
+    ``leave-suppressed``, ``split``, ``split-deferred``, ``merge``.
+    ``touched`` lists every cluster whose membership changed, so the
+    facade can refresh its peer index.
+    """
+
+    kind: str
+    touched: tuple[Cluster, ...] = ()
+    detail: str = ""
+
+
+@dataclass
+class OperationStats:
+    """Running operation counters (exposed by the facade)."""
+
+    joins: int = 0
+    joins_discarded: int = 0
+    leaves: int = 0
+    leaves_suppressed: int = 0
+    maintenances: int = 0
+    splits: int = 0
+    splits_deferred: int = 0
+    merges: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, report: OperationReport) -> None:
+        """Update counters from one report."""
+        self.by_kind[report.kind] = self.by_kind.get(report.kind, 0) + 1
+        if report.kind == "join":
+            self.joins += 1
+        elif report.kind == "join-discarded":
+            self.joins_discarded += 1
+        elif report.kind == "leave":
+            self.leaves += 1
+        elif report.kind == "leave-suppressed":
+            self.leaves_suppressed += 1
+        elif report.kind == "split":
+            self.splits += 1
+        elif report.kind == "split-deferred":
+            self.splits_deferred += 1
+        elif report.kind == "merge":
+            self.merges += 1
+
+
+class OverlayOperations:
+    """Executable ``protocol_k`` over a prefix topology."""
+
+    def __init__(
+        self,
+        topology: PrefixTopology,
+        params: ModelParameters,
+        rng: np.random.Generator,
+        adversary: AdversaryStrategy | None = None,
+    ) -> None:
+        self._topology = topology
+        self._params = params
+        self._rng = rng
+        self._adversary = adversary if adversary is not None else HonestEnvironment()
+        self._agreement = SimulatedByzantineAgreement(
+            rng, params.pollution_quorum
+        )
+        self.stats = OperationStats()
+
+    @property
+    def agreement(self) -> SimulatedByzantineAgreement:
+        """The simulated Byzantine agreement (exposes message counts)."""
+        return self._agreement
+
+    def _report(self, kind: str, *touched: Cluster, detail: str = "") -> OperationReport:
+        report = OperationReport(kind=kind, touched=tuple(touched), detail=detail)
+        self.stats.record(report)
+        return report
+
+    # -- join -----------------------------------------------------------------
+
+    def join(self, peer: Peer, identifier: int) -> OperationReport:
+        """Process a join event for ``peer`` carrying ``identifier``."""
+        cluster = self._topology.lookup(identifier)
+        if cluster.is_polluted(self._params.pollution_quorum):
+            if self._adversary.discards_join(cluster, peer):
+                # Rule 2: acknowledged, silently dropped.
+                return self._report("join-discarded", detail=cluster.label)
+        if len(cluster.core) < self._params.core_size:
+            # Bootstrap only: an under-populated cluster fills its core.
+            cluster.add_core(peer)
+            return self._report("join", cluster)
+        if cluster.spare_size >= cluster.spare_max:
+            split_report = self.split(cluster)
+            if split_report.kind == "split":
+                target = self._topology.lookup(identifier)
+                target.spare.append(peer)
+                return self._report("join", *split_report.touched, target)
+            # Split impossible (lopsided identifiers): admit anyway and
+            # retry the split on a later join.
+            cluster.spare.append(peer)
+            return self._report("join", cluster, detail="overflow")
+        cluster.add_spare(peer)
+        if cluster.must_split:
+            split_report = self.split(cluster)
+            if split_report.kind == "split":
+                return self._report("join", *split_report.touched)
+        return self._report("join", cluster)
+
+    # -- leave -----------------------------------------------------------------
+
+    def leave(
+        self, cluster: Cluster, peer: Peer, forced: bool = False
+    ) -> OperationReport:
+        """Process a leave event for a member of ``cluster``.
+
+        ``forced=True`` marks Property-1 expulsions (invalid identifier)
+        which the adversary cannot suppress.
+        """
+        if not forced and self._adversary.suppresses_leave(cluster, peer):
+            return self._report("leave-suppressed", detail=cluster.label)
+        role = cluster.role_of(peer)
+        if role == "spare":
+            cluster.remove_spare(peer)
+            if cluster.must_merge:
+                merge_report = self.merge(cluster)
+                return self._report("leave", *merge_report.touched)
+            return self._report("leave", cluster)
+        cluster.remove_core(peer)
+        if cluster.spare_size == 0:
+            # No spare to promote: the cluster dissolves into its
+            # closest neighbour.
+            merge_report = self.merge(cluster)
+            return self._report("leave", *merge_report.touched)
+        self._core_maintenance(cluster)
+        if cluster.must_merge:
+            merge_report = self.merge(cluster)
+            return self._report("leave", *merge_report.touched)
+        return self._report("leave", cluster)
+
+    def _core_maintenance(self, cluster: Cluster) -> None:
+        """Core view maintenance after a core departure (``protocol_k``).
+
+        Safe cluster: demote ``k - 1`` random core members, promote
+        ``k`` random members of the enlarged spare set -- both choices
+        through the simulated agreement.  Polluted cluster: the quorum
+        pushes a single biased replacement (a malicious spare if any).
+        """
+        self.stats.maintenances += 1
+        params = self._params
+        if cluster.is_polluted(params.pollution_quorum):
+            choice = self._adversary.replacement_choice(
+                cluster, list(cluster.spare), 1
+            )
+            outcome = self._agreement.select_members(
+                cluster, list(cluster.spare), 1, adversary_choice=choice
+            )
+            cluster.promote_to_core(outcome.chosen[0])
+            return
+        demote_count = min(params.k - 1, len(cluster.core))
+        demoted = self._agreement.select_members(
+            cluster, list(cluster.core), demote_count
+        )
+        for member in demoted.chosen:
+            cluster.demote_to_spare(member)
+        promote_count = params.core_size - len(cluster.core)
+        promoted = self._agreement.select_members(
+            cluster, list(cluster.spare), promote_count
+        )
+        for member in promoted.chosen:
+            cluster.promote_to_core(member)
+
+    # -- split -----------------------------------------------------------------
+
+    def split(self, cluster: Cluster) -> OperationReport:
+        """Split ``cluster``'s primary region into its two children.
+
+        Returns a ``split-deferred`` report when either side would end
+        up below ``C + 1`` members (it could not sustain a core plus the
+        one spare that keeps it from merging right back).
+        """
+        params = self._params
+        label0 = cluster.label + "0"
+        label1 = cluster.label + "1"
+        current_ids = self._current_identifiers(cluster)
+        side0: list[Peer] = []
+        side1: list[Peer] = []
+        for peer in cluster.members:
+            target = self._assign_side(current_ids[peer.name], label0, label1)
+            (side0 if target == 0 else side1).append(peer)
+        if len(side0) <= params.core_size or len(side1) <= params.core_size:
+            return self._report(
+                "split-deferred",
+                cluster,
+                detail=f"{len(side0)}/{len(side1)} members",
+            )
+        child0 = self._build_child(cluster, label0, side0)
+        child1 = self._build_child(cluster, label1, side1)
+        absorbed = [
+            region
+            for region in self._topology.regions_of(cluster)
+            if region != cluster.label
+        ]
+        self._topology.replace_with_children(cluster.label, child0, child1)
+        for region in absorbed:
+            owner = self._closer_child(region, child0, child1)
+            self._topology.transfer_region(region, owner)
+        # The parent object is dissolved; clear it so any stale
+        # reference fails fast instead of double-counting members.
+        cluster.core.clear()
+        cluster.spare.clear()
+        return self._report("split", child0, child1)
+
+    def _current_identifiers(self, cluster: Cluster) -> dict[str, int]:
+        """Identifier snapshot used to partition members at a split.
+
+        Uses each peer's registered-join identifier when available via
+        the facade; falls back to the peer's incarnation-1 identifier.
+        The facade overrides this through ``identifier_source``.
+        """
+        source = getattr(self, "identifier_source", None)
+        if source is not None:
+            return {peer.name: source(peer) for peer in cluster.members}
+        return {
+            peer.name: peer.identifier_for_incarnation(1)
+            for peer in cluster.members
+        }
+
+    def _assign_side(self, identifier: int, label0: str, label1: str) -> int:
+        bits = format(identifier, f"0{self._topology.id_bits}b")
+        if bits.startswith(label0):
+            return 0
+        if bits.startswith(label1):
+            return 1
+        # Identifier outside the split region (peer mid-rejoin): attach
+        # to the numerically closer side.
+        floor0 = _label_floor(label0, self._topology.id_bits)
+        floor1 = _label_floor(label1, self._topology.id_bits)
+        return 0 if abs(identifier - floor0) <= abs(identifier - floor1) else 1
+
+    def _build_child(
+        self, parent: Cluster, label: str, members: list[Peer]
+    ) -> Cluster:
+        """Child core: parent core members first, completed with
+        randomly chosen spares (simulated agreement)."""
+        params = self._params
+        former_core = [p for p in members if p in parent.core]
+        former_spare = [p for p in members if p not in parent.core]
+        core = former_core[: params.core_size]
+        missing = params.core_size - len(core)
+        if missing > 0:
+            choice = None
+            if parent.is_polluted(params.pollution_quorum):
+                choice = self._adversary.replacement_choice(
+                    parent, former_spare, missing
+                )
+            outcome = self._agreement.select_members(
+                parent, former_spare, missing, adversary_choice=choice
+            )
+            core = core + list(outcome.chosen)
+        spare = [p for p in members if p not in core]
+        return Cluster(
+            label=label,
+            core_size=params.core_size,
+            spare_max=params.spare_max,
+            core=core,
+            spare=spare,
+        )
+
+    def _closer_child(self, region: str, child0: Cluster, child1: Cluster) -> Cluster:
+        bits = self._topology.id_bits
+        floor_region = _label_floor(region, bits)
+        d0 = abs(floor_region - _label_floor(child0.label, bits))
+        d1 = abs(floor_region - _label_floor(child1.label, bits))
+        return child0 if d0 <= d1 else child1
+
+    # -- merge -----------------------------------------------------------------
+
+    def merge(self, cluster: Cluster) -> OperationReport:
+        """Merge ``cluster`` into its closest neighbour.
+
+        Per the paper, the surviving core is the *neighbour's* core and
+        every member of the dissolving cluster lands in the merged spare
+        set -- the reason the adversary never volunteers for merges.
+        """
+        if len(self._topology) <= 1:
+            # The root cluster cannot merge; it simply runs small.
+            return self._report("merge", cluster, detail="root")
+        sibling = sibling_label(cluster.label) if cluster.label else None
+        owner = (
+            self._topology._region_to_cluster.get(sibling)
+            if sibling is not None
+            else None
+        )
+        if owner is not None and owner is not cluster and owner.label == sibling:
+            merged = Cluster(
+                label=cluster.label[:-1],
+                core_size=self._params.core_size,
+                spare_max=self._params.spare_max,
+                core=list(owner.core),
+                spare=list(owner.spare) + cluster.members,
+            )
+            extra_regions = [
+                region
+                for c in (cluster, owner)
+                for region in self._topology.regions_of(c)
+                if region != c.label
+            ]
+            self._topology.fold_siblings(merged)
+            for region in extra_regions:
+                self._topology.transfer_region(region, merged)
+            # Both constituent objects are dissolved.
+            cluster.core.clear()
+            cluster.spare.clear()
+            owner.core.clear()
+            owner.spare.clear()
+            return self._report("merge", *self._maybe_resplit(merged))
+        target = self._topology.closest_other_cluster(cluster)
+        target.spare.extend(cluster.members)
+        for region in self._topology.regions_of(cluster):
+            self._topology.transfer_region(region, target)
+        cluster.core.clear()
+        cluster.spare.clear()
+        return self._report("merge", *self._maybe_resplit(target))
+
+    def _maybe_resplit(self, cluster: Cluster) -> tuple[Cluster, ...]:
+        """A merge can overfill the spare set; split when possible.
+
+        Returns the clusters now holding the members (the split children
+        when a split happened, else the cluster itself) so callers
+        propagate accurate ``touched`` sets.
+        """
+        if cluster.must_split:
+            report = self.split(cluster)
+            if report.kind == "split":
+                return report.touched
+        return (cluster,)
+
+    # -- Rule 1 sweep -------------------------------------------------------------
+
+    def apply_rule1(self) -> list[OperationReport]:
+        """Let the adversary trigger voluntary leaves where Rule 1 holds.
+
+        Returns one report per voluntary departure executed.  The
+        departing peer *leaves the overlay entirely* (it will come back
+        through a fresh join), matching the model where the leave
+        operation precedes any re-join.
+        """
+        reports = []
+        for cluster in list(self._topology.clusters()):
+            if not self._topology.regions_of(cluster):
+                # Dissolved by a merge/split triggered earlier in this
+                # very sweep; skip the stale object.
+                continue
+            candidate = self._adversary.voluntary_leave_candidate(cluster)
+            if candidate is None:
+                continue
+            reports.append(self.leave(cluster, candidate, forced=True))
+        return reports
+
+
+def find_cluster_of(
+    topology: PrefixTopology, peer: Peer
+) -> Cluster:
+    """Locate the cluster holding ``peer`` by exhaustive scan.
+
+    The facade keeps an index; this helper exists for tests and for
+    recovery paths, and raises :class:`MembershipError` when the peer is
+    nowhere in the overlay.
+    """
+    for cluster in topology.clusters():
+        if cluster.holds(peer):
+            return cluster
+    raise MembershipError(f"{peer!r} is not present in any cluster")

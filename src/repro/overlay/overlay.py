@@ -1,0 +1,298 @@
+"""Facade: a complete executable cluster-based overlay.
+
+:class:`ClusterOverlay` wires together the certification authority, the
+peer factory, the prefix topology, ``protocol_k`` operations, the
+adversary and Property-1 enforcement, and keeps the peer index that the
+individual components deliberately do not own.
+
+This is the object the agent-based simulations and the examples drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.base import AdversaryStrategy
+from repro.core.calibration import lifetime_from_d
+from repro.core.parameters import ModelParameters
+from repro.overlay.cluster import Cluster
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.errors import MembershipError
+from repro.overlay.operations import OverlayOperations
+from repro.overlay.peer import Peer, PeerFactory
+from repro.overlay.topology import PrefixTopology
+
+
+@dataclass(frozen=True)
+class OverlayConfig:
+    """Deployment-level knobs on top of the model parameters.
+
+    ``lifetime`` is the incarnation lifetime ``L``; when left ``None``
+    it is calibrated from ``model.d`` through the paper's exponential
+    decay relation (and set to infinity-like when ``d = 1``).
+    """
+
+    model: ModelParameters = field(default_factory=ModelParameters)
+    id_bits: int = 16
+    lifetime: float | None = None
+    grace_window: float = 0.0
+    key_bits: int = 64
+    max_clock_skew: float = 0.0
+
+    def effective_lifetime(self) -> float:
+        """The lifetime ``L`` actually used by the overlay."""
+        if self.lifetime is not None:
+            return self.lifetime
+        if self.model.d >= 1.0:
+            return float("inf")
+        if self.model.d <= 0.0:
+            return 1.0
+        return lifetime_from_d(self.model.d)
+
+
+@dataclass
+class PeerRecord:
+    """Index entry: where a peer sits and which identifier it used."""
+
+    peer: Peer
+    cluster: Cluster
+    registered_identifier: int
+    registered_incarnation: int
+
+
+class ClusterOverlay:
+    """A running overlay instance."""
+
+    def __init__(
+        self,
+        config: OverlayConfig,
+        rng: np.random.Generator,
+        adversary: AdversaryStrategy | None = None,
+    ) -> None:
+        self._config = config
+        self._rng = rng
+        self._time = 0.0
+        lifetime = config.effective_lifetime()
+        self._ca = CertificateAuthority(rng)
+        self._factory = PeerFactory(
+            ca=self._ca,
+            rng=rng,
+            lifetime=lifetime,
+            grace_window=config.grace_window,
+            key_bits=config.key_bits,
+            id_bits=config.id_bits,
+            malicious_fraction=config.model.mu,
+            max_clock_skew=config.max_clock_skew,
+        )
+        self._topology = PrefixTopology(config.id_bits)
+        root = Cluster(
+            label="",
+            core_size=config.model.core_size,
+            spare_max=config.model.spare_max,
+        )
+        self._topology.add_cluster(root)
+        self._operations = OverlayOperations(
+            self._topology, config.model, rng, adversary
+        )
+        self._records: dict[str, PeerRecord] = {}
+        # Splits partition members by the identifier they joined with.
+        self._operations.identifier_source = self._registered_identifier
+
+    # -- plumbing -------------------------------------------------------------
+
+    @property
+    def config(self) -> OverlayConfig:
+        """Deployment configuration."""
+        return self._config
+
+    @property
+    def params(self) -> ModelParameters:
+        """Model parameters shortcut."""
+        return self._config.model
+
+    @property
+    def time(self) -> float:
+        """Current global simulation time."""
+        return self._time
+
+    @property
+    def topology(self) -> PrefixTopology:
+        """The live prefix topology."""
+        return self._topology
+
+    @property
+    def operations(self) -> OverlayOperations:
+        """The operations executor (exposes stats and agreement costs)."""
+        return self._operations
+
+    @property
+    def certificate_authority(self) -> CertificateAuthority:
+        """The trusted registration authority."""
+        return self._ca
+
+    def advance_time(self, dt: float) -> None:
+        """Move the global clock forward."""
+        if dt < 0:
+            raise ValueError(f"time flows forward; got dt={dt}")
+        self._time += dt
+
+    def _registered_identifier(self, peer: Peer) -> int:
+        record = self._records.get(peer.name)
+        if record is not None:
+            return record.registered_identifier
+        return peer.identifier_at(self._time)
+
+    def _reindex(self, clusters) -> None:
+        for cluster in clusters:
+            for member in cluster.members:
+                record = self._records.get(member.name)
+                if record is not None:
+                    record.cluster = cluster
+
+    # -- membership API -------------------------------------------------------------
+
+    @property
+    def n_peers(self) -> int:
+        """Number of peers currently in the overlay."""
+        return len(self._records)
+
+    @property
+    def peers(self) -> list[Peer]:
+        """All current members."""
+        return [record.peer for record in self._records.values()]
+
+    def cluster_of(self, peer: Peer) -> Cluster:
+        """The cluster currently hosting ``peer``."""
+        try:
+            return self._records[peer.name].cluster
+        except KeyError:
+            raise MembershipError(f"{peer!r} is not in the overlay") from None
+
+    def join_new_peer(self, malicious: bool | None = None) -> Peer | None:
+        """Mint a fresh peer and submit its join event.
+
+        Returns the peer, or ``None`` when Rule 2 silently discarded the
+        join (the peer believes it joined; the overlay ignores it --
+        exactly the paper's acknowledged-but-dropped behaviour).
+        """
+        peer = self._factory.create(self._time, malicious=malicious)
+        return self.join_peer(peer)
+
+    def join_peer(self, peer: Peer) -> Peer | None:
+        """Submit a join event for an existing (e.g. re-joining) peer."""
+        if peer.name in self._records:
+            raise MembershipError(f"{peer!r} is already in the overlay")
+        identifier = peer.identifier_at(self._time)
+        report = self._operations.join(peer, identifier)
+        if report.kind == "join-discarded":
+            return None
+        self._records[peer.name] = PeerRecord(
+            peer=peer,
+            cluster=self._topology.lookup(identifier),
+            registered_identifier=identifier,
+            registered_incarnation=peer.incarnation_at(self._time),
+        )
+        self._reindex(report.touched)
+        return peer
+
+    def leave_peer(self, peer: Peer, forced: bool = False) -> bool:
+        """Submit a leave event; returns ``False`` when the adversary
+        suppressed the departure (malicious peers sit tight)."""
+        record = self._records.get(peer.name)
+        if record is None:
+            raise MembershipError(f"{peer!r} is not in the overlay")
+        report = self._operations.leave(record.cluster, peer, forced=forced)
+        if report.kind == "leave-suppressed":
+            return False
+        del self._records[peer.name]
+        self._reindex(report.touched)
+        return True
+
+    def random_member(self) -> Peer:
+        """A uniformly random current member (churn target)."""
+        if not self._records:
+            raise MembershipError("the overlay is empty")
+        names = sorted(self._records)
+        name = names[int(self._rng.integers(0, len(names)))]
+        return self._records[name].peer
+
+    # -- Property 1 / Rule 1 sweeps -----------------------------------------------------
+
+    def enforce_property1(self) -> list[Peer]:
+        """Cut every member whose registered incarnation is no longer
+        accepted (Property 1) and re-join it under its fresh identifier.
+
+        Returns the peers that were pushed to a new position.
+        """
+        moved = []
+        for record in list(self._records.values()):
+            accepted = record.peer.clock.accepted_by_observer(self._time)
+            if record.registered_incarnation in accepted:
+                continue
+            self.leave_peer(record.peer, forced=True)
+            rejoined = self.join_peer(record.peer)
+            moved.append(record.peer)
+            if rejoined is None:
+                # Rule 2 dropped the re-join; the peer retries later.
+                continue
+        return moved
+
+    def apply_rule1(self) -> int:
+        """Run the adversary's Rule 1 sweep.
+
+        A voluntarily departed peer exits the overlay and sits out until
+        its next incarnation (matching the model: the cluster chain
+        moves to ``s - 1`` and the departed identifier does not
+        re-enter).  Returns the number of voluntary departures.
+        """
+        reports = self._operations.apply_rule1()
+        count = 0
+        for report in reports:
+            if report.kind == "leave":
+                count += 1
+            self._reindex(report.touched)
+        # Rebuild records for peers that left: they are removed from the
+        # index if their cluster no longer holds them.
+        for name, record in list(self._records.items()):
+            if not record.cluster.holds(record.peer):
+                try:
+                    record.cluster = next(
+                        c
+                        for c in self._topology.clusters()
+                        if c.holds(record.peer)
+                    )
+                except StopIteration:
+                    del self._records[name]
+        return count
+
+    # -- metrics -------------------------------------------------------------------------
+
+    def cluster_states(self) -> list[tuple[int, int, int]]:
+        """The ``(s, x, y)`` coordinates of every cluster."""
+        return [c.model_state() for c in self._topology.clusters()]
+
+    def polluted_fraction(self) -> float:
+        """Fraction of clusters currently polluted."""
+        clusters = self._topology.clusters()
+        if not clusters:
+            return 0.0
+        quorum = self.params.pollution_quorum
+        polluted = sum(1 for c in clusters if c.is_polluted(quorum))
+        return polluted / len(clusters)
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by tests and the engine."""
+        self._topology.check_covering()
+        for cluster in self._topology.clusters():
+            cluster._assert_disjoint()
+        indexed = set(self._records)
+        held = {
+            p.name for c in self._topology.clusters() for p in c.members
+        }
+        if indexed != held:
+            raise MembershipError(
+                f"peer index out of sync: {len(indexed)} indexed vs "
+                f"{len(held)} held"
+            )

@@ -1,0 +1,133 @@
+"""Greedy prefix routing over the cluster graph.
+
+Each hop corrects the first bit on which the current cluster's label
+disagrees with the target identifier, moving to the corresponding
+dimension neighbour -- the PeerCube/hypercube discipline, giving
+``O(log n)`` hops.  Polluted clusters may drop or misroute messages;
+:func:`route` accepts a ``drop_predicate`` so attack experiments can
+measure delivery degradation, and :func:`redundant_route` implements
+the classical independent-paths mitigation (Castro et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.errors import RoutingError
+from repro.overlay.identifiers import has_prefix, to_bit_string
+from repro.overlay.topology import PrefixTopology
+
+#: Safety bound on path length; greedy routing corrects one bit per hop
+#: so any path longer than the identifier width signals a broken overlay.
+MAX_HOPS_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of one routing attempt."""
+
+    hops: tuple[Cluster, ...]
+    delivered: bool
+    dropped_at: Cluster | None = None
+
+    @property
+    def hop_count(self) -> int:
+        """Number of inter-cluster hops taken."""
+        return max(0, len(self.hops) - 1)
+
+
+def _owns(topology: PrefixTopology, cluster: Cluster, identifier: int) -> bool:
+    """True when ``identifier`` falls in any region owned by ``cluster``."""
+    return any(
+        has_prefix(identifier, region, topology.id_bits)
+        for region in topology.regions_of(cluster)
+    )
+
+
+def next_hop(
+    topology: PrefixTopology, current: Cluster, target: int
+) -> Cluster:
+    """The dimension neighbour correcting the first differing bit."""
+    label = current.label
+    bits = to_bit_string(target, topology.id_bits)
+    for index, label_bit in enumerate(label):
+        if bits[index] != label_bit:
+            return topology.dimension_neighbor(current, index)
+    # The primary label is a prefix of the target: the covering says the
+    # target is owned by this cluster (or by one of its absorbed regions'
+    # owners, which lookup resolves directly).
+    return topology.lookup(target)
+
+
+def route(
+    topology: PrefixTopology,
+    source: Cluster,
+    target: int,
+    drop_predicate: Callable[[Cluster], bool] | None = None,
+) -> RouteResult:
+    """Route greedily from ``source`` to the cluster owning ``target``.
+
+    ``drop_predicate`` models adversarial forwarding: any intermediate
+    cluster for which it returns ``True`` silently drops the message
+    (the source and the delivery cluster still count as hops taken).
+    """
+    max_hops = MAX_HOPS_FACTOR * topology.id_bits
+    hops = [source]
+    current = source
+    for _ in range(max_hops):
+        if _owns(topology, current, target):
+            return RouteResult(hops=tuple(hops), delivered=True)
+        if (
+            drop_predicate is not None
+            and current is not source
+            and drop_predicate(current)
+        ):
+            return RouteResult(
+                hops=tuple(hops), delivered=False, dropped_at=current
+            )
+        following = next_hop(topology, current, target)
+        if following is current:
+            raise RoutingError(
+                f"routing loop at cluster {current.label!r} towards {target}"
+            )
+        hops.append(following)
+        current = following
+    raise RoutingError(
+        f"no delivery within {max_hops} hops towards {target}; "
+        "covering or neighbour tables are inconsistent"
+    )
+
+
+def redundant_route(
+    topology: PrefixTopology,
+    sources: list[Cluster],
+    target: int,
+    drop_predicate: Callable[[Cluster], bool] | None = None,
+) -> tuple[bool, list[RouteResult]]:
+    """Route the same message over several entry clusters.
+
+    Returns ``(any_delivered, per_path_results)`` -- the redundant
+    routing defence: delivery succeeds when at least one path avoids
+    every dropping cluster.
+    """
+    if not sources:
+        raise RoutingError("redundant routing needs at least one source")
+    results = [
+        route(topology, source, target, drop_predicate) for source in sources
+    ]
+    return any(result.delivered for result in results), results
+
+
+def average_path_length(
+    topology: PrefixTopology,
+    pairs: list[tuple[Cluster, int]],
+) -> float:
+    """Mean hop count over ``(source, target identifier)`` probes."""
+    if not pairs:
+        raise RoutingError("no probe pairs supplied")
+    total = 0
+    for source, target in pairs:
+        total += route(topology, source, target).hop_count
+    return total / len(pairs)

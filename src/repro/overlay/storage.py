@@ -1,0 +1,217 @@
+"""Replicated key-value storage over the cluster overlay.
+
+The paper's motivation (Section I) is that targeted attacks "prevent
+data indexed at targeted nodes from being discovered and retrieved".
+This module adds the DHT data plane the model abstracts away:
+
+* every key lives at the cluster owning its identifier region;
+* each *core* member keeps a replica (spares hold none -- they carry no
+  operational responsibility, Section III-A);
+* reads query all core members and accept the value returned by a
+  strict majority; honest members answer from their replica (lazily
+  state-transferred after view changes), malicious members answer with
+  forged values.
+
+The result is the classical threshold split the experiments probe:
+
+* ``x > c = floor((C-1)/3)`` -- the cluster is *polluted*: the quorum
+  can subvert operations (the model's notion);
+* ``x > floor(C/2)`` -- reads themselves break: forged values win the
+  majority vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.errors import OverlayError
+from repro.overlay.overlay import ClusterOverlay
+from repro.overlay.routing import RouteResult, route
+
+
+class StorageError(OverlayError):
+    """Raised on malformed storage requests."""
+
+
+@dataclass(frozen=True)
+class ReadOutcome:
+    """Result of one ``get``."""
+
+    delivered: bool
+    value: bytes | None
+    correct: bool
+    forged: bool
+    honest_replies: int
+    malicious_replies: int
+    route: RouteResult | None = None
+
+
+@dataclass
+class StorageStats:
+    """Running counters of the data plane."""
+
+    puts_attempted: int = 0
+    puts_delivered: int = 0
+    gets_attempted: int = 0
+    gets_delivered: int = 0
+    gets_correct: int = 0
+    gets_forged: int = 0
+
+    @property
+    def read_success_rate(self) -> float:
+        """Fraction of attempted reads returning the correct value."""
+        if self.gets_attempted == 0:
+            return 0.0
+        return self.gets_correct / self.gets_attempted
+
+
+@dataclass
+class OverlayStorage:
+    """The data plane bound to one :class:`ClusterOverlay`.
+
+    ``ground_truth`` holds what honest writers stored (used both as the
+    state-transfer source for honest replicas after view changes and as
+    the reference for correctness accounting).  ``replicas`` tracks the
+    per-member copies actually consulted by reads.
+    """
+
+    overlay: ClusterOverlay
+    rng: np.random.Generator
+    drop_in_transit: bool = True
+    ground_truth: dict[int, bytes] = field(default_factory=dict)
+    replicas: dict[str, dict[int, bytes]] = field(default_factory=dict)
+    stats: StorageStats = field(default_factory=StorageStats)
+
+    def _validate_key(self, key: int) -> int:
+        bits = self.overlay.config.id_bits
+        if not 0 <= key < (1 << bits):
+            raise StorageError(f"key {key} outside the {bits}-bit space")
+        return key
+
+    def _owner(self, key: int) -> Cluster:
+        return self.overlay.topology.lookup(key)
+
+    def _route_to_owner(self, key: int) -> RouteResult | None:
+        clusters = self.overlay.topology.clusters()
+        source = clusters[int(self.rng.integers(0, len(clusters)))]
+        quorum = self.overlay.params.pollution_quorum
+        predicate = None
+        if self.drop_in_transit:
+            predicate = lambda cluster: cluster.is_polluted(quorum)
+        return route(self.overlay.topology, source, key, predicate)
+
+    # -- writes ----------------------------------------------------------
+
+    def put(self, key: int, value: bytes) -> bool:
+        """Store ``value`` under ``key``; returns delivery success.
+
+        The write is routed from a random entry cluster; polluted
+        transit clusters may drop it.  On delivery every honest core
+        member of the owner stores the value (malicious members
+        acknowledge but will answer reads with forgeries).
+        """
+        self._validate_key(key)
+        self.stats.puts_attempted += 1
+        result = self._route_to_owner(key)
+        if result is None or not result.delivered:
+            return False
+        owner = result.hops[-1]
+        self.ground_truth[key] = value
+        for member in owner.core:
+            if not member.malicious:
+                self.replicas.setdefault(member.name, {})[key] = value
+        self.stats.puts_delivered += 1
+        return True
+
+    # -- reads ------------------------------------------------------------
+
+    def _honest_reply(self, member_name: str, key: int) -> bytes | None:
+        """Honest replica content, with lazy state transfer.
+
+        A member that joined the core after the write synchronizes from
+        the honest quorum (modeled by the ground truth) on first access
+        -- the state-transfer step of any view-change protocol.
+        """
+        replica = self.replicas.setdefault(member_name, {})
+        if key not in replica and key in self.ground_truth:
+            replica[key] = self.ground_truth[key]
+        return replica.get(key)
+
+    def get(self, key: int) -> ReadOutcome:
+        """Majority read of ``key`` from the owning cluster's core."""
+        self._validate_key(key)
+        self.stats.gets_attempted += 1
+        result = self._route_to_owner(key)
+        if result is None or not result.delivered:
+            return ReadOutcome(
+                delivered=False,
+                value=None,
+                correct=False,
+                forged=False,
+                honest_replies=0,
+                malicious_replies=0,
+                route=result,
+            )
+        self.stats.gets_delivered += 1
+        owner = result.hops[-1]
+        truth = self.ground_truth.get(key)
+        votes: dict[bytes | None, int] = {}
+        honest_replies = 0
+        malicious_replies = 0
+        for member in owner.core:
+            if member.malicious:
+                reply: bytes | None = b"forged|" + key.to_bytes(8, "big")
+                malicious_replies += 1
+            else:
+                reply = self._honest_reply(member.name, key)
+                honest_replies += 1
+            votes[reply] = votes.get(reply, 0) + 1
+        winner, count = max(votes.items(), key=lambda item: item[1])
+        majority = len(owner.core) // 2 + 1
+        if count < majority:
+            winner = None
+        correct = winner == truth and truth is not None
+        forged = winner is not None and winner != truth
+        if correct:
+            self.stats.gets_correct += 1
+        if forged:
+            self.stats.gets_forged += 1
+        return ReadOutcome(
+            delivered=True,
+            value=winner,
+            correct=correct,
+            forged=forged,
+            honest_replies=honest_replies,
+            malicious_replies=malicious_replies,
+            route=result,
+        )
+
+    # -- bulk helpers -------------------------------------------------------
+
+    def populate(self, count: int, payload_bytes: int = 16) -> list[int]:
+        """Store ``count`` random items; returns the delivered keys."""
+        bits = self.overlay.config.id_bits
+        stored = []
+        for _ in range(count):
+            key = int(self.rng.integers(0, 1 << bits))
+            value = bytes(self.rng.integers(0, 256, size=payload_bytes, dtype=np.uint8))
+            if self.put(key, value):
+                stored.append(key)
+        return stored
+
+    def audit(self, keys: list[int]) -> dict[str, float]:
+        """Read back ``keys`` and summarize the data plane's health."""
+        if not keys:
+            raise StorageError("no keys to audit")
+        outcomes = [self.get(key) for key in keys]
+        delivered = sum(o.delivered for o in outcomes)
+        correct = sum(o.correct for o in outcomes)
+        forged = sum(o.forged for o in outcomes)
+        return {
+            "delivery_rate": delivered / len(keys),
+            "correct_rate": correct / len(keys),
+            "forgery_rate": forged / len(keys),
+        }

@@ -1,0 +1,236 @@
+"""Prefix-tree topology of clusters over the identifier space.
+
+Clusters are the vertices of the structured graph (Section III-A); in a
+PeerCube-style overlay each cluster owns the identifier region of its
+binary label, and the set of live *region labels* always forms a
+prefix-free complete covering of the ``m``-bit space: every identifier
+belongs to exactly one cluster.
+
+Splits replace a region label by its two children; merges either fold
+two sibling leaf regions back into their parent or -- when the sibling
+region is itself subdivided -- hand the dissolving cluster's region to
+the closest remaining cluster, which then owns several labels.  The
+covering invariant is checked after every mutation.
+"""
+
+from __future__ import annotations
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.errors import TopologyError
+from repro.overlay.identifiers import (
+    DEFAULT_ID_BITS,
+    has_prefix,
+    to_bit_string,
+    validate_label,
+    xor_distance,
+)
+
+
+def sibling_label(label: str) -> str:
+    """The label covering the other half of the parent region."""
+    if not label:
+        raise TopologyError("the root region has no sibling")
+    flipped = "1" if label[-1] == "0" else "0"
+    return label[:-1] + flipped
+
+
+class PrefixTopology:
+    """Registry of clusters and the regions they own.
+
+    A cluster owns its *primary* label (``cluster.label``) plus any
+    regions absorbed through merges.  ``lookup`` resolves identifiers to
+    clusters through the covering.
+    """
+
+    def __init__(self, id_bits: int = DEFAULT_ID_BITS) -> None:
+        self._id_bits = id_bits
+        self._region_to_cluster: dict[str, Cluster] = {}
+
+    # -- registration -----------------------------------------------------
+
+    @property
+    def id_bits(self) -> int:
+        """Identifier width ``m``."""
+        return self._id_bits
+
+    def add_cluster(self, cluster: Cluster) -> None:
+        """Register a cluster as owner of its primary label."""
+        validate_label(cluster.label, self._id_bits)
+        if cluster.label in self._region_to_cluster:
+            raise TopologyError(
+                f"region {cluster.label!r} is already owned"
+            )
+        self._region_to_cluster[cluster.label] = cluster
+        self.check_covering()
+
+    def remove_region(self, label: str) -> Cluster:
+        """Unregister one region, returning its former owner."""
+        try:
+            return self._region_to_cluster.pop(label)
+        except KeyError:
+            raise TopologyError(f"region {label!r} is not registered") from None
+
+    # -- resolution ---------------------------------------------------------
+
+    def clusters(self) -> list[Cluster]:
+        """All distinct clusters (a cluster owning several regions is
+        listed once)."""
+        seen: dict[int, Cluster] = {}
+        for cluster in self._region_to_cluster.values():
+            seen[id(cluster)] = cluster
+        return list(seen.values())
+
+    def regions(self) -> list[str]:
+        """All live region labels, shortest first."""
+        return sorted(self._region_to_cluster, key=lambda lab: (len(lab), lab))
+
+    def regions_of(self, cluster: Cluster) -> list[str]:
+        """The regions currently owned by ``cluster``."""
+        return [
+            label
+            for label, owner in self._region_to_cluster.items()
+            if owner is cluster
+        ]
+
+    def lookup(self, identifier: int) -> Cluster:
+        """The unique cluster whose covering contains ``identifier``."""
+        bits = to_bit_string(identifier, self._id_bits)
+        for depth in range(len(bits) + 1):
+            cluster = self._region_to_cluster.get(bits[:depth])
+            if cluster is not None:
+                return cluster
+        raise TopologyError(
+            f"identifier {identifier} is not covered; covering broken?"
+        )
+
+    def region_containing(self, identifier: int) -> str:
+        """The region label covering ``identifier``."""
+        bits = to_bit_string(identifier, self._id_bits)
+        for depth in range(len(bits) + 1):
+            if bits[:depth] in self._region_to_cluster:
+                return bits[:depth]
+        raise TopologyError(
+            f"identifier {identifier} is not covered; covering broken?"
+        )
+
+    # -- topology mutations ----------------------------------------------------
+
+    def replace_with_children(
+        self, parent_region: str, child0: Cluster, child1: Cluster
+    ) -> None:
+        """Split: the parent region is replaced by its two children."""
+        if child0.label != parent_region + "0" or child1.label != parent_region + "1":
+            raise TopologyError(
+                f"children {child0.label!r}/{child1.label!r} do not "
+                f"partition region {parent_region!r}"
+            )
+        self.remove_region(parent_region)
+        self._region_to_cluster[child0.label] = child0
+        self._region_to_cluster[child1.label] = child1
+        self.check_covering()
+
+    def fold_siblings(self, merged: Cluster) -> None:
+        """Merge: two sibling leaf regions fold into their parent,
+        now owned by ``merged`` (whose label is the parent)."""
+        parent = merged.label
+        for child in (parent + "0", parent + "1"):
+            if child not in self._region_to_cluster:
+                raise TopologyError(
+                    f"cannot fold: region {child!r} is not live"
+                )
+        self.remove_region(parent + "0")
+        self.remove_region(parent + "1")
+        self._region_to_cluster[parent] = merged
+        self.check_covering()
+
+    def transfer_region(self, label: str, new_owner: Cluster) -> None:
+        """Merge fallback: hand a region to another live cluster.
+
+        Used when a cluster must merge but its sibling region is
+        subdivided: the dissolving cluster's members and region move to
+        the closest cluster, which then owns multiple labels.
+        """
+        if label not in self._region_to_cluster:
+            raise TopologyError(f"region {label!r} is not registered")
+        if not any(cluster is new_owner for cluster in self.clusters()):
+            raise TopologyError("new owner is not a registered cluster")
+        self._region_to_cluster[label] = new_owner
+        self.check_covering()
+
+    # -- neighbourhood ----------------------------------------------------------
+
+    def closest_other_cluster(self, cluster: Cluster) -> Cluster:
+        """The live cluster closest to ``cluster`` (XOR metric on the
+        padded primary labels), used as merge target."""
+        others = [c for c in self.clusters() if c is not cluster]
+        if not others:
+            raise TopologyError(
+                f"cluster {cluster.label!r} has no neighbour to merge with"
+            )
+        reference = _label_floor(cluster.label, self._id_bits)
+        return min(
+            others,
+            key=lambda c: xor_distance(
+                reference, _label_floor(c.label, self._id_bits)
+            ),
+        )
+
+    def dimension_neighbor(self, cluster: Cluster, bit_index: int) -> Cluster:
+        """Hypercube neighbour of ``cluster`` along dimension ``bit_index``.
+
+        The representative is the cluster covering the identifier formed
+        by flipping bit ``bit_index`` of the cluster's primary label and
+        zero-padding.
+        """
+        label = cluster.label
+        if not 0 <= bit_index < len(label):
+            raise TopologyError(
+                f"bit index {bit_index} outside label {label!r}"
+            )
+        flipped = (
+            label[:bit_index]
+            + ("1" if label[bit_index] == "0" else "0")
+            + label[bit_index + 1 :]
+        )
+        return self.lookup(_label_floor(flipped, self._id_bits))
+
+    def neighbors(self, cluster: Cluster) -> list[Cluster]:
+        """All dimension neighbours of ``cluster`` (deduplicated)."""
+        found: dict[int, Cluster] = {}
+        for bit_index in range(len(cluster.label)):
+            neighbor = self.dimension_neighbor(cluster, bit_index)
+            if neighbor is not cluster:
+                found[id(neighbor)] = neighbor
+        return list(found.values())
+
+    # -- invariants -------------------------------------------------------------
+
+    def check_covering(self) -> None:
+        """Verify the region labels form a prefix-free complete covering."""
+        labels = sorted(self._region_to_cluster, key=len)
+        for i, short in enumerate(labels):
+            for long in labels[i + 1 :]:
+                if long.startswith(short):
+                    raise TopologyError(
+                        f"region {short!r} is a prefix of region {long!r}"
+                    )
+        total = sum(2.0 ** (-len(label)) for label in labels)
+        if labels and abs(total - 1.0) > 1e-12:
+            raise TopologyError(
+                f"covering measures {total!r} of the space, expected 1.0"
+            )
+
+    def __len__(self) -> int:
+        return len(self.clusters())
+
+
+def _label_floor(label: str, id_bits: int) -> int:
+    """Smallest identifier in a region (label zero-padded to m bits)."""
+    if not label:
+        return 0
+    return int(label, 2) << (id_bits - len(label))
+
+
+def cluster_contains(cluster_regions: list[str], identifier: int, id_bits: int) -> bool:
+    """True when any of the given regions covers ``identifier``."""
+    return any(has_prefix(identifier, region, id_bits) for region in cluster_regions)

@@ -1,0 +1,87 @@
+"""Discrete-event and Monte-Carlo simulation layer.
+
+* :mod:`~repro.simulation.engine` -- deterministic event loop (simpy is
+  unavailable offline; built from scratch).
+* :mod:`~repro.simulation.churn` -- the model's Bernoulli event stream
+  plus Poisson/heavy-tailed variants.
+* :mod:`~repro.simulation.cluster_sim` -- agent-level single-cluster
+  Monte Carlo validating Relations (5)-(9).
+* :mod:`~repro.simulation.overlay_sim` -- competing-clusters and full
+  agent-based overlay simulations validating Theorem 2.
+* :mod:`~repro.simulation.metrics` -- confidence intervals and
+  model-vs-simulation comparison helpers.
+"""
+
+from repro.simulation.churn import (
+    ChurnEvent,
+    EventKind,
+    SessionPlan,
+    bernoulli_event_stream,
+    exponential_sessions,
+    pareto_sessions,
+    poisson_event_stream,
+)
+from repro.simulation.cluster_sim import (
+    ClusterSimulator,
+    ClusterTrajectory,
+    MonteCarloSummary,
+    SimulationBudgetError,
+    monte_carlo_summary,
+)
+from repro.simulation.engine import (
+    DiscreteEventEngine,
+    EventHandle,
+    SimulationError,
+)
+from repro.simulation.metrics import (
+    ConfidenceInterval,
+    SeriesAccumulator,
+    mean_confidence_interval,
+    relative_error,
+    within_tolerance,
+)
+from repro.simulation.overlay_sim import (
+    AgentOverlaySimulation,
+    AgentRunResult,
+    CompetingClustersSimulation,
+    CompetingSeries,
+    OverlaySnapshot,
+)
+from repro.simulation.rng import (
+    DEFAULT_SEED,
+    replication_seeds,
+    root_generator,
+    spawn_generators,
+)
+
+__all__ = [
+    "DiscreteEventEngine",
+    "EventHandle",
+    "SimulationError",
+    "ChurnEvent",
+    "EventKind",
+    "SessionPlan",
+    "bernoulli_event_stream",
+    "poisson_event_stream",
+    "exponential_sessions",
+    "pareto_sessions",
+    "ClusterSimulator",
+    "ClusterTrajectory",
+    "MonteCarloSummary",
+    "SimulationBudgetError",
+    "monte_carlo_summary",
+    "CompetingClustersSimulation",
+    "CompetingSeries",
+    "AgentOverlaySimulation",
+    "AgentRunResult",
+    "OverlaySnapshot",
+    "ConfidenceInterval",
+    "SeriesAccumulator",
+    "mean_confidence_interval",
+    "relative_error",
+    "within_tolerance",
+    "DEFAULT_SEED",
+    "root_generator",
+    "spawn_generators",
+    "replication_seeds",
+]

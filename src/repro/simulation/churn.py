@@ -1,0 +1,136 @@
+"""Churn event generators.
+
+The analytical model assumes an alternating stream where each event is a
+join with probability ``p_j`` and a leave with probability
+``p_l = 1 - p_j``, dispatched uniformly over clusters
+(Sections III-A and VIII).  This module provides that generator plus two
+richer ones (Poisson arrivals with exponential or Pareto session times)
+used by the agent-based simulations to check that the conclusions
+survive a more realistic churn process.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+
+class EventKind(enum.Enum):
+    """Join or leave."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn event with its (abstract or simulated) time."""
+
+    kind: EventKind
+    time: float
+
+
+def bernoulli_event_stream(
+    rng: np.random.Generator,
+    p_join: float = 0.5,
+    time_step: float = 1.0,
+) -> Iterator[ChurnEvent]:
+    """The model's stream: one event per unit of time, join w.p.
+    ``p_join`` -- infinite, consume with ``itertools.islice``."""
+    if not 0.0 < p_join < 1.0:
+        raise ValueError(f"p_join must be in (0, 1), got {p_join}")
+    time = 0.0
+    while True:
+        time += time_step
+        kind = EventKind.JOIN if rng.random() < p_join else EventKind.LEAVE
+        yield ChurnEvent(kind=kind, time=time)
+
+
+def poisson_event_stream(
+    rng: np.random.Generator,
+    join_rate: float,
+    leave_rate: float,
+) -> Iterator[ChurnEvent]:
+    """Superposition of Poisson join and leave processes.
+
+    Inter-event times are exponential with rate ``join_rate +
+    leave_rate``; each event is a join with probability
+    ``join_rate / (join_rate + leave_rate)``.
+    """
+    if join_rate <= 0 or leave_rate <= 0:
+        raise ValueError(
+            f"rates must be positive, got {join_rate}, {leave_rate}"
+        )
+    total = join_rate + leave_rate
+    p_join = join_rate / total
+    time = 0.0
+    while True:
+        time += float(rng.exponential(1.0 / total))
+        kind = EventKind.JOIN if rng.random() < p_join else EventKind.LEAVE
+        yield ChurnEvent(kind=kind, time=time)
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Arrival and departure instants for one synthetic peer."""
+
+    arrival: float
+    departure: float
+
+    @property
+    def duration(self) -> float:
+        """Session length."""
+        return self.departure - self.arrival
+
+
+def exponential_sessions(
+    rng: np.random.Generator,
+    arrival_rate: float,
+    mean_session: float,
+    horizon: float,
+) -> list[SessionPlan]:
+    """Poisson arrivals with exponential session durations."""
+    if arrival_rate <= 0 or mean_session <= 0 or horizon <= 0:
+        raise ValueError("arrival_rate, mean_session, horizon must be > 0")
+    plans = []
+    time = 0.0
+    while True:
+        time += float(rng.exponential(1.0 / arrival_rate))
+        if time >= horizon:
+            break
+        duration = float(rng.exponential(mean_session))
+        plans.append(SessionPlan(arrival=time, departure=time + duration))
+    return plans
+
+
+def pareto_sessions(
+    rng: np.random.Generator,
+    arrival_rate: float,
+    shape: float,
+    scale: float,
+    horizon: float,
+) -> list[SessionPlan]:
+    """Poisson arrivals with heavy-tailed (Pareto) session durations.
+
+    Measured P2P traces (e.g. Gnutella/Kad studies) exhibit heavy-tailed
+    sessions; this generator is the stand-in for such traces in the
+    offline environment (see DESIGN.md, "Substitutions").
+    """
+    if shape <= 1.0:
+        raise ValueError(
+            f"shape must exceed 1 for a finite mean, got {shape}"
+        )
+    if arrival_rate <= 0 or scale <= 0 or horizon <= 0:
+        raise ValueError("arrival_rate, scale, horizon must be > 0")
+    plans = []
+    time = 0.0
+    while True:
+        time += float(rng.exponential(1.0 / arrival_rate))
+        if time >= horizon:
+            break
+        duration = float(scale * (1.0 + rng.pareto(shape)))
+        plans.append(SessionPlan(arrival=time, departure=time + duration))
+    return plans

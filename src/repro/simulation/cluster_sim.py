@@ -1,0 +1,314 @@
+"""Agent-level Monte-Carlo simulation of a single cluster.
+
+Independent validation of the analytical chain: instead of sampling the
+derived transition matrix, this simulator re-enacts the *operational*
+semantics of Sections IV-V on explicit member lists (honest/malicious
+flags) -- joins filtered by Rule 2, uniform leave targets, Property-1
+geometric expiries, ``protocol_k`` maintenance as actual draws without
+replacement, adversary-biased replacement under a polluted quorum, and
+Rule 1 voluntary departures.  Agreement between these trajectories and
+Relations (5)-(9) is checked by the integration tests and the
+``bench_montecarlo`` benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import ModelParameters
+from repro.core.rules import rule1_triggers
+from repro.core.statespace import State
+
+#: Absorption classes reported by the simulator.
+SAFE_MERGE = "safe-merge"
+SAFE_SPLIT = "safe-split"
+POLLUTED_MERGE = "polluted-merge"
+
+
+class SimulationBudgetError(RuntimeError):
+    """Raised when a trajectory exceeds its step budget (expected for
+    parameter corners where E(T_P) blows up -- use the closed form)."""
+
+
+@dataclass(frozen=True)
+class ClusterTrajectory:
+    """Outcome of one simulated cluster lifetime."""
+
+    steps: int
+    time_safe: int
+    time_polluted: int
+    absorbed_in: str
+    safe_sojourns: tuple[int, ...]
+    polluted_sojourns: tuple[int, ...]
+
+    @property
+    def ended_polluted(self) -> bool:
+        """True when the cluster dissolved while polluted."""
+        return self.absorbed_in == POLLUTED_MERGE
+
+
+class ClusterSimulator:
+    """Single-cluster agent simulation matching the model's semantics."""
+
+    def __init__(
+        self, params: ModelParameters, rng: np.random.Generator
+    ) -> None:
+        self._params = params
+        self._rng = rng
+
+    # -- state sampling -------------------------------------------------------
+
+    def _draw_initial(self, initial: str | State) -> tuple[list[bool], list[bool]]:
+        """Materialize core/spare member lists for an initial law."""
+        params = self._params
+        rng = self._rng
+        if isinstance(initial, str):
+            if initial == "delta":
+                state = State(params.spare_max // 2, 0, 0)
+            elif initial == "beta":
+                s0 = int(rng.integers(1, params.spare_max))
+                x = int(rng.binomial(params.core_size, params.mu))
+                y = int(rng.binomial(s0, params.mu))
+                state = State(s0, x, y)
+            else:
+                raise ValueError(f"unknown initial law {initial!r}")
+        else:
+            state = State(*initial)
+        core = [True] * state.x + [False] * (params.core_size - state.x)
+        spare = [True] * state.y + [False] * (state.s - state.y)
+        rng.shuffle(core)
+        rng.shuffle(spare)
+        return core, spare
+
+    # -- one trajectory ----------------------------------------------------------
+
+    def run(
+        self,
+        initial: str | State = "delta",
+        max_steps: int = 1_000_000,
+    ) -> ClusterTrajectory:
+        """Simulate one cluster from ``initial`` until merge or split."""
+        params = self._params
+        rng = self._rng
+        core, spare = self._draw_initial(initial)
+        quorum = params.pollution_quorum
+        steps = 0
+        time_safe = 0
+        time_polluted = 0
+        safe_sojourns: list[int] = []
+        polluted_sojourns: list[int] = []
+        current_run = 0
+        currently_polluted = sum(core) > quorum
+
+        def close_sojourn() -> None:
+            nonlocal current_run
+            if current_run > 0:
+                target = polluted_sojourns if currently_polluted else safe_sojourns
+                target.append(current_run)
+            current_run = 0
+
+        while 0 < len(spare) < params.spare_max:
+            if steps >= max_steps:
+                raise SimulationBudgetError(
+                    f"no absorption within {max_steps} steps "
+                    f"({params.describe()})"
+                )
+            steps += 1
+            polluted_now = sum(core) > quorum
+            if polluted_now != currently_polluted:
+                close_sojourn()
+                currently_polluted = polluted_now
+            if polluted_now:
+                time_polluted += 1
+            else:
+                time_safe += 1
+            current_run += 1
+            if rng.random() < params.p_join:
+                self._join_event(core, spare)
+            else:
+                self._leave_event(core, spare)
+        close_sojourn()
+        if len(spare) == 0:
+            absorbed = POLLUTED_MERGE if sum(core) > quorum else SAFE_MERGE
+        else:
+            absorbed = SAFE_SPLIT
+        return ClusterTrajectory(
+            steps=steps,
+            time_safe=time_safe,
+            time_polluted=time_polluted,
+            absorbed_in=absorbed,
+            safe_sojourns=tuple(safe_sojourns),
+            polluted_sojourns=tuple(polluted_sojourns),
+        )
+
+    # -- event handlers -------------------------------------------------------------
+
+    def _join_event(self, core: list[bool], spare: list[bool]) -> None:
+        params = self._params
+        rng = self._rng
+        joiner_malicious = rng.random() < params.mu
+        polluted = sum(core) > params.pollution_quorum
+        s = len(spare)
+        if polluted:
+            # Rule 2 filtering by the colluding quorum.
+            if s == params.spare_max - 1:
+                return
+            if not joiner_malicious and s > 1:
+                return
+        spare.append(joiner_malicious)
+
+    def _leave_event(self, core: list[bool], spare: list[bool]) -> None:
+        params = self._params
+        rng = self._rng
+        total = len(core) + len(spare)
+        target = int(rng.integers(0, total))
+        if target >= len(core):
+            self._spare_leave(core, spare, target - len(core))
+        else:
+            self._core_leave(core, spare, target)
+
+    def _spare_leave(
+        self, core: list[bool], spare: list[bool], index: int
+    ) -> None:
+        params = self._params
+        rng = self._rng
+        if not spare[index]:
+            spare.pop(index)
+            return
+        # Malicious spare: departs only when Property 1 forces it.
+        y = sum(spare)
+        if rng.random() < params.d**y:
+            return
+        spare.pop(index)
+
+    def _core_leave(
+        self, core: list[bool], spare: list[bool], index: int
+    ) -> None:
+        params = self._params
+        rng = self._rng
+        quorum = params.pollution_quorum
+        x = sum(core)
+        y = sum(spare)
+        s = len(spare)
+        if not core[index]:
+            # Honest core member departs with the natural churn.
+            core.pop(index)
+            if x > quorum:
+                self._biased_replacement(core, spare)
+            else:
+                self._maintenance(core, spare)
+            return
+        # Malicious core member targeted.
+        if rng.random() < params.d**x:
+            # Identifiers valid: only a Rule 1 voluntary leave applies.
+            if x > quorum or s <= 1:
+                return
+            if not rule1_triggers(State(s, x, y), params):
+                return
+            core.pop(index)
+            self._maintenance(core, spare)
+            return
+        # Property 1 forces the departure.
+        core.pop(index)
+        if x - 1 > quorum:
+            self._biased_replacement(core, spare)
+        else:
+            self._maintenance(core, spare)
+
+    def _biased_replacement(
+        self, core: list[bool], spare: list[bool]
+    ) -> None:
+        """Polluted maintenance: promote a malicious spare if any."""
+        if True in spare:
+            spare.remove(True)
+            core.append(True)
+        else:
+            spare.pop()
+            core.append(False)
+
+    def _maintenance(self, core: list[bool], spare: list[bool]) -> None:
+        """Safe ``protocol_k`` maintenance as literal random draws."""
+        params = self._params
+        rng = self._rng
+        demote = min(params.k - 1, len(core))
+        for _ in range(demote):
+            position = int(rng.integers(0, len(core)))
+            spare.append(core.pop(position))
+        promote = params.core_size - len(core)
+        for _ in range(promote):
+            position = int(rng.integers(0, len(spare)))
+            core.append(spare.pop(position))
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Aggregated trajectory statistics with standard errors."""
+
+    runs: int
+    mean_time_safe: float
+    mean_time_polluted: float
+    sem_time_safe: float
+    sem_time_polluted: float
+    p_safe_merge: float
+    p_safe_split: float
+    p_polluted_merge: float
+    mean_first_safe_sojourn: float
+    mean_first_polluted_sojourn: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view mirroring ``ClusterFate.as_dict``."""
+        return {
+            "E(T_S)": self.mean_time_safe,
+            "E(T_P)": self.mean_time_polluted,
+            "p(safe-merge)": self.p_safe_merge,
+            "p(safe-split)": self.p_safe_split,
+            "p(polluted-merge)": self.p_polluted_merge,
+        }
+
+
+def monte_carlo_summary(
+    params: ModelParameters,
+    rng: np.random.Generator,
+    runs: int,
+    initial: str | State = "delta",
+    max_steps: int = 1_000_000,
+) -> MonteCarloSummary:
+    """Run ``runs`` independent trajectories and aggregate them."""
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    simulator = ClusterSimulator(params, rng)
+    trajectories = [
+        simulator.run(initial=initial, max_steps=max_steps)
+        for _ in range(runs)
+    ]
+    times_safe = np.array([t.time_safe for t in trajectories], dtype=float)
+    times_polluted = np.array(
+        [t.time_polluted for t in trajectories], dtype=float
+    )
+    outcomes = [t.absorbed_in for t in trajectories]
+    first_safe = np.array(
+        [t.safe_sojourns[0] if t.safe_sojourns else 0 for t in trajectories],
+        dtype=float,
+    )
+    first_polluted = np.array(
+        [
+            t.polluted_sojourns[0] if t.polluted_sojourns else 0
+            for t in trajectories
+        ],
+        dtype=float,
+    )
+    scale = np.sqrt(max(runs - 1, 1))
+    return MonteCarloSummary(
+        runs=runs,
+        mean_time_safe=float(times_safe.mean()),
+        mean_time_polluted=float(times_polluted.mean()),
+        sem_time_safe=float(times_safe.std() / scale),
+        sem_time_polluted=float(times_polluted.std() / scale),
+        p_safe_merge=outcomes.count(SAFE_MERGE) / runs,
+        p_safe_split=outcomes.count(SAFE_SPLIT) / runs,
+        p_polluted_merge=outcomes.count(POLLUTED_MERGE) / runs,
+        mean_first_safe_sojourn=float(first_safe.mean()),
+        mean_first_polluted_sojourn=float(first_polluted.mean()),
+    )

@@ -1,0 +1,168 @@
+"""Minimal deterministic discrete-event engine.
+
+``simpy`` is not available in the offline environment, so the engine is
+implemented from scratch: a heap-ordered event queue with stable
+tie-breaking (insertion order), callback actions and optional periodic
+processes.  It is deliberately small -- the simulations in this package
+only need ordered timed callbacks -- but fully deterministic, which the
+reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling misuse (past events, negative delays)."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    name: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def name(self) -> str:
+        """Event label (diagnostics)."""
+        return self._event.name
+
+
+class DiscreteEventEngine:
+    """Heap-based event loop with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[_ScheduledEvent] = []
+        self._now = 0.0
+        self._counter = itertools.count()
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None], name: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}; clock already at {self._now}"
+            )
+        event = _ScheduledEvent(
+            time=time, sequence=next(self._counter), action=action, name=name
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_after(
+        self, delay: float, action: Callable[[], None], name: str = ""
+    ) -> EventHandle:
+        """Schedule ``action`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, action, name)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        action: Callable[[], None],
+        name: str = "",
+        first_at: float | None = None,
+    ) -> Callable[[], None]:
+        """Fire ``action`` every ``period`` units; returns a stopper."""
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        stopped = False
+
+        def tick() -> None:
+            if stopped:
+                return
+            action()
+            self.schedule_after(period, tick, name)
+
+        start = self._now + period if first_at is None else first_at
+        self.schedule_at(start, tick, name)
+
+        def stop() -> None:
+            nonlocal stopped
+            stopped = True
+
+        return stop
+
+    def step(self) -> bool:
+        """Execute the next event; ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._fired += 1
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: int | None = None) -> int:
+        """Run events with firing time ``<= time``; returns the count.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                break
+        self._now = max(self._now, time)
+        return executed
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted; "
+                    "self-rescheduling loop?"
+                )
+        return executed

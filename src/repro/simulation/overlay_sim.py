@@ -1,0 +1,263 @@
+"""Overlay-scale simulations.
+
+Two levels of fidelity:
+
+* :class:`CompetingClustersSimulation` -- ``n`` independent cluster
+  simulators competing for uniformly dispatched events, the literal
+  setting of Theorems 1-2 (used to validate Figure 5 empirically);
+* :class:`AgentOverlaySimulation` -- the full
+  :class:`~repro.overlay.overlay.ClusterOverlay` driven by churn events,
+  Property-1 sweeps and adversary Rule-1 probes, with splits and merges
+  actually rewiring the topology (used by the examples and the
+  operational benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adversary.base import AdversaryStrategy
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.simulation.cluster_sim import ClusterSimulator
+from repro.simulation.engine import DiscreteEventEngine
+
+
+@dataclass(frozen=True)
+class CompetingSeries:
+    """Empirical counterpart of the analytic ``OverlaySeries``."""
+
+    events: np.ndarray
+    safe_fraction: np.ndarray
+    polluted_fraction: np.ndarray
+    n_clusters: int
+
+    @property
+    def peak_polluted_fraction(self) -> float:
+        """Maximum observed polluted fraction."""
+        return float(self.polluted_fraction.max())
+
+
+class CompetingClustersSimulation:
+    """``n`` cluster replicas; each global event hits one uniformly.
+
+    Clusters that merge or split stay absorbed (they logically disappear
+    from the model's graph), matching the analytical setting exactly.
+    """
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        n_clusters: int,
+        rng: np.random.Generator,
+        initial: str | State = "delta",
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        self._params = params
+        self._rng = rng
+        self._n = n_clusters
+        simulator = ClusterSimulator(params, rng)
+        self._cores: list[list[bool]] = []
+        self._spares: list[list[bool]] = []
+        for _ in range(n_clusters):
+            core, spare = simulator._draw_initial(initial)
+            self._cores.append(core)
+            self._spares.append(spare)
+        self._simulator = simulator
+        self._absorbed: list[bool] = [False] * n_clusters
+
+    def _is_polluted(self, index: int) -> bool:
+        return sum(self._cores[index]) > self._params.pollution_quorum
+
+    def _counts(self) -> tuple[int, int]:
+        safe = 0
+        polluted = 0
+        for index in range(self._n):
+            if self._absorbed[index]:
+                continue
+            if self._is_polluted(index):
+                polluted += 1
+            else:
+                safe += 1
+        return safe, polluted
+
+    def run(
+        self, n_events: int, record_every: int = 1
+    ) -> CompetingSeries:
+        """Dispatch ``n_events`` uniformly and record occupancy."""
+        rng = self._rng
+        params = self._params
+        simulator = self._simulator
+        events_axis = [0]
+        safe0, polluted0 = self._counts()
+        safe_series = [safe0 / self._n]
+        polluted_series = [polluted0 / self._n]
+        for event in range(1, n_events + 1):
+            index = int(rng.integers(0, self._n))
+            if not self._absorbed[index]:
+                core = self._cores[index]
+                spare = self._spares[index]
+                if rng.random() < params.p_join:
+                    simulator._join_event(core, spare)
+                else:
+                    simulator._leave_event(core, spare)
+                if len(spare) == 0 or len(spare) >= params.spare_max:
+                    self._absorbed[index] = True
+            if event % record_every == 0 or event == n_events:
+                safe, polluted = self._counts()
+                events_axis.append(event)
+                safe_series.append(safe / self._n)
+                polluted_series.append(polluted / self._n)
+        return CompetingSeries(
+            events=np.asarray(events_axis),
+            safe_fraction=np.asarray(safe_series),
+            polluted_fraction=np.asarray(polluted_series),
+            n_clusters=self._n,
+        )
+
+
+@dataclass
+class OverlaySnapshot:
+    """Metrics sampled from the agent-based overlay."""
+
+    time: float
+    n_peers: int
+    n_clusters: int
+    polluted_fraction: float
+    states: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class AgentRunResult:
+    """Outcome of one agent-based overlay run."""
+
+    snapshots: tuple[OverlaySnapshot, ...]
+    final_polluted_fraction: float
+    peak_polluted_fraction: float
+    operations: dict[str, int]
+
+
+class AgentOverlaySimulation:
+    """Full overlay driven by churn through the discrete-event engine.
+
+    Per unit of simulated time the driver issues ``events_per_unit``
+    churn events (join w.p. ``p_join``), enforces Property 1 and lets
+    the adversary probe Rule 1 -- the operational rendition of the
+    model's unit-time semantics.
+    """
+
+    def __init__(
+        self,
+        config: OverlayConfig,
+        rng: np.random.Generator,
+        adversary: AdversaryStrategy | None = None,
+        events_per_unit: int = 1,
+        min_population: int = 8,
+        enforce_universe_bound: bool = True,
+    ) -> None:
+        if events_per_unit < 1:
+            raise ValueError(
+                f"events_per_unit must be >= 1, got {events_per_unit}"
+            )
+        self._overlay = ClusterOverlay(config, rng, adversary)
+        self._rng = rng
+        self._engine = DiscreteEventEngine()
+        self._events_per_unit = events_per_unit
+        self._min_population = min_population
+        # Section III-B: the adversary controls at most a fraction mu of
+        # the *universe*.  Malicious peers suppress their own departures,
+        # so without this bound the standing malicious fraction would
+        # drift above mu over long horizons -- an artifact the model
+        # excludes by construction.
+        self._enforce_universe_bound = enforce_universe_bound
+
+    @property
+    def overlay(self) -> ClusterOverlay:
+        """The underlying overlay instance."""
+        return self._overlay
+
+    @property
+    def engine(self) -> DiscreteEventEngine:
+        """The event engine (for custom instrumentation)."""
+        return self._engine
+
+    def bootstrap(self, n_peers: int, honest_only: bool = True) -> None:
+        """Populate the overlay before the churn phase.
+
+        ``honest_only=True`` (default) seeds an attack-free overlay --
+        the operational counterpart of the paper's ``delta`` initial
+        distribution, under which the fault-containment results hold;
+        malicious peers then arrive through churn at rate ``mu``.
+        ``honest_only=False`` seeds with contaminated membership
+        (the ``beta``-like setting).
+        """
+        for _ in range(n_peers):
+            self._overlay.join_new_peer(
+                malicious=False if honest_only else None
+            )
+
+    def _malicious_fraction(self) -> float:
+        peers = self._overlay.peers
+        if not peers:
+            return 0.0
+        return sum(1 for p in peers if p.malicious) / len(peers)
+
+    def _churn_tick(self) -> None:
+        overlay = self._overlay
+        rng = self._rng
+        for _ in range(self._events_per_unit):
+            join = rng.random() < overlay.params.p_join
+            if join or overlay.n_peers <= self._min_population:
+                malicious = None
+                if (
+                    self._enforce_universe_bound
+                    and self._malicious_fraction() >= overlay.params.mu
+                ):
+                    # The adversary's universe share is exhausted; only
+                    # honest peers remain available to join.
+                    malicious = False
+                overlay.join_new_peer(malicious=malicious)
+            else:
+                overlay.leave_peer(overlay.random_member())
+        overlay.advance_time(1.0)
+        overlay.enforce_property1()
+        overlay.apply_rule1()
+
+    def run(
+        self,
+        duration: float,
+        sample_every: float = 10.0,
+        collect_states: bool = False,
+    ) -> AgentRunResult:
+        """Run for ``duration`` units, sampling metrics periodically."""
+        snapshots: list[OverlaySnapshot] = []
+
+        def sample() -> None:
+            overlay = self._overlay
+            snapshots.append(
+                OverlaySnapshot(
+                    time=self._engine.now,
+                    n_peers=overlay.n_peers,
+                    n_clusters=len(overlay.topology),
+                    polluted_fraction=overlay.polluted_fraction(),
+                    states=overlay.cluster_states() if collect_states else [],
+                )
+            )
+
+        self._engine.schedule_periodic(1.0, self._churn_tick, name="churn")
+        self._engine.schedule_periodic(
+            sample_every, sample, name="sample", first_at=0.0
+        )
+        self._engine.run_until(duration)
+        sample()
+        fractions = [snap.polluted_fraction for snap in snapshots]
+        return AgentRunResult(
+            snapshots=tuple(snapshots),
+            final_polluted_fraction=fractions[-1],
+            peak_polluted_fraction=max(fractions),
+            operations=dict(self._overlay.operations.stats.by_kind),
+        )

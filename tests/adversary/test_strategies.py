@@ -1,0 +1,173 @@
+"""Unit tests for the adversary strategies."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    GreedyLeaveAdversary,
+    HonestEnvironment,
+    PassiveAdversary,
+    StrongAdversary,
+)
+from repro.core.parameters import ModelParameters
+from repro.overlay.cluster import Cluster
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.peer import PeerFactory
+
+
+@pytest.fixture(scope="module")
+def factory():
+    rng = np.random.default_rng(31)
+    ca = CertificateAuthority(rng, key_bits=128)
+    return PeerFactory(ca=ca, rng=rng, lifetime=10.0, key_bits=64)
+
+
+def build_cluster(
+    factory,
+    malicious_core: int,
+    spare_flags: list[bool],
+    label: str = "0",
+    core_size: int = 7,
+    spare_max: int = 7,
+) -> Cluster:
+    cluster = Cluster(label=label, core_size=core_size, spare_max=spare_max)
+    for i in range(core_size):
+        cluster.add_core(
+            factory.create(float(i), malicious=i < malicious_core)
+        )
+    for i, flag in enumerate(spare_flags):
+        cluster.add_spare(factory.create(10.0 + i, malicious=flag))
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.9)
+
+
+class TestStrongAdversaryRule2:
+    def test_safe_cluster_never_discards(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 2, [False, False, False])
+        honest = factory.create(0.0, malicious=False)
+        assert not adversary.discards_join(cluster, honest)
+
+    def test_polluted_discards_honest_when_s_large(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [False, False, False])
+        honest = factory.create(0.0, malicious=False)
+        malicious = factory.create(0.0, malicious=True)
+        assert adversary.discards_join(cluster, honest)
+        assert not adversary.discards_join(cluster, malicious)
+
+    def test_polluted_admits_honest_at_s1(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [False])
+        honest = factory.create(0.0, malicious=False)
+        assert not adversary.discards_join(cluster, honest)
+
+    def test_split_edge_discards_everything(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [False] * 6)  # s = Delta - 1
+        malicious = factory.create(0.0, malicious=True)
+        assert adversary.discards_join(cluster, malicious)
+
+
+class TestStrongAdversaryLeaves:
+    def test_malicious_squat(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 2, [True, False])
+        malicious_member = cluster.core[0]
+        honest_member = cluster.core[-1]
+        assert adversary.suppresses_leave(cluster, malicious_member)
+        assert not adversary.suppresses_leave(cluster, honest_member)
+
+    def test_rule1_never_fires_for_k1(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 2, [True, True, True])
+        assert adversary.voluntary_leave_candidate(cluster) is None
+
+    def test_rule1_fires_for_k7_favorable(self, factory):
+        params = ModelParameters(core_size=7, spare_max=7, k=7, nu=0.45)
+        adversary = StrongAdversary(params)
+        # (s, x, y) = (3, 1, 2): Relation (2) = 7/12 > 1 - 0.45.
+        cluster = build_cluster(factory, 1, [True, True, False])
+        candidate = adversary.voluntary_leave_candidate(cluster)
+        assert candidate is not None
+        assert candidate.malicious
+        assert candidate in cluster.core
+
+    def test_rule1_avoids_merges(self, factory):
+        params = ModelParameters(core_size=7, spare_max=7, k=7, nu=0.45)
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 1, [True])  # s = 1
+        assert adversary.voluntary_leave_candidate(cluster) is None
+
+    def test_rule1_skips_polluted_clusters(self, factory):
+        params = ModelParameters(core_size=7, spare_max=7, k=7, nu=0.45)
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [True, True, False])
+        assert adversary.voluntary_leave_candidate(cluster) is None
+
+    def test_rule1_picks_soonest_expiring(self, factory):
+        params = ModelParameters(core_size=7, spare_max=7, k=7, nu=0.45)
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 1, [True, True, False])
+        candidate = adversary.voluntary_leave_candidate(cluster)
+        earliest = min(
+            (p for p in cluster.core if p.malicious),
+            key=lambda p: p.clock.t0,
+        )
+        assert candidate is earliest
+
+
+class TestReplacementBias:
+    def test_prefers_malicious_candidates(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [False, True, False])
+        choice = adversary.replacement_choice(cluster, list(cluster.spare), 1)
+        assert choice is not None
+        assert choice[0].malicious
+
+    def test_pads_with_honest_to_avoid_detection(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 3, [True, False, False])
+        choice = adversary.replacement_choice(cluster, list(cluster.spare), 2)
+        assert len(choice) == 2
+        assert choice[0].malicious
+        assert not choice[1].malicious
+
+    def test_no_bias_without_quorum(self, factory, params):
+        adversary = StrongAdversary(params)
+        cluster = build_cluster(factory, 2, [True])
+        assert adversary.replacement_choice(cluster, list(cluster.spare), 1) is None
+
+
+class TestBaselines:
+    def test_honest_environment_never_interferes(self, factory, params):
+        environment = HonestEnvironment()
+        cluster = build_cluster(factory, 3, [True, True])
+        peer = factory.create(0.0, malicious=False)
+        assert not environment.discards_join(cluster, peer)
+        assert not environment.suppresses_leave(cluster, cluster.core[0])
+        assert environment.replacement_choice(cluster, list(cluster.spare), 1) is None
+        assert environment.voluntary_leave_candidate(cluster) is None
+
+    def test_passive_adversary_is_honest_environment(self, factory, params):
+        passive = PassiveAdversary()
+        cluster = build_cluster(factory, 3, [True, True])
+        assert not passive.suppresses_leave(cluster, cluster.core[0])
+        assert passive.voluntary_leave_candidate(cluster) is None
+
+    def test_greedy_fires_without_probability_gate(self, factory, params):
+        greedy = GreedyLeaveAdversary(params)  # k = 1!
+        strong = StrongAdversary(params)
+        cluster = build_cluster(factory, 2, [True, True])
+        # Strong (k=1) never volunteers; greedy does whenever y > 0.
+        assert strong.voluntary_leave_candidate(cluster) is None
+        assert greedy.voluntary_leave_candidate(cluster) is not None
+
+    def test_greedy_still_avoids_merges(self, factory, params):
+        greedy = GreedyLeaveAdversary(params)
+        cluster = build_cluster(factory, 2, [True])
+        assert greedy.voluntary_leave_candidate(cluster) is None

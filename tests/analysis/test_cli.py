@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_experiments_enumerated(self):
+        assert set(EXPERIMENTS) == {
+            "figure3",
+            "figure4",
+            "figure5",
+            "table1",
+            "table2",
+            "ablations",
+        }
+
+    def test_parses_experiment(self):
+        arguments = build_parser().parse_args(["table1"])
+        assert arguments.experiment == "table1"
+        assert arguments.out is None
+
+    def test_parses_out_directory(self, tmp_path):
+        arguments = build_parser().parse_args(
+            ["table2", "--out", str(tmp_path)]
+        )
+        assert arguments.out == tmp_path
+
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+
+class TestExecution:
+    def test_table1_prints_paper_shape(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "max relative gap" in output
+
+    def test_table2_prints_sojourns(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "E(T_S,1)" in output
+        assert "first sojourn carries the mass: True" in output
+
+    def test_table1_writes_csv(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.csv").exists()
+        header = (tmp_path / "table1.csv").read_text().splitlines()[0]
+        assert header.startswith("mu,d")
+
+    def test_table2_writes_csv(self, tmp_path, capsys):
+        assert main(["table2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.csv").exists()

@@ -1,0 +1,62 @@
+"""Unit tests for the one-shot reproduction report.
+
+Report generation reruns Figure 3/5 grids, so the heavy path executes
+once in a module fixture; the CLI path is exercised through it too.
+"""
+
+import pytest
+
+from repro.analysis.report import build_sections, render_report, write_report
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return build_sections()
+
+
+class TestSections:
+    def test_every_paper_artifact_present(self, sections):
+        titles = " ".join(section.title for section in sections)
+        for token in ("Table I", "Table II", "Figure 3", "Figure 4", "Figure 5"):
+            assert token in titles
+
+    def test_all_sections_pass(self, sections):
+        failing = {
+            section.title: section.verdicts
+            for section in sections
+            if not section.passed
+        }
+        assert not failing, failing
+
+    def test_ablation_verdicts_included(self, sections):
+        ablation = next(s for s in sections if s.title == "Ablations")
+        assert "k1_dominates" in ablation.verdicts
+        assert "spare_first_join_dominates" in ablation.verdicts
+
+
+class TestRendering:
+    def test_report_structure(self, sections):
+        text = render_report(sections)
+        assert text.startswith("# Reproduction report")
+        assert "## Verdict summary" in text
+        assert "| Table I" in text
+        assert "- [x]" in text
+        assert "FAIL" not in text
+
+    def test_write_report(self, sections, tmp_path):
+        # Reuse computed sections through render; write_report would
+        # recompute, so only exercise the file plumbing.
+        target = tmp_path / "sub" / "report.md"
+        target.parent.mkdir(parents=True)
+        target.write_text(render_report(sections))
+        assert target.read_text().startswith("# Reproduction report")
+
+
+class TestCliIntegration:
+    def test_cli_report_writes_markdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--out", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "report written" in output
+        assert (tmp_path / "report.md").exists()

@@ -1,0 +1,102 @@
+"""Unit tests for the sensitivity/tornado analysis."""
+
+import pytest
+
+from repro.analysis.experiments import ModelCache, base_parameters
+from repro.analysis.sensitivity import (
+    METRICS,
+    continuous_sensitivity,
+    discrete_sensitivity,
+    render_tornado,
+    tornado,
+)
+from repro.core.parameters import ParameterError
+
+BASE = base_parameters(mu=0.2, d=0.9, k=1)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ModelCache()
+
+
+class TestContinuous:
+    def test_mu_raises_pollution(self, cache):
+        entry = continuous_sensitivity(BASE, "mu", "E(T_P)", cache=cache)
+        assert entry.high_value > entry.low_value
+        assert entry.elasticity > 0.0
+
+    def test_d_raises_pollution(self, cache):
+        entry = continuous_sensitivity(BASE, "d", "E(T_P)", cache=cache)
+        assert entry.high_value > entry.low_value
+
+    def test_mu_lowers_safe_time(self, cache):
+        entry = continuous_sensitivity(BASE, "mu", "E(T_S)", cache=cache)
+        assert entry.high_value < entry.low_value
+        assert entry.elasticity < 0.0
+
+    def test_step_clamped_at_domain_edges(self, cache):
+        at_edge = BASE.with_overrides(mu=0.0)
+        entry = continuous_sensitivity(at_edge, "mu", cache=cache)
+        assert entry.low_setting == 0.0
+
+    def test_d_step_respects_cap(self, cache):
+        near_one = BASE.with_overrides(d=0.99)
+        entry = continuous_sensitivity(near_one, "d", cache=cache)
+        assert entry.high_setting <= 0.999
+
+    def test_unknown_knob_rejected(self, cache):
+        with pytest.raises(ParameterError, match="continuous"):
+            continuous_sensitivity(BASE, "k", cache=cache)
+
+    def test_unknown_metric_rejected(self, cache):
+        with pytest.raises(ParameterError, match="metric"):
+            continuous_sensitivity(BASE, "mu", "median", cache=cache)
+
+
+class TestDiscrete:
+    def test_bigger_core_helps(self, cache):
+        entry = discrete_sensitivity(BASE, "core_size", "E(T_P)", cache=cache)
+        # C=8 keeps quorum c=2 but dilutes each malicious member's
+        # selection probability: pollution should not increase.
+        assert entry.high_value <= entry.base_value + 1e-9
+
+    def test_k_probe_respects_bounds(self, cache):
+        entry = discrete_sensitivity(BASE, "k", cache=cache)
+        assert entry.low_setting >= 1
+        assert entry.high_setting <= BASE.core_size
+
+    def test_more_randomization_hurts(self, cache):
+        entry = discrete_sensitivity(BASE, "k", "E(T_P)", cache=cache)
+        assert entry.high_value > entry.base_value
+
+    def test_unknown_knob_rejected(self, cache):
+        with pytest.raises(ParameterError, match="discrete"):
+            discrete_sensitivity(BASE, "mu", cache=cache)
+
+
+class TestTornado:
+    @pytest.fixture(scope="class")
+    def entries(self, cache):
+        return tornado(BASE, cache=cache)
+
+    def test_all_knobs_present(self, entries):
+        assert {entry.knob for entry in entries} == {
+            "mu",
+            "d",
+            "core_size",
+            "spare_max",
+            "k",
+        }
+
+    def test_sorted_by_swing(self, entries):
+        swings = [entry.swing for entry in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_render(self, entries):
+        text = render_tornado(entries, BASE)
+        assert "swing" in text
+        assert "mu" in text
+
+    def test_metrics_registry_complete(self):
+        assert set(METRICS) == {"E(T_P)", "E(T_S)", "p(polluted-merge)"}

@@ -1,0 +1,84 @@
+"""Unit tests for table rendering and IO helpers."""
+
+import pytest
+
+from repro.analysis.io import ensure_directory, read_json, write_csv, write_json
+from repro.analysis.tables import format_value, render_comparison, render_table
+
+
+class TestFormatValue:
+    def test_integers_verbatim(self):
+        assert format_value(42) == "42"
+
+    def test_small_floats_fixed(self):
+        assert format_value(1.23456) == "1.2346"
+
+    def test_large_floats_scientific(self):
+        assert format_value(9.3e9) == "9.3e+09"
+
+    def test_tiny_floats_scientific(self):
+        assert format_value(2.64e-5) == "2.64e-05"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0.0000"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_strings_pass_through(self):
+        assert format_value("mu=10%") == "mu=10%"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1.5], ["bb", 20.25]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_comparison_includes_gap(self):
+        text = render_comparison(
+            ["E(T_S)"], [12.0], [12.09], title="check"
+        )
+        assert "0.8%" in text or "0.7%" in text
+
+    def test_comparison_handles_missing_reference(self):
+        text = render_comparison(["x"], [None], [5.0])
+        assert "-" in text
+
+
+class TestIo:
+    def test_csv_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "t.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        content = path.read_text().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+
+    def test_csv_header_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+    def test_json_roundtrip(self, tmp_path):
+        path = write_json(tmp_path / "r.json", {"x": 1.5, "name": "demo"})
+        record = read_json(path)
+        assert record == {"x": 1.5, "name": "demo"}
+
+    def test_ensure_directory_nested(self, tmp_path):
+        target = ensure_directory(tmp_path / "deep" / "nest")
+        assert target.is_dir()
+
+    def test_csv_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "t.csv", ["a"], [[1]])
+        assert path.exists()

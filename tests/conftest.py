@@ -1,0 +1,61 @@
+"""Shared fixtures: parameter points, cached models, seeded generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _reset_peer_factory_namespace():
+    """Make peer names independent of test execution order.
+
+    ``PeerFactory`` namespaces default peer names with a class-level
+    counter; since names feed the identifier hash, leaving the counter
+    to accumulate across tests would make overlay dynamics depend on
+    which tests ran before.
+    """
+    from repro.overlay.peer import PeerFactory
+
+    PeerFactory._instances = 0
+    yield
+
+
+@pytest.fixture(scope="session")
+def base_params() -> ModelParameters:
+    """The paper's failure-free base point."""
+    return ModelParameters(core_size=7, spare_max=7, k=1)
+
+
+@pytest.fixture(scope="session")
+def attack_params() -> ModelParameters:
+    """A representative adversarial point (mu=20 %, d=80 %)."""
+    return ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.8)
+
+
+@pytest.fixture(scope="session")
+def attack_chain(attack_params) -> ClusterChain:
+    """Assembled chain at the adversarial point (session-cached)."""
+    return ClusterChain(attack_params)
+
+
+@pytest.fixture(scope="session")
+def attack_model(attack_params) -> ClusterModel:
+    """Facade at the adversarial point (session-cached)."""
+    return ClusterModel(attack_params)
+
+
+@pytest.fixture(scope="session")
+def clean_model(base_params) -> ClusterModel:
+    """Facade at the failure-free point (session-cached)."""
+    return ClusterModel(base_params)

@@ -1,0 +1,109 @@
+"""Unit tests for Relations (5), (6), (9) at cluster level."""
+
+import numpy as np
+import pytest
+
+from repro.core.absorption import (
+    absorbing_analysis,
+    absorption_probabilities,
+    cluster_fate,
+    expected_steps_to_absorption,
+    expected_time_polluted,
+    expected_time_safe,
+    sojourn_analysis,
+)
+from repro.core.initial import delta_distribution, resolve_initial
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+
+
+@pytest.fixture(scope="module")
+def clean_chain():
+    return ClusterChain(ModelParameters(mu=0.0, d=0.0))
+
+
+class TestFailureFreeAnchors:
+    """mu = 0 collapses the chain to a +-1 random walk on the spare size."""
+
+    def test_expected_safe_time_is_s0_times_rest(self, clean_chain):
+        initial = delta_distribution(clean_chain)
+        # s0 (Delta - s0) = 3 * 4 = 12 = floor(Delta^2 / 4).
+        assert expected_time_safe(clean_chain, initial) == pytest.approx(12.0)
+
+    def test_no_polluted_time(self, clean_chain):
+        initial = delta_distribution(clean_chain)
+        assert expected_time_polluted(clean_chain, initial) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_absorption_odds_are_walk_exit_probabilities(self, clean_chain):
+        initial = delta_distribution(clean_chain)
+        probabilities = absorption_probabilities(clean_chain, initial)
+        assert probabilities["safe-merge"] == pytest.approx(4.0 / 7.0)
+        assert probabilities["safe-split"] == pytest.approx(3.0 / 7.0)
+        assert probabilities["polluted-merge"] == pytest.approx(0.0, abs=1e-15)
+
+    def test_walk_anchor_from_other_start(self, clean_chain):
+        initial = resolve_initial(clean_chain, (5, 0, 0))
+        assert expected_time_safe(clean_chain, initial) == pytest.approx(10.0)
+        probabilities = absorption_probabilities(clean_chain, initial)
+        assert probabilities["safe-merge"] == pytest.approx(2.0 / 7.0)
+
+    def test_total_steps_equals_sum_of_subset_times(self, clean_chain):
+        initial = delta_distribution(clean_chain)
+        total = expected_steps_to_absorption(clean_chain, initial)
+        assert total == pytest.approx(12.0)
+
+
+class TestAdversarialPoint:
+    def test_times_are_positive(self, attack_chain):
+        initial = delta_distribution(attack_chain)
+        assert expected_time_safe(attack_chain, initial) > 0
+        assert expected_time_polluted(attack_chain, initial) > 0
+
+    def test_probabilities_sum_to_one(self, attack_chain):
+        initial = delta_distribution(attack_chain)
+        probabilities = absorption_probabilities(attack_chain, initial)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_total_time_decomposition(self, attack_chain):
+        initial = delta_distribution(attack_chain)
+        total = expected_steps_to_absorption(attack_chain, initial)
+        parts = expected_time_safe(attack_chain, initial) + expected_time_polluted(
+            attack_chain, initial
+        )
+        assert total == pytest.approx(parts, rel=1e-9)
+
+    def test_cluster_fate_consistency(self, attack_chain):
+        initial = delta_distribution(attack_chain)
+        fate = cluster_fate(attack_chain, initial)
+        assert fate.expected_lifetime == pytest.approx(
+            expected_steps_to_absorption(attack_chain, initial), rel=1e-9
+        )
+        assert fate.p_polluted_absorption == fate.p_polluted_merge
+        record = fate.as_dict()
+        assert set(record) == {
+            "E(T_S)",
+            "E(T_P)",
+            "p(safe-merge)",
+            "p(safe-split)",
+            "p(polluted-merge)",
+        }
+
+    def test_beta_start_is_worse_than_delta(self, attack_chain):
+        delta_initial = resolve_initial(attack_chain, "delta")
+        beta_initial = resolve_initial(attack_chain, "beta")
+        assert expected_time_polluted(
+            attack_chain, beta_initial
+        ) > expected_time_polluted(attack_chain, delta_initial)
+
+    def test_sojourn_analysis_agrees_with_absorbing_analysis(self, attack_chain):
+        initial = delta_distribution(attack_chain)
+        censored = sojourn_analysis(attack_chain, initial)
+        fundamental = absorbing_analysis(attack_chain, initial)
+        total_censored = (
+            censored.expected_total_time_s() + censored.expected_total_time_p()
+        )
+        assert total_censored == pytest.approx(
+            fundamental.expected_steps_to_absorption(), rel=1e-9
+        )

@@ -1,0 +1,79 @@
+"""Unit tests for the d <-> half-life <-> lifetime calibration."""
+
+import math
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationError,
+    d_from_lifetime,
+    decay_factor,
+    expected_sojourn_at_position,
+    half_life,
+    lifetime_from_d,
+    survival_probability,
+)
+
+
+class TestHalfLife:
+    def test_formula(self):
+        assert half_life(0.5) == pytest.approx(math.log(2) / 0.5)
+
+    def test_d_zero(self):
+        assert half_life(0.0) == pytest.approx(math.log(2))
+
+    def test_rejects_d_one(self):
+        with pytest.raises(CalibrationError):
+            half_life(1.0)
+
+
+class TestLifetime:
+    def test_paper_figure5_legend_d30(self):
+        # Figure 5 legend: d = 30 % -> L = 6.58.
+        assert lifetime_from_d(0.30) == pytest.approx(6.58, abs=0.01)
+
+    def test_paper_figure5_legend_d90(self):
+        # Figure 5 legend: d = 90 % -> L = 46.05.
+        assert lifetime_from_d(0.90) == pytest.approx(46.05, abs=0.01)
+
+    def test_decay_factor_matches_paper_constant(self):
+        # The paper rounds log2(100) ~ 6.644 up to 6.65.
+        assert decay_factor(0.99) == pytest.approx(6.6439, abs=1e-3)
+        assert decay_factor(0.99) <= 6.65
+
+    def test_roundtrip(self):
+        for d in (0.1, 0.5, 0.9, 0.99):
+            assert d_from_lifetime(lifetime_from_d(d)) == pytest.approx(d)
+
+    def test_custom_coverage(self):
+        # 50 % coverage means exactly one half-life.
+        assert lifetime_from_d(0.5, coverage=0.5) == pytest.approx(
+            half_life(0.5)
+        )
+
+    def test_rejects_nonpositive_lifetime(self):
+        with pytest.raises(CalibrationError):
+            d_from_lifetime(0.0)
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(CalibrationError):
+            decay_factor(1.0)
+
+
+class TestSurvival:
+    def test_set_survival_is_power(self):
+        assert survival_probability(3, 0.9) == pytest.approx(0.9**3)
+
+    def test_empty_set_survives(self):
+        assert survival_probability(0, 0.5) == 1.0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(CalibrationError):
+            survival_probability(-1, 0.5)
+
+    def test_expected_sojourn_geometric(self):
+        assert expected_sojourn_at_position(0.9) == pytest.approx(10.0)
+
+    def test_expected_sojourn_rejects_d_one(self):
+        with pytest.raises(CalibrationError):
+            expected_sojourn_at_position(1.0)

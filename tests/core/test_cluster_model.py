@@ -1,0 +1,100 @@
+"""Unit tests for the ClusterModel facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.parameters import ModelParameters
+
+
+class TestFacade:
+    def test_default_parameters(self):
+        model = ClusterModel()
+        assert model.params.core_size == 7
+
+    def test_chain_is_lazy_and_cached(self):
+        model = ClusterModel(ModelParameters(mu=0.1))
+        assert model._chain is None
+        chain = model.chain
+        assert model.chain is chain
+
+    def test_with_overrides_builds_new_model(self, attack_model):
+        varied = attack_model.with_overrides(mu=0.05)
+        assert varied.params.mu == 0.05
+        assert attack_model.params.mu == 0.2
+
+    def test_space_shortcut(self, attack_model):
+        assert attack_model.space is attack_model.chain.space
+
+    def test_as_markov_chain(self, attack_model):
+        chain = attack_model.as_markov_chain()
+        assert chain.n_states == attack_model.space.model_size
+
+
+class TestQuantities:
+    def test_expected_times_accept_all_initial_forms(self, attack_model):
+        by_name = attack_model.expected_time_safe("delta")
+        by_state = attack_model.expected_time_safe((3, 0, 0))
+        assert by_name == pytest.approx(by_state)
+
+    def test_sojourns_match_profile(self, attack_model):
+        profile = attack_model.sojourn_profile("delta", depth=2)
+        assert attack_model.expected_sojourn_safe(1) == pytest.approx(
+            profile.safe_sojourns[0]
+        )
+        assert attack_model.expected_sojourn_polluted(2) == pytest.approx(
+            profile.polluted_sojourns[1]
+        )
+
+    def test_fate_matches_individual_calls(self, attack_model):
+        fate = attack_model.cluster_fate("delta")
+        assert fate.expected_time_safe == pytest.approx(
+            attack_model.expected_time_safe("delta")
+        )
+        assert fate.p_safe_split == pytest.approx(
+            attack_model.absorption_probabilities("delta")["safe-split"]
+        )
+
+    def test_expected_lifetime_decomposes(self, attack_model):
+        lifetime = attack_model.expected_lifetime("delta")
+        parts = attack_model.expected_time_safe(
+            "delta"
+        ) + attack_model.expected_time_polluted("delta")
+        assert lifetime == pytest.approx(parts, rel=1e-9)
+
+
+class TestTransientBehaviour:
+    def test_transient_law_decays(self, attack_model):
+        early = attack_model.transient_law("delta", 0).sum()
+        late = attack_model.transient_law("delta", 50).sum()
+        assert early == pytest.approx(1.0)
+        assert late < early
+
+    def test_pollution_probability_rises_then_falls(self, attack_model):
+        # From (3, 0, 0) pollution needs >= 3 malicious joins plus 3
+        # core promotions, so the earliest nonzero step is the 6th.
+        series = [
+            attack_model.pollution_probability_after(n) for n in (0, 10, 400)
+        ]
+        assert series[0] == pytest.approx(0.0)
+        assert series[1] > 0.0
+        assert series[2] < series[1]
+
+    def test_pollution_structurally_impossible_before_six_events(
+        self, attack_model
+    ):
+        assert attack_model.pollution_probability_after(5) == pytest.approx(
+            0.0, abs=1e-15
+        )
+        assert attack_model.pollution_probability_after(6) > 0.0
+
+    def test_survival_probability_monotone(self, attack_model):
+        values = [
+            attack_model.survival_probability_after(n) for n in (0, 10, 40)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_pollution_impossible_when_mu_zero(self, clean_model):
+        assert clean_model.pollution_probability_after(25) == pytest.approx(
+            0.0, abs=1e-15
+        )

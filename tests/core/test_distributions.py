@@ -1,0 +1,170 @@
+"""Unit tests for the hypergeometric and maintenance kernels."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.core.distributions import (
+    binomial_pmf,
+    hypergeometric_pmf,
+    hypergeometric_support,
+    maintenance_kernel,
+)
+
+
+class TestHypergeometric:
+    def test_matches_scipy(self):
+        # q(k, l, u, v) vs scipy.stats.hypergeom(M=l, n=v, N=k).pmf(u).
+        for draws, population, reds in ((3, 10, 4), (5, 8, 8), (2, 6, 0)):
+            for hits in range(draws + 1):
+                ours = hypergeometric_pmf(draws, population, hits, reds)
+                reference = stats.hypergeom(population, reds, draws).pmf(hits)
+                assert ours == pytest.approx(float(reference), abs=1e-12)
+
+    def test_normalization(self):
+        total = sum(
+            hypergeometric_pmf(4, 9, u, 5) for u in range(5)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_impossible_outcomes_are_zero(self):
+        assert hypergeometric_pmf(3, 10, 4, 4) == 0.0  # more hits than draws
+        assert hypergeometric_pmf(3, 10, 2, 1) == 0.0  # more hits than reds
+        assert hypergeometric_pmf(3, 10, 0, 8) == 0.0  # cannot avoid reds
+
+    def test_degenerate_draw_everything(self):
+        assert hypergeometric_pmf(5, 5, 3, 3) == pytest.approx(1.0)
+
+    def test_zero_draws(self):
+        assert hypergeometric_pmf(0, 5, 0, 3) == pytest.approx(1.0)
+
+    def test_invalid_urn_raises(self):
+        with pytest.raises(ValueError, match="invalid urn"):
+            hypergeometric_pmf(2, 5, 1, 6)
+        with pytest.raises(ValueError, match="cannot draw"):
+            hypergeometric_pmf(6, 5, 1, 2)
+
+    def test_support_bounds(self):
+        support = hypergeometric_support(4, 6, 5)
+        # At least 4 - 1 = 3 reds must be drawn; at most 4.
+        assert list(support) == [3, 4]
+
+
+class TestMaintenanceKernel:
+    def test_probabilities_sum_to_one(self):
+        for k in (1, 2, 4, 7):
+            total = sum(
+                p
+                for _, _, p in maintenance_kernel(
+                    malicious_core_after=2,
+                    malicious_spare=1,
+                    spare_size=3,
+                    core_size=7,
+                    k=k,
+                )
+            )
+            assert total == pytest.approx(1.0), f"k={k}"
+
+    def test_k1_promotes_exactly_one(self):
+        outcomes = list(
+            maintenance_kernel(
+                malicious_core_after=2,
+                malicious_spare=1,
+                spare_size=3,
+                core_size=7,
+                k=1,
+            )
+        )
+        # k=1: no demotion (a=0), one promotion (b in {0, 1}).
+        assert all(a == 0 for a, _, _ in outcomes)
+        assert sorted(b for _, b, _ in outcomes) == [0, 1]
+        by_b = {b: p for _, b, p in outcomes}
+        assert by_b[1] == pytest.approx(1.0 / 3.0)  # 1 malicious of 3 spares
+
+    def test_counts_stay_consistent(self):
+        # Core ends with x' - a + b and spare with y + a - b; both must
+        # stay within physical bounds for every outcome.
+        for a, b, p in maintenance_kernel(
+            malicious_core_after=3,
+            malicious_spare=2,
+            spare_size=4,
+            core_size=7,
+            k=5,
+        ):
+            assert 0 <= 3 - a + b <= 7
+            assert 0 <= 2 + a - b <= 4 + 5 - 1
+            assert p > 0
+
+    def test_spare_of_one_drains_fully(self):
+        # s=1: the draw pool has exactly k members, all must come back.
+        outcomes = list(
+            maintenance_kernel(
+                malicious_core_after=2,
+                malicious_spare=1,
+                spare_size=1,
+                core_size=7,
+                k=3,
+            )
+        )
+        for a, b, _ in outcomes:
+            assert b == 1 + a  # all malicious in pool drawn back
+
+    def test_requires_spare(self):
+        with pytest.raises(ValueError, match="at least one spare"):
+            list(
+                maintenance_kernel(
+                    malicious_core_after=0,
+                    malicious_spare=0,
+                    spare_size=0,
+                    core_size=7,
+                    k=1,
+                )
+            )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must"):
+            list(
+                maintenance_kernel(
+                    malicious_core_after=0,
+                    malicious_spare=0,
+                    spare_size=2,
+                    core_size=7,
+                    k=8,
+                )
+            )
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(ValueError, match="malicious_core_after"):
+            list(
+                maintenance_kernel(
+                    malicious_core_after=7,
+                    malicious_spare=0,
+                    spare_size=2,
+                    core_size=7,
+                    k=1,
+                )
+            )
+
+
+class TestBinomial:
+    def test_matches_scipy(self):
+        for n, p in ((7, 0.2), (3, 0.5)):
+            for successes in range(n + 1):
+                assert binomial_pmf(n, p, successes) == pytest.approx(
+                    float(stats.binom(n, p).pmf(successes)), abs=1e-12
+                )
+
+    def test_out_of_support(self):
+        assert binomial_pmf(3, 0.5, 4) == 0.0
+        assert binomial_pmf(3, 0.5, -1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(-1, 0.5, 0)
+        with pytest.raises(ValueError):
+            binomial_pmf(3, 1.5, 0)
+
+    def test_edge_probabilities(self):
+        assert binomial_pmf(4, 0.0, 0) == 1.0
+        assert binomial_pmf(4, 1.0, 4) == 1.0

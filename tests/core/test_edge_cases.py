@@ -1,0 +1,135 @@
+"""Edge cases and degenerate corners of the analytical model."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State, StateSpace
+from repro.core.transitions import transition_distribution
+from repro.markov.linalg import MarkovNumericsError
+
+
+class TestMinimalSpaces:
+    def test_smallest_legal_space(self):
+        # C = 1 (quorum c = 0: any malicious core member pollutes),
+        # Delta = 2 (single transient spare size s = 1).
+        params = ModelParameters(core_size=1, spare_max=2, k=1)
+        space = StateSpace(params)
+        assert len(space.transient) == 4  # (1,x,y): x in {0,1}, y in {0,1}
+        chain = ClusterChain(params)
+        assert np.allclose(chain.matrix.sum(axis=1), 1.0)
+
+    def test_single_member_core_fully_malicious(self):
+        params = ModelParameters(core_size=1, spare_max=2, k=1, mu=1.0, d=0.0)
+        model = ClusterModel(params)
+        # Every joiner is malicious and ids expire instantly: the
+        # cluster still dissolves in finite time.
+        assert model.expected_lifetime((1, 0, 0)) < 100.0
+
+    def test_core_size_two_quorum_zero(self):
+        params = ModelParameters(core_size=2, spare_max=3, k=2, mu=0.5, d=0.5)
+        model = ClusterModel(params)
+        probabilities = model.absorption_probabilities((1, 0, 0))
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+    def test_wide_spare_narrow_core(self):
+        params = ModelParameters(core_size=2, spare_max=10, k=1, mu=0.1, d=0.5)
+        model = ClusterModel(params)
+        # mu=0 sanity at same shape: E = s0 (Delta - s0) = 5*5 = 25.
+        clean = ClusterModel(params.with_overrides(mu=0.0))
+        assert clean.expected_time_safe((5, 0, 0)) == pytest.approx(25.0)
+        assert model.expected_time_safe((5, 0, 0)) > 0.0
+
+
+class TestExtremeParameters:
+    def test_mu_one_everything_malicious(self):
+        params = ModelParameters(mu=1.0, d=0.0, k=1)
+        model = ClusterModel(params)
+        fate = model.cluster_fate("delta")
+        # With d=0 the ids expire constantly: the adversary still
+        # pollutes (joins are all malicious) but cannot hold seats.
+        assert fate.expected_time_polluted > 0.0
+        assert fate.p_safe_merge + fate.p_safe_split + fate.p_polluted_merge == pytest.approx(1.0)
+
+    def test_d_one_blows_up_polluted_solve(self):
+        # Immortal malicious ids create a closed transient subset; the
+        # censored solve must report it rather than return garbage.
+        params = ModelParameters(mu=0.5, d=1.0, k=1)
+        model = ClusterModel(params)
+        with pytest.raises(MarkovNumericsError):
+            model.expected_time_polluted("delta")
+
+    def test_d_one_safe_time_finite_with_mu_zero(self):
+        # d is irrelevant without malicious peers.
+        params = ModelParameters(mu=0.0, d=1.0, k=1)
+        model = ClusterModel(params)
+        assert model.expected_time_safe("delta") == pytest.approx(12.0)
+
+    def test_asymmetric_event_mix(self):
+        # p_join = 0.8: growth dominates, split far more likely.
+        params = ModelParameters(mu=0.0, d=0.0, p_join=0.8)
+        model = ClusterModel(params)
+        probabilities = model.absorption_probabilities("delta")
+        assert probabilities["safe-split"] > 0.9
+
+    def test_near_one_mu_rows_still_stochastic(self):
+        params = ModelParameters(mu=0.999, d=0.999, k=7)
+        space = StateSpace(params)
+        for state in space.transient:
+            law = transition_distribution(state, params)
+            assert sum(law.values()) == pytest.approx(1.0)
+
+
+class TestBoundaryStates:
+    def test_transitions_from_s1_polluted(self):
+        params = ModelParameters(mu=0.3, d=0.7, k=1)
+        law = transition_distribution(State(1, 5, 1), params)
+        assert sum(law.values()) == pytest.approx(1.0)
+        # The only s-decreasing targets are merge states (s = 0).
+        for target in law:
+            assert target.s in (0, 1, 2)
+
+    def test_transitions_from_split_edge_safe(self):
+        params = ModelParameters(mu=0.3, d=0.7, k=1)
+        law = transition_distribution(State(6, 2, 3), params)
+        split_targets = [t for t in law if t.s == 7]
+        assert split_targets  # safe clusters do split
+        for target in split_targets:
+            assert target.x <= params.pollution_quorum
+
+    def test_full_spare_malicious_occupation(self):
+        params = ModelParameters(mu=0.3, d=0.9, k=1)
+        law = transition_distribution(State(3, 2, 3), params)
+        assert sum(law.values()) == pytest.approx(1.0)
+
+    def test_core_fully_malicious_behaviour(self):
+        params = ModelParameters(mu=0.3, d=0.5, k=1)
+        law = transition_distribution(State(3, 7, 0), params)
+        # Honest-core-leave branch has zero weight; forced departures
+        # with x - 1 = 6 > c keep the quorum via biased replacement.
+        assert sum(law.values()) == pytest.approx(1.0)
+        assert State(2, 6, 0) in law  # y = 0: honest spare promoted
+
+
+class TestLargerConfigurations:
+    def test_c10_delta12_consistency(self):
+        params = ModelParameters(
+            core_size=10, spare_max=12, k=3, mu=0.2, d=0.8
+        )
+        model = ClusterModel(params)
+        fate = model.cluster_fate("delta")
+        assert fate.expected_lifetime > 0
+        assert 0.0 <= fate.p_polluted_merge < 1.0
+        # mu=0 sanity: floor(Delta^2/4) = 36.
+        clean = ClusterModel(params.with_overrides(mu=0.0))
+        assert clean.expected_lifetime("delta") == pytest.approx(36.0)
+
+    def test_quorum_grows_with_core(self):
+        small = ModelParameters(core_size=7, spare_max=7, mu=0.2, d=0.9)
+        large = ModelParameters(core_size=13, spare_max=7, mu=0.2, d=0.9)
+        polluted_small = ClusterModel(small).expected_time_polluted("delta")
+        polluted_large = ClusterModel(large).expected_time_polluted("delta")
+        # c jumps from 2 to 4: a 13-core cluster is much harder to take.
+        assert polluted_large < polluted_small

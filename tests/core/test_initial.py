@@ -1,0 +1,109 @@
+"""Unit tests for the delta and beta initial distributions."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial import (
+    InitialDistributionError,
+    beta_distribution,
+    delta_distribution,
+    point_distribution,
+    resolve_initial,
+)
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State
+
+
+class TestDelta:
+    def test_all_mass_on_clean_state(self, attack_chain):
+        vector = delta_distribution(attack_chain)
+        assert vector.sum() == pytest.approx(1.0)
+        start = State(3, 0, 0)
+        assert vector[attack_chain.transient_index_of(start)] == 1.0
+        assert np.count_nonzero(vector) == 1
+
+    def test_even_spare_max_starts_at_half(self):
+        chain = ClusterChain(ModelParameters(spare_max=6))
+        vector = delta_distribution(chain)
+        assert vector[chain.transient_index_of(State(3, 0, 0))] == 1.0
+
+
+class TestBeta:
+    def test_normalized(self, attack_chain):
+        vector = beta_distribution(attack_chain)
+        assert vector.sum() == pytest.approx(1.0)
+
+    def test_mu_zero_collapses_to_clean_states(self):
+        chain = ClusterChain(ModelParameters(mu=0.0))
+        vector = beta_distribution(chain)
+        support = {
+            tuple(chain.space.transient[i])
+            for i in np.nonzero(vector)[0]
+        }
+        assert support == {(s, 0, 0) for s in range(1, 7)}
+        assert vector.max() == pytest.approx(1.0 / 6.0)
+
+    def test_matches_relation3_pointwise(self, attack_chain):
+        from repro.core.distributions import binomial_pmf
+
+        mu = attack_chain.params.mu
+        vector = beta_distribution(attack_chain)
+        state = State(4, 2, 1)
+        expected = (
+            (1.0 / 6.0)
+            * binomial_pmf(7, mu, 2)
+            * binomial_pmf(4, mu, 1)
+        )
+        index = attack_chain.transient_index_of(state)
+        assert vector[index] == pytest.approx(expected)
+
+    def test_puts_mass_on_polluted_states(self, attack_chain):
+        vector = beta_distribution(attack_chain)
+        polluted_mass = float(vector @ attack_chain.polluted_indicator())
+        assert polluted_mass > 0.0
+
+
+class TestResolve:
+    def test_strings(self, attack_chain):
+        assert np.allclose(
+            resolve_initial(attack_chain, "delta"),
+            delta_distribution(attack_chain),
+        )
+        assert np.allclose(
+            resolve_initial(attack_chain, "beta"),
+            beta_distribution(attack_chain),
+        )
+
+    def test_unknown_string(self, attack_chain):
+        with pytest.raises(InitialDistributionError, match="unknown"):
+            resolve_initial(attack_chain, "gamma")
+
+    def test_state_tuple(self, attack_chain):
+        vector = resolve_initial(attack_chain, (2, 1, 1))
+        assert vector[attack_chain.transient_index_of(State(2, 1, 1))] == 1.0
+
+    def test_point_distribution_equivalence(self, attack_chain):
+        direct = point_distribution(attack_chain, State(2, 1, 1))
+        resolved = resolve_initial(attack_chain, State(2, 1, 1))
+        assert np.allclose(direct, resolved)
+
+    def test_explicit_vector_roundtrip(self, attack_chain):
+        vector = beta_distribution(attack_chain)
+        assert np.allclose(resolve_initial(attack_chain, vector), vector)
+
+    def test_vector_must_normalize(self, attack_chain):
+        bad = beta_distribution(attack_chain) * 0.5
+        with pytest.raises(InitialDistributionError, match="sums to"):
+            resolve_initial(attack_chain, bad)
+
+    def test_vector_shape_checked(self, attack_chain):
+        with pytest.raises(InitialDistributionError, match="shape"):
+            resolve_initial(attack_chain, np.ones(4) / 4)
+
+    def test_negative_mass_rejected(self, attack_chain):
+        vector = delta_distribution(attack_chain)
+        vector[0] -= 1e-3
+        vector[1] += 1e-3
+        with pytest.raises(InitialDistributionError, match="negative"):
+            resolve_initial(attack_chain, vector)

@@ -1,0 +1,100 @@
+"""Unit tests for the overlay-level competing-chains model."""
+
+import numpy as np
+import pytest
+
+from repro.core.overlay_model import OverlayModel
+from repro.core.parameters import ModelParameters
+
+
+@pytest.fixture(scope="module")
+def model_params():
+    return ModelParameters(mu=0.25, d=0.9)
+
+
+@pytest.fixture(scope="module")
+def overlay(model_params):
+    return OverlayModel(model_params, n_clusters=50)
+
+
+class TestMarginalLaw:
+    def test_zero_events_is_initial(self, overlay):
+        law = overlay.marginal_law("delta", 0)
+        assert law.sum() == pytest.approx(1.0)
+
+    def test_mass_decays(self, overlay):
+        masses = [overlay.marginal_law("delta", m).sum() for m in (0, 200, 2000)]
+        assert masses[0] > masses[1] > masses[2]
+
+    def test_n1_equals_plain_chain(self, model_params):
+        single = OverlayModel(model_params, n_clusters=1)
+        law = single.marginal_law("delta", 5)
+        from repro.core.initial import resolve_initial
+
+        chain = single.chain
+        expected = resolve_initial(chain, "delta")
+        for _ in range(5):
+            expected = expected @ chain.transient_matrix
+        assert np.allclose(law, expected)
+
+    def test_expected_counts_scale_with_n(self, model_params):
+        small = OverlayModel(model_params, n_clusters=10)
+        # Same number of *rounds per chain* for a fair comparison:
+        # n events over n chains is one transition each, in expectation.
+        safe_small, _ = small.expected_counts("delta", 0)
+        assert safe_small == pytest.approx(10.0)
+
+    def test_rejects_bad_n(self, model_params):
+        with pytest.raises(ValueError, match="n_clusters"):
+            OverlayModel(model_params, n_clusters=0)
+
+
+class TestProportionSeries:
+    def test_series_bounds_and_start(self, overlay):
+        series = overlay.proportion_series("delta", 500, record_every=50)
+        assert series.safe_fraction[0] == pytest.approx(1.0)
+        assert series.polluted_fraction[0] == pytest.approx(0.0)
+        assert np.all(series.safe_fraction >= -1e-12)
+        assert np.all(series.safe_fraction <= 1.0 + 1e-12)
+        assert np.all(series.polluted_fraction >= -1e-12)
+
+    def test_absorbed_fraction_complements(self, overlay):
+        series = overlay.proportion_series("delta", 300, record_every=30)
+        total = (
+            series.safe_fraction
+            + series.polluted_fraction
+            + series.absorbed_fraction
+        )
+        assert np.allclose(total, 1.0)
+
+    def test_absorbed_fraction_monotone(self, overlay):
+        series = overlay.proportion_series("delta", 400, record_every=20)
+        absorbed = series.absorbed_fraction
+        assert all(b >= a - 1e-12 for a, b in zip(absorbed, absorbed[1:]))
+
+    def test_peak_polluted_accessor(self, overlay):
+        series = overlay.proportion_series("delta", 400, record_every=20)
+        assert series.peak_polluted_fraction == pytest.approx(
+            float(series.polluted_fraction.max())
+        )
+
+    def test_series_matches_expected_counts(self, overlay):
+        series = overlay.proportion_series("delta", 100, record_every=100)
+        safe_count, polluted_count = overlay.expected_counts("delta", 100)
+        assert series.safe_fraction[-1] * overlay.n_clusters == pytest.approx(
+            safe_count, rel=1e-9
+        )
+        assert series.polluted_fraction[-1] * overlay.n_clusters == pytest.approx(
+            polluted_count, rel=1e-9
+        )
+
+    def test_beta_initial_starts_partly_polluted(self, overlay):
+        series = overlay.proportion_series("beta", 10, record_every=10)
+        assert series.polluted_fraction[0] > 0.0
+
+    def test_shared_chain_reuse(self, model_params):
+        from repro.core.matrix import ClusterChain
+
+        chain = ClusterChain(model_params)
+        overlay = OverlayModel(model_params, 5, chain=chain)
+        assert overlay.chain is chain

@@ -1,0 +1,104 @@
+"""Unit tests for ModelParameters validation and derived quantities."""
+
+import pytest
+
+from repro.core.parameters import PAPER_BASE, ModelParameters, ParameterError
+
+
+class TestValidation:
+    def test_defaults_are_paper_base(self):
+        params = ModelParameters()
+        assert params.core_size == 7
+        assert params.spare_max == 7
+        assert params.k == 1
+
+    def test_k_bounds(self):
+        ModelParameters(k=7)
+        with pytest.raises(ParameterError, match="k must satisfy"):
+            ModelParameters(k=8)
+        with pytest.raises(ParameterError, match="k must satisfy"):
+            ModelParameters(k=0)
+
+    def test_mu_bounds(self):
+        ModelParameters(mu=0.0)
+        ModelParameters(mu=1.0)
+        with pytest.raises(ParameterError, match="mu"):
+            ModelParameters(mu=-0.1)
+        with pytest.raises(ParameterError, match="mu"):
+            ModelParameters(mu=1.1)
+
+    def test_d_bounds(self):
+        ModelParameters(d=0.999)
+        with pytest.raises(ParameterError, match="d must"):
+            ModelParameters(d=1.5)
+
+    def test_nu_open_interval(self):
+        with pytest.raises(ParameterError, match="nu"):
+            ModelParameters(nu=0.0)
+        with pytest.raises(ParameterError, match="nu"):
+            ModelParameters(nu=1.0)
+
+    def test_spare_max_minimum(self):
+        with pytest.raises(ParameterError, match="spare_max"):
+            ModelParameters(spare_max=1)
+
+    def test_p_join_open_interval(self):
+        with pytest.raises(ParameterError, match="p_join"):
+            ModelParameters(p_join=0.0)
+        with pytest.raises(ParameterError, match="p_join"):
+            ModelParameters(p_join=1.0)
+
+    def test_core_size_minimum(self):
+        with pytest.raises(ParameterError, match="core_size"):
+            ModelParameters(core_size=0, k=1)
+
+
+class TestDerived:
+    def test_pollution_quorum_matches_bft_bound(self):
+        # c = floor((C-1)/3): the Lamport-Shostak-Pease threshold.
+        assert ModelParameters(core_size=7).pollution_quorum == 2
+        assert ModelParameters(core_size=4).pollution_quorum == 1
+        assert ModelParameters(core_size=10).pollution_quorum == 3
+        assert ModelParameters(core_size=13).pollution_quorum == 4
+
+    def test_max_cluster_size(self):
+        assert ModelParameters(core_size=7, spare_max=7).max_cluster_size == 14
+
+    def test_p_leave_complements_p_join(self):
+        params = ModelParameters(p_join=0.3)
+        assert params.p_leave == pytest.approx(0.7)
+
+    def test_p_core(self):
+        params = ModelParameters(core_size=7)
+        assert params.p_core(0) == pytest.approx(1.0)
+        assert params.p_core(7) == pytest.approx(0.5)
+
+    def test_p_core_rejects_negative_spare(self):
+        with pytest.raises(ParameterError):
+            ModelParameters().p_core(-1)
+
+    def test_is_polluted_threshold(self):
+        params = ModelParameters(core_size=7)
+        assert not params.is_polluted(2)
+        assert params.is_polluted(3)
+
+    def test_with_overrides_revalidates(self):
+        params = ModelParameters(mu=0.1)
+        updated = params.with_overrides(mu=0.2)
+        assert updated.mu == 0.2
+        assert params.mu == 0.1  # frozen original untouched
+        with pytest.raises(ParameterError):
+            params.with_overrides(mu=2.0)
+
+    def test_describe_mentions_key_fields(self):
+        text = ModelParameters(mu=0.25, d=0.9).describe()
+        assert "mu=0.250" in text
+        assert "d=0.9000" in text
+
+    def test_paper_base_constant(self):
+        assert PAPER_BASE.core_size == 7
+        assert PAPER_BASE.spare_max == 7
+
+    def test_hashable_for_caching(self):
+        cache = {ModelParameters(mu=0.1): "a"}
+        assert cache[ModelParameters(mu=0.1)] == "a"

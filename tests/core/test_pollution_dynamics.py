@@ -1,0 +1,123 @@
+"""Unit tests for the distribution-level pollution dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.initial import delta_distribution
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+from repro.core.pollution_dynamics import (
+    polluted_time_pmf,
+    polluted_time_survival,
+    pollution_onset,
+    quantile_from_survival,
+    safe_time_survival,
+)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return ClusterChain(ModelParameters(mu=0.2, d=0.9, k=1))
+
+
+@pytest.fixture(scope="module")
+def initial(chain):
+    return delta_distribution(chain)
+
+
+class TestPollutionOnset:
+    def test_ever_polluted_bounds_polluted_absorption(self, chain, initial):
+        from repro.core.absorption import cluster_fate
+
+        onset = pollution_onset(chain, initial)
+        fate = cluster_fate(chain, initial)
+        assert onset.probability_ever_polluted >= fate.p_polluted_absorption - 1e-9
+        assert 0.0 < onset.probability_ever_polluted < 1.0
+
+    def test_never_plus_ever_is_one(self, chain, initial):
+        onset = pollution_onset(chain, initial)
+        total = onset.probability_ever_polluted + onset.probability_never_polluted
+        assert total == pytest.approx(1.0)
+
+    def test_onset_impossible_before_six_events(self, chain, initial):
+        # Three malicious joins plus three promotions are required.
+        onset = pollution_onset(chain, initial, horizon=10)
+        pmf = 1.0 - onset.survival  # CDF
+        assert pmf[5] == pytest.approx(0.0, abs=1e-15)
+        assert pmf[6] > 0.0
+
+    def test_mu_zero_cluster_never_polluted(self):
+        clean = ClusterChain(ModelParameters(mu=0.0, d=0.9))
+        onset = pollution_onset(clean, delta_distribution(clean))
+        assert onset.probability_ever_polluted == pytest.approx(0.0, abs=1e-15)
+        assert onset.expected_onset_given_polluted == float("inf")
+
+    def test_stronger_adversary_pollutes_sooner_and_more(self):
+        weak_chain = ClusterChain(ModelParameters(mu=0.1, d=0.9))
+        strong_chain = ClusterChain(ModelParameters(mu=0.3, d=0.9))
+        weak = pollution_onset(weak_chain, delta_distribution(weak_chain))
+        strong = pollution_onset(strong_chain, delta_distribution(strong_chain))
+        assert strong.probability_ever_polluted > weak.probability_ever_polluted
+        assert (
+            strong.expected_onset_given_polluted
+            < weak.expected_onset_given_polluted
+        )
+
+
+class TestTimeDistributions:
+    def test_safe_survival_starts_near_one(self, chain, initial):
+        survival = safe_time_survival(chain, initial, horizon=60)
+        # Starting safe with at least one step guaranteed.
+        assert survival[0] == pytest.approx(1.0)
+        assert np.all(np.diff(survival) <= 1e-12)
+
+    def test_safe_survival_mean_matches_relation5(self, chain, initial):
+        from repro.core.absorption import expected_time_safe
+
+        # E(T_S) = sum_{n>=0} P(T_S > n); the tail is geometric so a
+        # wide horizon captures nearly all mass.
+        survival = safe_time_survival(chain, initial, horizon=3000)
+        assert survival.sum() == pytest.approx(
+            expected_time_safe(chain, initial), rel=1e-6
+        )
+
+    def test_polluted_survival_mean_matches_relation6(self, chain, initial):
+        from repro.core.absorption import expected_time_polluted
+
+        survival = polluted_time_survival(chain, initial, horizon=3000)
+        assert survival.sum() == pytest.approx(
+            expected_time_polluted(chain, initial), rel=1e-4
+        )
+
+    def test_polluted_pmf_mass_at_zero(self, chain, initial):
+        pmf = polluted_time_pmf(chain, initial, horizon=50)
+        # P(T_P = 0) = probability of never being polluted while
+        # transient; dominated by the clean random-walk behaviour.
+        assert pmf[0] > 0.9
+        assert np.all(pmf >= -1e-12)
+
+    def test_pmf_consistent_with_survival(self, chain, initial):
+        pmf = polluted_time_pmf(chain, initial, horizon=40)
+        survival = polluted_time_survival(chain, initial, horizon=40)
+        assert pmf[0] == pytest.approx(1.0 - survival[0])
+        assert np.allclose(pmf[1:], survival[:-1] - survival[1:])
+
+
+class TestQuantiles:
+    def test_median_of_known_survival(self):
+        survival = np.array([0.9, 0.7, 0.4, 0.2, 0.05])
+        assert quantile_from_survival(survival, 0.5) == 2
+
+    def test_beyond_horizon_reported(self):
+        survival = np.array([0.9, 0.8])
+        assert quantile_from_survival(survival, 0.5) == 2
+
+    def test_level_validated(self):
+        with pytest.raises(ValueError):
+            quantile_from_survival(np.array([0.5]), 1.0)
+
+    def test_safe_lifetime_quantiles_ordered(self, chain, initial):
+        survival = safe_time_survival(chain, initial, horizon=200)
+        median = quantile_from_survival(survival, 0.5)
+        p90 = quantile_from_survival(survival, 0.9)
+        assert median <= p90

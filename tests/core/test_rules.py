@@ -1,0 +1,133 @@
+"""Unit tests for Rules 1/2 and Property 1 predicates."""
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.core.rules import (
+    adversary_prevents_merge,
+    adversary_prevents_split,
+    property1_survival,
+    relation2_probability,
+    rule1_triggers,
+    rule2_discards_join,
+)
+from repro.core.statespace import State
+
+
+class TestRelation2:
+    def test_zero_without_malicious_core(self):
+        params = ModelParameters(k=3)
+        assert relation2_probability(State(3, 0, 2), params) == 0.0
+
+    def test_zero_for_k1(self):
+        # j >= i + 2 and j <= min(1, y+i) is an empty range.
+        params = ModelParameters(k=1)
+        for y in range(4):
+            assert relation2_probability(State(4, 2, y), params) == 0.0
+
+    def test_zero_when_y_too_small(self):
+        # j >= i + 2 combined with j <= y + i forces y >= 2.
+        params = ModelParameters(k=4)
+        assert relation2_probability(State(4, 2, 0), params) == 0.0
+        assert relation2_probability(State(4, 2, 1), params) == 0.0
+
+    def test_positive_with_malicious_spares(self):
+        params = ModelParameters(k=7)
+        assert relation2_probability(State(3, 1, 3), params) > 0.0
+
+    def test_is_a_probability(self):
+        for k in (2, 4, 7):
+            params = ModelParameters(k=k)
+            for s in range(1, 7):
+                for x in range(1, 8):
+                    for y in range(s + 1):
+                        value = relation2_probability(State(s, x, y), params)
+                        assert 0.0 <= value <= 1.0
+
+    def test_grows_with_malicious_spares(self):
+        params = ModelParameters(k=7)
+        values = [
+            relation2_probability(State(5, 1, y), params) for y in range(6)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_full_spare_takeover_is_near_certain(self):
+        # k = C = 7 with every spare malicious and one malicious core:
+        # the refreshed core draws 7 members from an almost fully
+        # malicious pool -- increase is highly likely.
+        params = ModelParameters(k=7)
+        assert relation2_probability(State(6, 1, 6), params) > 0.9
+
+
+class TestRule1:
+    def test_never_fires_for_k1(self):
+        params = ModelParameters(k=1, nu=0.1)
+        for s in range(1, 7):
+            for x in range(1, 8):
+                for y in range(s + 1):
+                    assert not rule1_triggers(State(s, x, y), params)
+
+    def test_fires_in_favorable_state_for_k7(self):
+        params = ModelParameters(k=7, nu=0.1)
+        assert rule1_triggers(State(6, 1, 6), params)
+
+    def test_respects_nu_threshold(self):
+        # (3, 1, 2) at k = 7 has Relation (2) probability 7/12 ~ 0.583,
+        # comfortably interior, so both threshold sides are exercised.
+        state = State(3, 1, 2)
+        probability = relation2_probability(state, ModelParameters(k=7))
+        assert probability == pytest.approx(7 / 12)
+        tight = ModelParameters(k=7, nu=1 - probability + 0.01)
+        loose = ModelParameters(k=7, nu=1 - probability - 0.01)
+        assert rule1_triggers(state, tight)
+        assert not rule1_triggers(state, loose)
+
+    def test_requires_malicious_core_member(self):
+        params = ModelParameters(k=7)
+        assert not rule1_triggers(State(6, 0, 6), params)
+
+
+class TestRule2:
+    def test_only_defined_for_polluted_clusters(self):
+        params = ModelParameters()
+        with pytest.raises(ValueError, match="polluted"):
+            rule2_discards_join(State(3, 2, 0), True, params)
+
+    def test_honest_join_discarded_when_spare_large(self):
+        params = ModelParameters()
+        assert rule2_discards_join(State(3, 5, 0), False, params)
+
+    def test_honest_join_admitted_at_s1(self):
+        params = ModelParameters()
+        assert not rule2_discards_join(State(1, 5, 0), False, params)
+
+    def test_malicious_join_admitted_below_split_edge(self):
+        params = ModelParameters()
+        assert not rule2_discards_join(State(3, 5, 0), True, params)
+
+    def test_all_joins_discarded_at_split_edge(self):
+        params = ModelParameters(spare_max=7)
+        assert rule2_discards_join(State(6, 5, 0), True, params)
+        assert rule2_discards_join(State(6, 5, 0), False, params)
+
+
+class TestProperty1AndGuards:
+    def test_survival_power_law(self):
+        params = ModelParameters(d=0.9)
+        assert property1_survival(0, params) == 1.0
+        assert property1_survival(3, params) == pytest.approx(0.9**3)
+
+    def test_survival_rejects_negative(self):
+        with pytest.raises(ValueError):
+            property1_survival(-1, ModelParameters(d=0.9))
+
+    def test_prevents_split_predicate(self):
+        params = ModelParameters(spare_max=7)
+        assert adversary_prevents_split(State(6, 5, 0), params)
+        assert not adversary_prevents_split(State(5, 5, 0), params)
+        assert not adversary_prevents_split(State(6, 1, 0), params)
+
+    def test_prevents_merge_predicate(self):
+        params = ModelParameters()
+        assert adversary_prevents_merge(State(1, 1, 1), params)
+        assert not adversary_prevents_merge(State(2, 1, 1), params)

@@ -1,0 +1,48 @@
+"""Unit tests for successive sojourn times at cluster level."""
+
+import pytest
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.parameters import ModelParameters
+from repro.core.sojourn import sojourn_profile
+
+
+class TestSojournProfile:
+    def test_depth_controls_length(self, attack_chain, attack_model):
+        profile = attack_model.sojourn_profile("delta", depth=4)
+        assert profile.depth == 4
+        assert len(profile.polluted_sojourns) == 4
+
+    def test_sojourns_sum_towards_total(self, attack_model):
+        profile = attack_model.sojourn_profile("delta", depth=40)
+        assert sum(profile.safe_sojourns) == pytest.approx(
+            profile.total_safe, rel=1e-8
+        )
+        assert sum(profile.polluted_sojourns) == pytest.approx(
+            profile.total_polluted, rel=1e-6
+        )
+
+    def test_residuals_shrink_with_depth(self, attack_model):
+        shallow = attack_model.sojourn_profile("delta", depth=1)
+        deep = attack_model.sojourn_profile("delta", depth=10)
+        assert abs(deep.alternation_residual_safe()) <= abs(
+            shallow.alternation_residual_safe()
+        ) + 1e-12
+
+    def test_first_sojourn_dominates_at_low_mu(self):
+        model = ClusterModel(ModelParameters(mu=0.1, d=0.9))
+        profile = model.sojourn_profile("delta", depth=2)
+        assert profile.safe_sojourns[0] > 100 * profile.safe_sojourns[1]
+
+    def test_sojourns_nonincreasing_in_n(self, attack_model):
+        profile = attack_model.sojourn_profile("delta", depth=6)
+        safe = profile.safe_sojourns
+        assert all(b <= a + 1e-12 for a, b in zip(safe, safe[1:]))
+
+    def test_depth_validated(self, attack_model):
+        with pytest.raises(ValueError, match=">= 1"):
+            sojourn_profile(attack_model.chain, None, 0)
+
+    def test_mu_zero_never_visits_polluted(self, clean_model):
+        profile = clean_model.sojourn_profile("delta", depth=3)
+        assert all(v == pytest.approx(0.0, abs=1e-12) for v in profile.polluted_sojourns)

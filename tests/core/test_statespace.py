@@ -1,0 +1,115 @@
+"""Unit tests for the (s, x, y) state space and its partition."""
+
+import pytest
+
+from repro.core.parameters import ModelParameters, ParameterError
+from repro.core.statespace import (
+    Category,
+    State,
+    StateSpace,
+    StateSpaceError,
+    make_state,
+)
+
+
+@pytest.fixture(scope="module")
+def space() -> StateSpace:
+    return StateSpace(ModelParameters(core_size=7, spare_max=7))
+
+
+class TestEnumeration:
+    def test_full_space_is_288_states(self, space):
+        # Figure 1 caption: 288 states for C = 7, Delta = 7.
+        assert space.full_space_size == 288
+
+    def test_partition_sizes(self, space):
+        assert len(space.safe) == 81
+        assert len(space.polluted) == 135
+        assert len(space.safe_merge) == 3
+        assert len(space.safe_split) == 24
+        assert len(space.polluted_merge) == 5
+        assert len(space.polluted_split) == 40
+
+    def test_model_size_excludes_unreachable(self, space):
+        assert space.model_size == 288 - 40
+
+    def test_partition_covers_everything_disjointly(self, space):
+        everything = (
+            space.safe
+            + space.polluted
+            + space.safe_merge
+            + space.safe_split
+            + space.polluted_merge
+            + space.polluted_split
+        )
+        assert len(everything) == len(set(everything)) == 288
+
+    def test_transient_order_safe_then_polluted(self, space):
+        transient = space.transient
+        assert transient[: len(space.safe)] == space.safe
+        assert transient[len(space.safe) :] == space.polluted
+
+    def test_smaller_space(self):
+        small = StateSpace(ModelParameters(core_size=4, spare_max=3))
+        # sum over s of (C+1)(s+1) = 5 * (1+2+3+4) = 50.
+        assert small.full_space_size == 50
+
+
+class TestCategorization:
+    def test_safe_state(self, space):
+        assert space.categorize(State(3, 2, 1)) == Category.SAFE
+
+    def test_polluted_state(self, space):
+        assert space.categorize(State(3, 3, 0)) == Category.POLLUTED
+
+    def test_safe_merge(self, space):
+        assert space.categorize(State(0, 2, 0)) == Category.SAFE_MERGE
+
+    def test_polluted_merge(self, space):
+        assert space.categorize(State(0, 7, 0)) == Category.POLLUTED_MERGE
+
+    def test_safe_split(self, space):
+        assert space.categorize(State(7, 0, 5)) == Category.SAFE_SPLIT
+
+    def test_polluted_split_is_unreachable_class(self, space):
+        assert space.categorize(State(7, 5, 2)) == Category.POLLUTED_SPLIT
+
+    def test_transient_flags(self):
+        assert Category.SAFE.is_transient
+        assert Category.POLLUTED.is_transient
+        assert not Category.SAFE_MERGE.is_transient
+        assert Category.SAFE_SPLIT.is_closed
+
+    def test_is_transient_helper(self, space):
+        assert space.is_transient(State(1, 0, 0))
+        assert not space.is_transient(State(0, 0, 0))
+
+
+class TestValidationAndIndexing:
+    def test_contains_rejects_y_above_s(self, space):
+        assert not space.contains(State(2, 0, 3))
+
+    def test_validate_raises(self, space):
+        with pytest.raises(StateSpaceError, match="outside"):
+            space.validate(State(8, 0, 0))
+
+    def test_index_roundtrip(self, space):
+        for state in space.model_states:
+            assert space.model_states[space.index_of(state)] == state
+
+    def test_index_rejects_unreachable(self, space):
+        with pytest.raises(StateSpaceError, match="unreachable"):
+            space.index_of(State(7, 7, 0))
+
+    def test_initial_spare_size(self, space):
+        assert space.initial_spare_size() == 3
+
+    def test_describe_mentions_omega(self, space):
+        assert "|Omega|=288" in space.describe()
+
+    def test_make_state_checks(self):
+        assert make_state(2, 1, 1) == State(2, 1, 1)
+        with pytest.raises(ParameterError):
+            make_state(1, 0, 2)
+        with pytest.raises(ParameterError):
+            make_state(-1, 0, 0)

@@ -1,0 +1,180 @@
+"""Unit tests for the Figure-2 transition tree."""
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State, StateSpace, StateSpaceError
+from repro.core.transitions import transition_distribution
+
+
+def law(state, **overrides):
+    params = ModelParameters(**overrides)
+    return transition_distribution(State(*state), params)
+
+
+class TestStructure:
+    def test_rows_are_probability_distributions(self):
+        params = ModelParameters(mu=0.25, d=0.85, k=3)
+        space = StateSpace(params)
+        for state in space.transient:
+            total = sum(transition_distribution(state, params).values())
+            assert total == pytest.approx(1.0), f"state {tuple(state)}"
+
+    def test_targets_stay_in_model_space(self):
+        params = ModelParameters(mu=0.3, d=0.9, k=7)
+        space = StateSpace(params)
+        for state in space.transient:
+            for target in transition_distribution(state, params):
+                assert space.contains(target)
+                # Rule 2 keeps polluted-split states unreachable.
+                space.index_of(target)
+
+    def test_closed_states_rejected(self):
+        with pytest.raises(StateSpaceError, match="transient"):
+            law((0, 0, 0))
+        with pytest.raises(StateSpaceError, match="transient"):
+            law((7, 0, 0))
+
+    def test_spare_moves_at_most_one(self):
+        result = law((3, 2, 1), mu=0.2, d=0.8, k=2)
+        for target in result:
+            assert abs(target.s - 3) <= 1
+
+
+class TestFailureFreeWalk:
+    def test_mu0_is_pure_random_walk(self):
+        result = law((3, 0, 0), mu=0.0, d=0.0)
+        assert result == {
+            State(4, 0, 0): pytest.approx(0.5),
+            State(2, 0, 0): pytest.approx(0.5),
+        }
+
+    def test_mu0_edges_reach_closed_states(self):
+        up = law((6, 0, 0), mu=0.0)
+        assert up[State(7, 0, 0)] == pytest.approx(0.5)
+        down = law((1, 0, 0), mu=0.0)
+        assert down[State(0, 0, 0)] == pytest.approx(0.5)
+
+
+class TestJoinBranch:
+    def test_safe_join_splits_by_mu(self):
+        result = law((3, 1, 1), mu=0.2)
+        assert result[State(4, 1, 2)] == pytest.approx(0.5 * 0.2)
+        assert result[State(4, 1, 1)] == pytest.approx(0.5 * 0.8)
+
+    def test_polluted_join_discards_honest(self):
+        result = law((3, 5, 0), mu=0.2, d=1.0)
+        # Honest join dropped: self-loop collects p_j (1 - mu) plus the
+        # whole leave branch (all members malicious or stay).
+        assert result[State(4, 5, 1)] == pytest.approx(0.5 * 0.2)
+
+    def test_polluted_join_admits_honest_at_s1(self):
+        result = law((1, 5, 0), mu=0.2, d=1.0)
+        assert result[State(2, 5, 0)] == pytest.approx(0.5 * 0.8)
+        assert result[State(2, 5, 1)] == pytest.approx(0.5 * 0.2)
+
+    def test_polluted_split_prevention_at_edge(self):
+        result = law((6, 5, 2), mu=0.2, d=1.0)
+        # No target with s = 7 may exist.
+        assert all(target.s <= 6 for target in result)
+
+
+class TestLeaveBranch:
+    def test_honest_spare_leave_probability(self):
+        # State (3, 0, 1) with d=1.  Target (2, 0, 1) collects the
+        # honest spare leave, p_l (1-p_c)(1-p_ms) = 0.5 * 0.3 * 2/3,
+        # plus the honest core leave whose k=1 maintenance promotes an
+        # honest spare, 0.5 * 0.7 * 1 * 2/3.
+        result = law((3, 0, 1), mu=0.0, d=1.0)
+        spare_leave = 0.5 * (3 / 10) * (2 / 3)
+        core_leave_honest_promotion = 0.5 * (7 / 10) * (2 / 3)
+        assert result[State(2, 0, 1)] == pytest.approx(
+            spare_leave + core_leave_honest_promotion
+        )
+        # The disjoint target (2, 1, 0) isolates the malicious
+        # promotion of the core-leave maintenance.
+        assert result[State(2, 1, 0)] == pytest.approx(
+            0.5 * (7 / 10) * (1 / 3)
+        )
+
+    def test_malicious_spare_pinned_at_d1(self):
+        result = law((3, 0, 3), mu=0.0, d=1.0)
+        # All spares malicious and immortal; only core (honest) leaves
+        # can move the state.
+        assert State(2, 0, 2) not in result
+
+    def test_malicious_spare_expires_at_d0(self):
+        result = law((3, 0, 1), mu=0.0, d=0.0)
+        weight = 0.5 * (3 / 10) * (1 / 3)
+        assert result[State(2, 0, 0)] == pytest.approx(weight)
+
+    def test_honest_core_leave_polluted_promotes_malicious(self):
+        result = law((3, 3, 2), mu=0.0, d=1.0)
+        weight = 0.5 * (7 / 10) * (4 / 7)
+        assert result[State(2, 4, 1)] == pytest.approx(weight)
+
+    def test_honest_core_leave_polluted_no_spare_malicious(self):
+        # Target (2, 3, 0) collects the honest core leave (replaced by
+        # an honest spare, y = 0) plus the honest spare leave.
+        result = law((3, 3, 0), mu=0.0, d=1.0)
+        core_leave = 0.5 * (7 / 10) * (4 / 7)
+        spare_leave = 0.5 * (3 / 10) * 1.0
+        assert result[State(2, 3, 0)] == pytest.approx(
+            core_leave + spare_leave
+        )
+
+    def test_forced_malicious_leave_keeps_quorum_with_bias(self):
+        # x = 4: after a forced expiry x - 1 = 3 > c, the quorum
+        # survives and pulls in the malicious spare -> (2, 4, 0).  The
+        # same target also collects the forced malicious *spare* leave.
+        result = law((3, 4, 1), mu=0.0, d=0.0)
+        forced_core = 0.5 * (7 / 10) * (4 / 7)
+        forced_spare = 0.5 * (3 / 10) * (1 / 3)
+        assert result[State(2, 4, 0)] == pytest.approx(
+            forced_core + forced_spare
+        )
+
+    def test_forced_malicious_leave_at_quorum_boundary_randomizes(self):
+        # x = 3 = c + 1: after the departure x - 1 = 2 <= c, so the
+        # honest maintenance runs (hypergeometric outcome, k = 1).
+        result = law((3, 3, 1), mu=0.0, d=0.0, k=1)
+        forced_core = 0.5 * (7 / 10) * (3 / 7)
+        forced_spare = 0.5 * (3 / 10) * (1 / 3)
+        # (2, 3, 0): maintenance promotes the malicious spare (1/3),
+        # plus the forced malicious spare leave landing on the same
+        # coordinates.
+        assert result[State(2, 3, 0)] == pytest.approx(
+            forced_core * (1 / 3) + forced_spare
+        )
+        # (2, 2, 1): maintenance promotes an honest spare (2/3).
+        assert result[State(2, 2, 1)] == pytest.approx(
+            forced_core * (2 / 3)
+        )
+
+    def test_safe_malicious_core_sits_tight_without_rule1(self):
+        # k = 1: no voluntary leaves; valid ids mean a self-loop.
+        result = law((3, 2, 1), mu=0.0, d=1.0, k=1)
+        self_loop = result[State(3, 2, 1)]
+        weight = 0.5 * (7 / 10) * (2 / 7) + 0.5 * (3 / 10) * (1 / 3)
+        assert self_loop == pytest.approx(weight)
+
+
+class TestRule1InTree:
+    def test_voluntary_leave_changes_law_for_k7(self):
+        favorable = State(6, 1, 6)
+        with_rule1 = transition_distribution(
+            favorable, ModelParameters(k=7, mu=0.0, d=1.0, nu=0.1)
+        )
+        # Rule 1 fires: mass flows to maintenance outcomes instead of a
+        # pure self-loop on the malicious-core branch.
+        moved = sum(p for t, p in with_rule1.items() if t.s == 5)
+        assert moved > 0.0
+
+    def test_no_voluntary_leave_when_s_is_1(self):
+        # Even in a favorable composition the adversary avoids merges.
+        state = State(1, 1, 1)
+        result = transition_distribution(
+            state, ModelParameters(k=7, mu=0.0, d=1.0, nu=0.5)
+        )
+        # The malicious core member's no-expiry branch self-loops.
+        assert result.get(state, 0.0) > 0.0

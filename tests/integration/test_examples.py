@@ -1,0 +1,79 @@
+"""Smoke tests: the shipped examples must run against the public API.
+
+Only the fast examples execute here (the overlay-scale ones run for
+minutes and are exercised by their underlying-module tests); each must
+complete and print its headline artifact.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import one example script as a module without executing main."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_prints_headline(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "E(T_S)" in output
+        assert "peak polluted proportion" in output
+        assert "|Omega|=288" in output
+
+
+class TestChurnTuning:
+    def test_runs_and_reports_budget_rows(self, capsys):
+        module = load_example("induced_churn_tuning.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "5 % polluted-merge budget" in output
+        assert "mu" in output
+
+    def test_bisection_is_monotone_interface(self):
+        module = load_example("induced_churn_tuning.py")
+        permissive = module.max_d_for_budget(0.10, budget=0.05)
+        strict = module.max_d_for_budget(0.30, budget=0.05)
+        assert permissive is not None
+        assert strict is not None
+        assert strict <= permissive
+
+    def test_unreachable_budget_returns_none(self):
+        module = load_example("induced_churn_tuning.py")
+        assert module.max_d_for_budget(0.30, budget=0.001) is None
+
+
+class TestAttackAnatomy:
+    def test_randomization_comparison_section(self, capsys):
+        module = load_example("targeted_attack_cluster.py")
+        module.randomization_comparison()
+        output = capsys.readouterr().out
+        assert "protocol_1" in output
+        assert "protocol_7" in output
+
+    def test_churn_defense_sweep_section(self, capsys):
+        module = load_example("targeted_attack_cluster.py")
+        module.churn_defense_sweep()
+        output = capsys.readouterr().out
+        assert "Induced churn as a defense" in output
+
+
+class TestDataPlaneAudit:
+    def test_clean_overlay_row_is_perfect(self):
+        module = load_example("data_plane_audit.py")
+        storage = module.build_storage(0.0)
+        keys = storage.populate(20)
+        audit = storage.audit(keys)
+        assert audit["correct_rate"] == pytest.approx(1.0)

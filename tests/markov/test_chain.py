@@ -1,0 +1,117 @@
+"""Unit tests for the labeled MarkovChain wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.linalg import MarkovNumericsError
+
+MATRIX = np.array(
+    [
+        [0.5, 0.3, 0.2],
+        [0.0, 0.4, 0.6],
+        [0.0, 0.0, 1.0],
+    ]
+)
+LABELS = ["start", "middle", "end"]
+
+
+@pytest.fixture
+def chain() -> MarkovChain:
+    return MarkovChain(MATRIX, LABELS)
+
+
+class TestConstruction:
+    def test_validates_stochasticity(self):
+        with pytest.raises(MarkovNumericsError):
+            MarkovChain(np.array([[0.5, 0.4], [0.0, 1.0]]))
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(MarkovNumericsError, match="unique"):
+            MarkovChain(np.eye(2), ["a", "a"])
+
+    def test_rejects_wrong_label_count(self):
+        with pytest.raises(MarkovNumericsError, match="labels"):
+            MarkovChain(np.eye(2), ["a"])
+
+    def test_default_labels_are_indices(self):
+        chain = MarkovChain(np.eye(3))
+        assert chain.labels == [0, 1, 2]
+
+    def test_matrix_view_is_readonly(self, chain):
+        with pytest.raises(ValueError):
+            chain.matrix[0, 0] = 0.9
+
+
+class TestAccessors:
+    def test_probability_by_label(self, chain):
+        assert chain.probability("start", "middle") == 0.3
+
+    def test_index_of_unknown_label(self, chain):
+        with pytest.raises(KeyError, match="unknown"):
+            chain.index_of("nope")
+
+    def test_absorbing_states(self, chain):
+        assert chain.absorbing_states() == ["end"]
+
+    def test_transient_states(self, chain):
+        assert chain.transient_states() == ["start", "middle"]
+
+    def test_submatrix(self, chain):
+        block = chain.submatrix(["start", "middle"], ["end"])
+        assert np.allclose(block, [[0.2], [0.6]])
+
+    def test_indicator(self, chain):
+        flags = chain.indicator(["middle"])
+        assert np.allclose(flags, [0.0, 1.0, 0.0])
+
+
+class TestTransientBehaviour:
+    def test_distribution_after_steps(self, chain):
+        law0 = np.array([1.0, 0.0, 0.0])
+        law2 = chain.distribution_after(law0, 2)
+        assert np.isclose(law2.sum(), 1.0)
+        assert np.allclose(law2, law0 @ MATRIX @ MATRIX)
+
+    def test_hitting_probability_series_is_monotone_for_absorbing(self, chain):
+        series = chain.hitting_probability_series(
+            np.array([1.0, 0.0, 0.0]), ["end"], 20
+        )
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] > 0.99
+
+    def test_wrong_initial_shape(self, chain):
+        with pytest.raises(MarkovNumericsError):
+            chain.distribution_after(np.array([1.0, 0.0]), 1)
+
+
+class TestSimulation:
+    def test_sample_path_length_and_labels(self, chain, rng):
+        path = chain.sample_path("start", 10, rng)
+        assert len(path) == 11
+        assert set(path) <= set(LABELS)
+
+    def test_sample_path_from_distribution(self, chain, rng):
+        path = chain.sample_path(np.array([0.5, 0.5, 0.0]), 3, rng)
+        assert path[0] in ("start", "middle")
+
+    def test_sample_until_absorption(self, chain, rng):
+        path = chain.sample_until("start", ["end"], rng)
+        assert path[-1] == "end"
+        assert all(label != "end" for label in path[:-1])
+
+    def test_sample_until_budget(self, rng):
+        # a and b alternate forever; the absorbing target c is
+        # unreachable from a, so the step budget must trip.
+        loop = MarkovChain(
+            np.array(
+                [
+                    [0.0, 1.0, 0.0],
+                    [1.0, 0.0, 0.0],
+                    [0.0, 0.0, 1.0],
+                ]
+            ),
+            ["a", "b", "c"],
+        )
+        with pytest.raises(RuntimeError, match="no absorption"):
+            loop.sample_until("a", ["c"], rng, max_steps=50)

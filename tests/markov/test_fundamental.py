@@ -1,0 +1,107 @@
+"""Unit tests for the absorbing-chain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov.fundamental import AbsorbingAnalysis
+from repro.markov.linalg import MarkovNumericsError
+
+
+def gambler(p: float = 0.5) -> AbsorbingAnalysis:
+    """Gambler's ruin on {0..4}: transient {1,2,3}, absorbing 0 and 4."""
+    q = 1.0 - p
+    transient = np.array(
+        [
+            [0.0, p, 0.0],
+            [q, 0.0, p],
+            [0.0, q, 0.0],
+        ]
+    )
+    ruin = np.array([[q], [0.0], [0.0]])
+    win = np.array([[0.0], [0.0], [p]])
+    return AbsorbingAnalysis(
+        transient_block=transient,
+        absorbing_blocks=(("ruin", ruin), ("win", win)),
+        initial=np.array([0.0, 1.0, 0.0]),
+    )
+
+
+class TestGamblersRuin:
+    def test_fair_game_absorption_probabilities(self):
+        analysis = gambler(0.5)
+        probabilities = analysis.absorption_probabilities()
+        assert np.isclose(probabilities["ruin"], 0.5)
+        assert np.isclose(probabilities["win"], 0.5)
+
+    def test_fair_game_expected_duration(self):
+        # From the middle of {0..4}: E[steps] = i (N - i) = 2 * 2 = 4.
+        assert np.isclose(gambler(0.5).expected_steps_to_absorption(), 4.0)
+
+    def test_biased_game_favors_winner(self):
+        probabilities = gambler(0.7).absorption_probabilities()
+        assert probabilities["win"] > 0.8
+
+    def test_probabilities_always_sum_to_one(self):
+        for p in (0.2, 0.5, 0.9):
+            probabilities = gambler(p).absorption_probabilities()
+            assert np.isclose(sum(probabilities.values()), 1.0)
+
+    def test_expected_steps_by_state_symmetry(self):
+        steps = gambler(0.5).expected_steps_by_state()
+        # i(N - i) for i = 1, 2, 3: [3, 4, 3].
+        assert np.allclose(steps, [3.0, 4.0, 3.0])
+
+    def test_expected_visits(self):
+        visits = gambler(0.5).expected_visits()
+        assert visits.sum() == pytest.approx(4.0)
+
+    def test_absorption_distribution_concentrates_on_single_state(self):
+        dist = gambler(0.5).absorption_distribution("win")
+        assert dist.shape == (1,)
+        assert np.isclose(dist[0], 0.5)
+
+    def test_time_in_states_indicator(self):
+        analysis = gambler(0.5)
+        middle_only = np.array([0.0, 1.0, 0.0])
+        everything = np.ones(3)
+        assert analysis.time_in_states(middle_only) < analysis.time_in_states(
+            everything
+        )
+        assert np.isclose(
+            analysis.time_in_states(everything),
+            analysis.expected_steps_to_absorption(),
+        )
+
+
+class TestValidation:
+    def test_unknown_class_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            gambler().absorption_probability("draw")
+
+    def test_rows_must_complete_to_one(self):
+        with pytest.raises(MarkovNumericsError, match="sums to"):
+            AbsorbingAnalysis(
+                transient_block=np.array([[0.5]]),
+                absorbing_blocks=(("a", np.array([[0.2]])),),
+                initial=np.array([1.0]),
+            )
+
+    def test_initial_shape_checked(self):
+        with pytest.raises(MarkovNumericsError, match="initial"):
+            AbsorbingAnalysis(
+                transient_block=np.array([[0.5]]),
+                absorbing_blocks=(("a", np.array([[0.5]])),),
+                initial=np.array([1.0, 0.0]),
+            )
+
+    def test_block_row_count_checked(self):
+        with pytest.raises(MarkovNumericsError, match="rows"):
+            AbsorbingAnalysis(
+                transient_block=np.array([[0.5]]),
+                absorbing_blocks=(("a", np.array([[0.5], [0.5]])),),
+                initial=np.array([1.0]),
+            )
+
+    def test_indicator_shape_checked(self):
+        with pytest.raises(MarkovNumericsError, match="indicator"):
+            gambler().time_in_states(np.ones(4))

@@ -1,0 +1,108 @@
+"""Unit tests for the first-passage (hitting) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.markov.hitting import HittingAnalysis
+from repro.markov.linalg import MarkovNumericsError
+
+# 3 transient states: 0 (start), 1 (target), 2 (pre-absorbing).
+# From 0: 0.3 -> 1, 0.2 -> 2, 0.5 absorb.  From 2: 0.4 -> 1, 0.6 absorb.
+BLOCK = np.array(
+    [
+        [0.0, 0.3, 0.2],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.4, 0.0],
+    ]
+)
+TARGET = np.array([0.0, 1.0, 0.0])
+START = np.array([1.0, 0.0, 0.0])
+
+
+def analysis() -> HittingAnalysis:
+    return HittingAnalysis.from_indicator(BLOCK, TARGET, START)
+
+
+class TestHitProbability:
+    def test_two_path_hand_computation(self):
+        # Hit at step 1 w.p. 0.3, or via state 2 at step 2 w.p. 0.2*0.4.
+        assert analysis().hit_probability() == pytest.approx(0.38)
+
+    def test_starting_inside_target(self):
+        inside = HittingAnalysis.from_indicator(
+            BLOCK, TARGET, np.array([0.0, 1.0, 0.0])
+        )
+        assert inside.hit_probability() == 1.0
+        assert inside.hitting_time_pmf(3)[0] == 1.0
+
+    def test_unreachable_target(self):
+        unreachable = HittingAnalysis.from_indicator(
+            np.array([[0.5]]), np.array([0.0]), np.array([1.0])
+        )
+        assert unreachable.hit_probability() == 0.0
+        with pytest.raises(MarkovNumericsError, match="unreachable"):
+            unreachable.expected_hitting_time_given_hit()
+
+
+class TestHittingLaw:
+    def test_pmf_values(self):
+        pmf = analysis().hitting_time_pmf(4)
+        assert pmf[0] == 0.0
+        assert pmf[1] == pytest.approx(0.3)
+        assert pmf[2] == pytest.approx(0.08)
+        assert pmf[3] == pytest.approx(0.0)
+
+    def test_pmf_sums_to_hit_probability(self):
+        pmf = analysis().hitting_time_pmf(50)
+        assert pmf.sum() == pytest.approx(analysis().hit_probability())
+
+    def test_survival_complements_pmf(self):
+        a = analysis()
+        pmf = a.hitting_time_pmf(5)
+        survival = a.hitting_time_survival(5)
+        assert np.allclose(survival, 1.0 - np.cumsum(pmf))
+
+    def test_expected_time_given_hit(self):
+        # E[T | hit] = (1*0.3 + 2*0.08) / 0.38.
+        expected = (0.3 + 2 * 0.08) / 0.38
+        assert analysis().expected_hitting_time_given_hit() == pytest.approx(
+            expected
+        )
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(MarkovNumericsError):
+            analysis().hitting_time_pmf(-1)
+
+
+class TestComponentsConstructor:
+    def test_equivalent_to_indicator_form(self):
+        direct = HittingAnalysis.from_components(
+            taboo_block=np.array([[0.0, 0.2], [0.0, 0.0]]),
+            entry_vector=np.array([0.3, 0.4]),
+            initial_outside=np.array([1.0, 0.0]),
+        )
+        assert direct.hit_probability() == pytest.approx(0.38)
+
+    def test_entry_vector_validated(self):
+        with pytest.raises(MarkovNumericsError, match="entry"):
+            HittingAnalysis.from_components(
+                taboo_block=np.array([[0.0]]),
+                entry_vector=np.array([1.5]),
+                initial_outside=np.array([1.0]),
+            )
+
+    def test_indicator_must_be_binary(self):
+        with pytest.raises(MarkovNumericsError, match="0/1"):
+            HittingAnalysis.from_indicator(
+                BLOCK, np.array([0.0, 0.5, 0.0]), START
+            )
+
+    def test_shape_mismatches(self):
+        with pytest.raises(MarkovNumericsError):
+            HittingAnalysis.from_indicator(BLOCK, TARGET, np.ones(2))
+        with pytest.raises(MarkovNumericsError):
+            HittingAnalysis.from_components(
+                taboo_block=np.array([[0.0]]),
+                entry_vector=np.array([0.3, 0.1]),
+                initial_outside=np.array([1.0]),
+            )

@@ -1,0 +1,127 @@
+"""Unit tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.markov.linalg import (
+    MarkovNumericsError,
+    as_square_array,
+    geometric_tail_bound,
+    row_sums,
+    solve_fundamental,
+    spectral_radius,
+    stationary_distribution,
+    stochastic_check,
+    substochastic_check,
+)
+
+
+class TestAsSquareArray:
+    def test_accepts_square(self):
+        arr = as_square_array([[0.5, 0.5], [0.2, 0.8]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == float
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(MarkovNumericsError, match="square"):
+            as_square_array(np.zeros((2, 3)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(MarkovNumericsError, match="square"):
+            as_square_array(np.zeros(4))
+
+    def test_name_appears_in_error(self):
+        with pytest.raises(MarkovNumericsError, match="my_block"):
+            as_square_array(np.zeros((1, 2)), name="my_block")
+
+
+class TestStochasticChecks:
+    def test_valid_matrix_passes(self):
+        stochastic_check(np.array([[0.3, 0.7], [1.0, 0.0]]))
+
+    def test_row_sum_violation(self):
+        with pytest.raises(MarkovNumericsError, match="sums to"):
+            stochastic_check(np.array([[0.3, 0.6], [0.5, 0.5]]))
+
+    def test_negative_entry(self):
+        with pytest.raises(MarkovNumericsError, match="outside"):
+            stochastic_check(np.array([[-0.1, 1.1], [0.5, 0.5]]))
+
+    def test_substochastic_allows_deficit(self):
+        substochastic_check(np.array([[0.3, 0.1], [0.0, 0.2]]))
+
+    def test_substochastic_rejects_excess(self):
+        with pytest.raises(MarkovNumericsError, match="<= 1.0"):
+            substochastic_check(np.array([[0.9, 0.3], [0.0, 0.2]]))
+
+    def test_substochastic_rejects_negative(self):
+        with pytest.raises(MarkovNumericsError, match="negative"):
+            substochastic_check(np.array([[-0.2, 0.1], [0.0, 0.2]]))
+
+    def test_row_sums_helper(self):
+        sums = row_sums(np.array([[0.25, 0.25], [1.0, 0.5]]))
+        assert np.allclose(sums, [0.5, 1.5])
+
+
+class TestSolveFundamental:
+    def test_identity_when_no_transitions(self):
+        result = solve_fundamental(np.zeros((3, 3)))
+        assert np.allclose(result, np.eye(3))
+
+    def test_geometric_visits(self):
+        # Single transient state with self-loop p: N = 1/(1-p).
+        result = solve_fundamental(np.array([[0.75]]))
+        assert np.isclose(result[0, 0], 4.0)
+
+    def test_rhs_vector(self):
+        ones = np.ones(2)
+        result = solve_fundamental(np.array([[0.5, 0.0], [0.0, 0.5]]), ones)
+        assert np.allclose(result, [2.0, 2.0])
+
+    def test_singular_block_reports_modeling_error(self):
+        # A closed transient set (row sums to 1) makes I - T singular.
+        with pytest.raises(MarkovNumericsError, match="singular"):
+            solve_fundamental(np.array([[1.0]]))
+
+
+class TestSpectralRadius:
+    def test_zero_matrix(self):
+        assert spectral_radius(np.zeros((2, 2))) == 0.0
+
+    def test_known_value(self):
+        assert np.isclose(spectral_radius(np.diag([0.3, 0.9])), 0.9)
+
+    def test_substochastic_below_one(self):
+        matrix = np.array([[0.5, 0.4], [0.2, 0.3]])
+        assert spectral_radius(matrix) < 1.0
+
+
+class TestStationaryDistribution:
+    def test_two_state_chain(self):
+        matrix = np.array([[0.9, 0.1], [0.5, 0.5]])
+        pi = stationary_distribution(matrix)
+        assert np.allclose(pi @ matrix, pi)
+        # Detailed balance solution: pi = (5/6, 1/6).
+        assert np.allclose(pi, [5 / 6, 1 / 6])
+
+    def test_doubly_stochastic_is_uniform(self):
+        matrix = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert np.allclose(stationary_distribution(matrix), [0.5, 0.5])
+
+    def test_rejects_nonstochastic(self):
+        with pytest.raises(MarkovNumericsError):
+            stationary_distribution(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+
+class TestGeometricTailBound:
+    def test_scales_with_spectral_radius(self):
+        fast = geometric_tail_bound(np.array([[0.1]]))
+        slow = geometric_tail_bound(np.array([[0.99]]))
+        assert slow > fast
+
+    def test_nilpotent_returns_one(self):
+        assert geometric_tail_bound(np.array([[0.0, 1.0], [0.0, 0.0]])) >= 1
+
+    def test_rejects_non_substochastic_spectrum(self):
+        with pytest.raises(MarkovNumericsError, match=">= 1"):
+            geometric_tail_bound(np.array([[1.0]]))

@@ -1,0 +1,175 @@
+"""Unit tests for the two-subset sojourn machinery against hand-computable chains."""
+
+import numpy as np
+import pytest
+
+from repro.markov.linalg import MarkovNumericsError
+from repro.markov.sojourn import TwoSubsetSojourn
+
+
+def two_state_system(
+    stay_s: float, to_p: float, stay_p: float, to_s: float
+) -> TwoSubsetSojourn:
+    """One safe state, one polluted state, remainder absorbs."""
+    return TwoSubsetSojourn(
+        block_ss=np.array([[stay_s]]),
+        block_sp=np.array([[to_p]]),
+        block_ps=np.array([[to_s]]),
+        block_pp=np.array([[stay_p]]),
+        initial_s=np.array([1.0]),
+        initial_p=np.array([0.0]),
+    )
+
+
+class TestSingleStateSubsets:
+    def test_total_time_without_return(self):
+        # S self-loops at 0.5 then always absorbs: E(T_S) = 2, never P.
+        system = two_state_system(0.5, 0.0, 0.0, 0.0)
+        assert system.expected_total_time_s() == pytest.approx(2.0)
+        assert system.expected_total_time_p() == pytest.approx(0.0)
+
+    def test_total_time_with_excursions(self):
+        # S -> P always, P -> S with 0.5, else absorb.
+        system = two_state_system(0.0, 1.0, 0.0, 0.5)
+        # Sojourns in S are single steps; expected count = sum 0.5^n = 2.
+        assert system.expected_total_time_s() == pytest.approx(2.0)
+        assert system.expected_total_time_p() == pytest.approx(2.0)
+
+    def test_successive_sojourns_geometric(self):
+        system = two_state_system(0.0, 1.0, 0.0, 0.5)
+        sojourns = system.expected_sojourns_s(4)
+        # E(T_S,n) = P(n-th sojourn happens) * 1 = 0.5^(n-1).
+        assert sojourns == pytest.approx([1.0, 0.5, 0.25, 0.125])
+
+    def test_total_equals_sum_of_sojourns(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        total = system.expected_total_time_s()
+        partial = sum(system.expected_sojourns_s(60))
+        assert total == pytest.approx(partial, rel=1e-9)
+
+    def test_polluted_totals_match_sum(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        total = system.expected_total_time_p()
+        partial = sum(system.expected_sojourns_p(60))
+        assert total == pytest.approx(partial, rel=1e-9)
+
+    def test_reach_probabilities_decrease(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        probabilities = [
+            system.probability_reaches_sojourn_s(n) for n in (1, 2, 3)
+        ]
+        assert probabilities[0] >= probabilities[1] >= probabilities[2]
+        assert probabilities[0] == pytest.approx(1.0)
+
+    def test_expected_number_of_sojourns(self):
+        system = two_state_system(0.0, 1.0, 0.0, 0.5)
+        assert system.expected_number_of_sojourns_s() == pytest.approx(2.0)
+        assert system.expected_number_of_sojourns_p() == pytest.approx(2.0)
+
+    def test_initial_in_polluted_subset(self):
+        system = TwoSubsetSojourn(
+            block_ss=np.array([[0.0]]),
+            block_sp=np.array([[0.0]]),
+            block_ps=np.array([[0.5]]),
+            block_pp=np.array([[0.0]]),
+            initial_s=np.array([0.0]),
+            initial_p=np.array([1.0]),
+        )
+        # One polluted step, then 0.5 chance of one safe step.
+        assert system.expected_total_time_p() == pytest.approx(1.0)
+        assert system.expected_total_time_s() == pytest.approx(0.5)
+
+
+class TestDistributions:
+    """The Sericola-1990 distribution-level results."""
+
+    def test_survival_matches_geometric_case(self):
+        # S self-loops at 0.5: T_S is geometric, P(T_S > n) = 0.5^n...
+        # entered with probability 1, so P(T_S > n) = 0.5^n * ... the
+        # censored chain R = 0.5 here: P(T_S > n) = 0.5^n.
+        system = two_state_system(0.5, 0.0, 0.0, 0.0)
+        survival = system.total_time_survival_s(5)
+        assert survival == pytest.approx([1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125])
+
+    def test_survival_sums_to_expectation(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        survival = system.total_time_survival_s(300)
+        assert survival.sum() == pytest.approx(
+            system.expected_total_time_s(), rel=1e-9
+        )
+        polluted = system.total_time_survival_p(300)
+        assert polluted.sum() == pytest.approx(
+            system.expected_total_time_p(), rel=1e-9
+        )
+
+    def test_pmf_complements_survival(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        pmf = system.total_time_pmf_s(40)
+        survival = system.total_time_survival_s(40)
+        assert pmf[0] == pytest.approx(1.0 - survival[0])
+        assert np.allclose(np.cumsum(pmf), 1.0 - survival)
+
+    def test_pmf_nonnegative_and_converges(self):
+        system = two_state_system(0.4, 0.4, 0.3, 0.3)
+        pmf = system.total_time_pmf_p(200)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_sojourn_survival_defective_beyond_first(self):
+        system = two_state_system(0.0, 1.0, 0.0, 0.5)
+        # Second sojourn in S happens with probability 0.5 only.
+        survival = system.sojourn_survival_s(2, 3)
+        assert survival[0] == pytest.approx(0.5)
+
+    def test_sojourn_survival_expectation_identity(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        for n in (1, 2, 3):
+            survival = system.sojourn_survival_s(n, 400)
+            assert survival.sum() == pytest.approx(
+                system.expected_sojourn_s(n), rel=1e-9
+            )
+
+    def test_sojourn_survival_polluted(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        survival = system.sojourn_survival_p(1, 400)
+        assert survival.sum() == pytest.approx(
+            system.expected_sojourn_p(1), rel=1e-9
+        )
+
+    def test_invalid_horizon_and_index(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        with pytest.raises(ValueError):
+            system.total_time_survival_s(-1)
+        with pytest.raises(ValueError):
+            system.sojourn_survival_s(0, 5)
+
+
+class TestValidation:
+    def test_off_diagonal_shapes_checked(self):
+        with pytest.raises(MarkovNumericsError, match="M_SP"):
+            TwoSubsetSojourn(
+                block_ss=np.eye(2) * 0.1,
+                block_sp=np.zeros((3, 1)),
+                block_ps=np.zeros((1, 2)),
+                block_pp=np.array([[0.1]]),
+                initial_s=np.array([1.0, 0.0]),
+                initial_p=np.array([0.0]),
+            )
+
+    def test_initial_lengths_checked(self):
+        with pytest.raises(MarkovNumericsError, match="initial_s"):
+            TwoSubsetSojourn(
+                block_ss=np.array([[0.1]]),
+                block_sp=np.array([[0.1]]),
+                block_ps=np.array([[0.1]]),
+                block_pp=np.array([[0.1]]),
+                initial_s=np.array([1.0, 0.0]),
+                initial_p=np.array([0.0]),
+            )
+
+    def test_sojourn_index_must_be_positive(self):
+        system = two_state_system(0.3, 0.5, 0.2, 0.4)
+        with pytest.raises(ValueError, match=">= 1"):
+            system.expected_sojourn_s(0)
+        with pytest.raises(ValueError, match=">= 1"):
+            system.expected_sojourn_p(-1)

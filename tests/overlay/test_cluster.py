@@ -1,0 +1,129 @@
+"""Unit tests for cluster role separation and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.errors import MembershipError
+from repro.overlay.peer import PeerFactory
+
+
+@pytest.fixture(scope="module")
+def peers():
+    rng = np.random.default_rng(7)
+    ca = CertificateAuthority(rng, key_bits=128)
+    factory = PeerFactory(ca=ca, rng=rng, lifetime=10.0, key_bits=64)
+    return [
+        factory.create(0.0, malicious=(i % 3 == 0), name=f"p{i}")
+        for i in range(20)
+    ]
+
+
+@pytest.fixture
+def cluster(peers):
+    built = Cluster(label="01", core_size=4, spare_max=5)
+    for peer in peers[:4]:
+        built.add_core(peer)
+    for peer in peers[4:7]:
+        built.add_spare(peer)
+    return built
+
+
+class TestStructure:
+    def test_sizes(self, cluster):
+        assert cluster.spare_size == 3
+        assert cluster.total_size == 7
+
+    def test_roles(self, cluster, peers):
+        assert cluster.role_of(peers[0]) == "core"
+        assert cluster.role_of(peers[5]) == "spare"
+        with pytest.raises(MembershipError):
+            cluster.role_of(peers[10])
+
+    def test_members_lists_core_then_spare(self, cluster, peers):
+        assert cluster.members[:4] == peers[:4]
+
+    def test_model_state_coordinates(self, cluster):
+        s, x, y = cluster.model_state()
+        assert s == 3
+        assert x == cluster.malicious_core_count
+        assert y == cluster.malicious_spare_count
+
+    def test_pollution_predicate(self, peers):
+        built = Cluster(label="0", core_size=4, spare_max=5)
+        for peer in peers[:4]:
+            built.add_core(peer)
+        # peers 0 and 3 are malicious (i % 3 == 0): x = 2 > c = 1.
+        assert built.is_polluted(quorum=1)
+        assert not built.is_polluted(quorum=2)
+
+
+class TestMutations:
+    def test_duplicate_membership_rejected(self, cluster, peers):
+        with pytest.raises(MembershipError, match="already"):
+            cluster.add_spare(peers[0])
+
+    def test_spare_overflow_rejected(self, cluster, peers):
+        for peer in peers[7:9]:
+            cluster.add_spare(peer)
+        with pytest.raises(MembershipError, match="full"):
+            cluster.add_spare(peers[9])
+
+    def test_core_overflow_rejected(self, cluster, peers):
+        with pytest.raises(MembershipError, match="full"):
+            cluster.add_core(peers[10])
+
+    def test_remove_requires_membership(self, cluster, peers):
+        with pytest.raises(MembershipError):
+            cluster.remove_spare(peers[0])  # a core member
+        with pytest.raises(MembershipError):
+            cluster.remove_core(peers[5])  # a spare member
+
+    def test_demote_then_promote_roundtrip(self, cluster, peers):
+        cluster.demote_to_spare(peers[0])
+        assert cluster.role_of(peers[0]) == "spare"
+        assert len(cluster.core) == 3
+        cluster.promote_to_core(peers[0])
+        assert cluster.role_of(peers[0]) == "core"
+
+    def test_promote_requires_core_room(self, cluster, peers):
+        with pytest.raises(MembershipError, match="full"):
+            cluster.promote_to_core(peers[5])
+
+    def test_split_merge_triggers(self, cluster, peers):
+        assert not cluster.must_split
+        assert not cluster.must_merge
+        for peer in peers[7:9]:
+            cluster.add_spare(peer)
+        assert cluster.must_split
+        for peer in peers[4:9]:
+            cluster.remove_spare(peer)
+        assert cluster.must_merge
+
+
+class TestInvariants:
+    def test_check_invariants_passes(self, cluster):
+        cluster.check_invariants()
+
+    def test_core_size_drift_detected(self, cluster, peers):
+        cluster.remove_core(peers[0])
+        with pytest.raises(MembershipError, match="core has"):
+            cluster.check_invariants()
+
+    def test_duplicate_detected(self, cluster, peers):
+        cluster.spare.append(peers[0])  # direct corruption
+        with pytest.raises(MembershipError, match="duplicate"):
+            cluster.check_invariants()
+
+    def test_bootstrap_cluster_may_run_small(self, peers):
+        small = Cluster(label="1", core_size=4, spare_max=5)
+        small.add_core(peers[0])
+        small.check_invariants()  # total < C: no core-size requirement
+
+    def test_label_validated(self):
+        with pytest.raises(Exception):
+            Cluster(label="2x", core_size=4, spare_max=5)
+
+    def test_repr_mentions_sizes(self, cluster):
+        assert "core=4" in repr(cluster)

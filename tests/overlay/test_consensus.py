@@ -1,0 +1,125 @@
+"""Unit tests for the simulated Byzantine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.consensus import SimulatedByzantineAgreement
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.errors import ConsensusError
+from repro.overlay.peer import PeerFactory
+
+
+@pytest.fixture(scope="module")
+def factory():
+    rng = np.random.default_rng(55)
+    ca = CertificateAuthority(rng, key_bits=128)
+    return PeerFactory(ca=ca, rng=rng, lifetime=10.0, key_bits=64)
+
+
+def build_cluster(factory, malicious_core: int, core_size: int = 7):
+    cluster = Cluster(label="0", core_size=core_size, spare_max=7)
+    for i in range(core_size):
+        cluster.add_core(factory.create(0.0, malicious=i < malicious_core))
+    for i in range(4):
+        cluster.add_spare(factory.create(0.0, malicious=i < 2))
+    return cluster
+
+
+class TestHonestAgreement:
+    def test_safe_cluster_decides_honestly(self, factory, rng):
+        cluster = build_cluster(factory, malicious_core=2)
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        outcome = agreement.select_members(
+            cluster, list(cluster.spare), 2,
+            adversary_choice=list(cluster.spare)[:2],
+        )
+        assert outcome.honest_decision
+        assert len(outcome.chosen) == 2
+
+    def test_selection_without_replacement(self, factory, rng):
+        cluster = build_cluster(factory, malicious_core=0)
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        outcome = agreement.select_members(cluster, list(cluster.spare), 4)
+        assert len(set(outcome.chosen)) == 4
+
+    def test_honest_selection_is_uniform(self, factory):
+        cluster = build_cluster(factory, malicious_core=0)
+        agreement = SimulatedByzantineAgreement(
+            np.random.default_rng(1), quorum=2
+        )
+        counts = {peer.name: 0 for peer in cluster.spare}
+        for _ in range(2000):
+            outcome = agreement.select_members(cluster, list(cluster.spare), 1)
+            counts[outcome.chosen[0].name] += 1
+        frequencies = np.array(list(counts.values())) / 2000
+        assert np.allclose(frequencies, 0.25, atol=0.05)
+
+
+class TestAdversarialAgreement:
+    def test_quorum_holder_dictates(self, factory, rng):
+        cluster = build_cluster(factory, malicious_core=3)  # > c = 2
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        wanted = [p for p in cluster.spare if p.malicious][:1]
+        outcome = agreement.select_members(
+            cluster, list(cluster.spare), 1, adversary_choice=wanted
+        )
+        assert not outcome.honest_decision
+        assert list(outcome.chosen) == wanted
+
+    def test_without_quorum_choice_is_ignored(self, factory):
+        cluster = build_cluster(factory, malicious_core=2)  # = c, safe
+        agreement = SimulatedByzantineAgreement(
+            np.random.default_rng(3), quorum=2
+        )
+        wanted = [p for p in cluster.spare if p.malicious][:1]
+        dictated = sum(
+            agreement.select_members(
+                cluster, list(cluster.spare), 1, adversary_choice=wanted
+            ).chosen
+            == tuple(wanted)
+            for _ in range(200)
+        )
+        # Uniform choice picks the wanted peer ~25 % of the time.
+        assert dictated < 120
+
+    def test_adversary_choice_validated(self, factory, rng):
+        cluster = build_cluster(factory, malicious_core=3)
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        with pytest.raises(ConsensusError, match="proposed 2"):
+            agreement.select_members(
+                cluster, list(cluster.spare), 1,
+                adversary_choice=list(cluster.spare)[:2],
+            )
+        outsider = factory.create(0.0)
+        with pytest.raises(ConsensusError, match="non-candidates"):
+            agreement.select_members(
+                cluster, list(cluster.spare), 1, adversary_choice=[outsider]
+            )
+
+
+class TestAccounting:
+    def test_message_costs_grow_with_faults(self, factory, rng):
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        clean = build_cluster(factory, malicious_core=0)
+        dirty = build_cluster(factory, malicious_core=2)
+        clean_outcome = agreement.select_members(clean, list(clean.spare), 1)
+        dirty_outcome = agreement.select_members(dirty, list(dirty.spare), 1)
+        assert dirty_outcome.rounds > clean_outcome.rounds
+        assert dirty_outcome.messages > clean_outcome.messages
+
+    def test_instance_counter(self, factory, rng):
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        cluster = build_cluster(factory, malicious_core=0)
+        for _ in range(3):
+            agreement.select_members(cluster, list(cluster.spare), 1)
+        assert agreement.instances_run == 3
+        assert agreement.messages_sent > 0
+
+    def test_selection_bounds_validated(self, factory, rng):
+        agreement = SimulatedByzantineAgreement(rng, quorum=2)
+        cluster = build_cluster(factory, malicious_core=0)
+        with pytest.raises(ConsensusError, match="cannot select"):
+            agreement.select_members(cluster, list(cluster.spare), 9)
+        with pytest.raises(ConsensusError, match=">= 0"):
+            agreement.select_members(cluster, list(cluster.spare), -1)

@@ -1,0 +1,95 @@
+"""Unit tests for the identifier space and labels."""
+
+import pytest
+
+from repro.overlay.errors import IdentifierError
+from repro.overlay.identifiers import (
+    common_prefix_length,
+    digest_to_identifier,
+    has_prefix,
+    incarnation_identifier,
+    initial_identifier,
+    label_of_identifier_at_depth,
+    label_region_size,
+    to_bit_string,
+    validate_label,
+    xor_distance,
+)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert digest_to_identifier(b"abc") == digest_to_identifier(b"abc")
+
+    def test_width_respected(self):
+        for bits in (8, 16, 128):
+            value = digest_to_identifier(b"abc", bits)
+            assert 0 <= value < (1 << bits)
+
+    def test_initial_id_depends_on_certificate_bytes(self):
+        assert initial_identifier(b"cert-1") != initial_identifier(b"cert-2")
+
+    def test_incarnation_changes_identifier(self):
+        id0 = initial_identifier(b"cert")
+        first = incarnation_identifier(id0, 1)
+        second = incarnation_identifier(id0, 2)
+        assert first != second
+
+    def test_incarnation_is_deterministic(self):
+        id0 = initial_identifier(b"cert")
+        assert incarnation_identifier(id0, 3) == incarnation_identifier(id0, 3)
+
+    def test_incarnation_must_be_positive(self):
+        with pytest.raises(IdentifierError, match="start at 1"):
+            incarnation_identifier(5, 0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(IdentifierError):
+            digest_to_identifier(b"x", 0)
+
+
+class TestBitStrings:
+    def test_to_bit_string_padding(self):
+        assert to_bit_string(5, 8) == "00000101"
+
+    def test_to_bit_string_bounds(self):
+        with pytest.raises(IdentifierError):
+            to_bit_string(256, 8)
+        with pytest.raises(IdentifierError):
+            to_bit_string(-1, 8)
+
+    def test_has_prefix(self):
+        assert has_prefix(0b1010_0000, "1010", bits=8)
+        assert not has_prefix(0b0010_0000, "1010", bits=8)
+
+    def test_empty_label_matches_everything(self):
+        assert has_prefix(123, "", bits=8)
+
+    def test_validate_label_rejects_nonbinary(self):
+        with pytest.raises(IdentifierError, match="binary"):
+            validate_label("10a1")
+
+    def test_validate_label_rejects_full_width(self):
+        with pytest.raises(IdentifierError, match="length"):
+            validate_label("0" * 8, bits=8)
+
+
+class TestDistances:
+    def test_common_prefix_length(self):
+        assert common_prefix_length(0b1100, 0b1101, bits=4) == 3
+        assert common_prefix_length(0b1100, 0b1100, bits=4) == 4
+        assert common_prefix_length(0b0000, 0b1000, bits=4) == 0
+
+    def test_xor_distance_symmetry(self):
+        assert xor_distance(9, 5) == xor_distance(5, 9)
+        assert xor_distance(7, 7) == 0
+
+    def test_region_size_halves_per_bit(self):
+        assert label_region_size("", bits=8) == 256
+        assert label_region_size("1", bits=8) == 128
+        assert label_region_size("10", bits=8) == 64
+
+    def test_label_at_depth(self):
+        assert label_of_identifier_at_depth(0b1010_0000, 3, bits=8) == "101"
+        with pytest.raises(IdentifierError):
+            label_of_identifier_at_depth(1, 8, bits=8)

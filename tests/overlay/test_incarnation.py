@@ -1,0 +1,101 @@
+"""Unit tests for incarnation arithmetic and the grace window."""
+
+import pytest
+
+from repro.overlay.errors import IncarnationError
+from repro.overlay.incarnation import (
+    IncarnationClock,
+    current_incarnation,
+    expiry_time,
+    valid_incarnations,
+)
+
+
+class TestCurrentIncarnation:
+    def test_first_incarnation_at_creation(self):
+        assert current_incarnation(0.0, 0.0, 10.0) == 1
+
+    def test_ceiling_formula(self):
+        # k = ceil((t - t0) / L).
+        assert current_incarnation(9.9, 0.0, 10.0) == 1
+        assert current_incarnation(10.1, 0.0, 10.0) == 2
+        assert current_incarnation(20.0, 0.0, 10.0) == 2
+        assert current_incarnation(20.01, 0.0, 10.0) == 3
+
+    def test_nonzero_t0(self):
+        assert current_incarnation(17.0, 5.0, 10.0) == 2
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(IncarnationError):
+            current_incarnation(1.0, 5.0, 10.0)
+
+    def test_rejects_nonpositive_lifetime(self):
+        with pytest.raises(IncarnationError):
+            current_incarnation(1.0, 0.0, 0.0)
+
+
+class TestExpiry:
+    def test_expiry_formula(self):
+        assert expiry_time(3, t0=5.0, lifetime=10.0) == 35.0
+
+    def test_expiry_after_current_time(self):
+        t = 17.0
+        k = current_incarnation(t, 5.0, 10.0)
+        assert expiry_time(k, 5.0, 10.0) >= t
+
+    def test_rejects_zero_incarnation(self):
+        with pytest.raises(IncarnationError):
+            expiry_time(0, 0.0, 10.0)
+
+
+class TestGraceWindow:
+    def test_single_incarnation_away_from_boundary(self):
+        assert valid_incarnations(5.0, 0.0, 10.0, grace_window=2.0) == {1}
+
+    def test_two_incarnations_near_boundary(self):
+        accepted = valid_incarnations(9.5, 0.0, 10.0, grace_window=2.0)
+        assert accepted == {1, 2}
+
+    def test_window_after_boundary(self):
+        accepted = valid_incarnations(10.5, 0.0, 10.0, grace_window=2.0)
+        assert accepted == {1, 2}
+
+    def test_zero_window_is_sharp(self):
+        assert valid_incarnations(9.99, 0.0, 10.0, 0.0) == {1}
+        assert valid_incarnations(10.01, 0.0, 10.0, 0.0) == {2}
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(IncarnationError):
+            valid_incarnations(1.0, 0.0, 10.0, -0.5)
+
+
+class TestClock:
+    def test_skewed_peer_uses_own_time(self):
+        ahead = IncarnationClock(t0=0.0, lifetime=10.0, grace_window=2.0, skew=0.9)
+        behind = IncarnationClock(t0=0.0, lifetime=10.0, grace_window=2.0, skew=-0.9)
+        # Near the boundary the skewed readings disagree...
+        assert ahead.own_incarnation(9.5) == 2
+        assert behind.own_incarnation(9.5) == 1
+        # ...but both are accepted thanks to the grace window.
+        accepted = ahead.accepted_by_observer(9.5)
+        assert ahead.own_incarnation(9.5) in accepted
+        assert behind.own_incarnation(9.5) in accepted
+
+    def test_honest_skew_always_accepted(self):
+        # Property 1's liveness: a peer whose skew is within W/2 is
+        # never rejected by a correct observer, at any instant.
+        clock = IncarnationClock(t0=3.0, lifetime=7.0, grace_window=4.0, skew=1.9)
+        for step in range(200):
+            t = 3.0 + step * 0.35
+            assert clock.is_accepted(clock.own_incarnation(t), t)
+
+    def test_own_expiry_moves_forward(self):
+        clock = IncarnationClock(t0=0.0, lifetime=10.0, grace_window=0.0)
+        assert clock.own_expiry(5.0) == 10.0
+        assert clock.own_expiry(15.0) == 20.0
+
+    def test_validation(self):
+        with pytest.raises(IncarnationError):
+            IncarnationClock(t0=0.0, lifetime=0.0, grace_window=0.0)
+        with pytest.raises(IncarnationError):
+            IncarnationClock(t0=0.0, lifetime=1.0, grace_window=-1.0)

@@ -1,0 +1,185 @@
+"""Unit tests for the robust join/leave/split/merge operations."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import StrongAdversary
+from repro.core.parameters import ModelParameters
+from repro.overlay.errors import MembershipError
+from repro.overlay.operations import find_cluster_of
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+
+
+def build_overlay(
+    seed: int = 21,
+    mu: float = 0.0,
+    d: float = 0.9,
+    adversarial: bool = False,
+    core_size: int = 4,
+    spare_max: int = 4,
+):
+    params = ModelParameters(
+        core_size=core_size, spare_max=spare_max, k=1, mu=mu, d=d
+    )
+    adversary = StrongAdversary(params) if adversarial else None
+    return ClusterOverlay(
+        OverlayConfig(model=params, id_bits=12, key_bits=32),
+        np.random.default_rng(seed),
+        adversary,
+    )
+
+
+class TestJoin:
+    def test_bootstrap_fills_core_first(self):
+        overlay = build_overlay()
+        peers = [overlay.join_new_peer(malicious=False) for _ in range(3)]
+        root = overlay.cluster_of(peers[0])
+        assert all(root.role_of(p) == "core" for p in peers)
+
+    def test_later_joiners_become_spares(self):
+        overlay = build_overlay()
+        peers = [overlay.join_new_peer(malicious=False) for _ in range(6)]
+        cluster = overlay.cluster_of(peers[-1])
+        assert cluster.role_of(peers[-1]) == "spare"
+
+    def test_join_triggers_split_at_capacity(self):
+        overlay = build_overlay()
+        for _ in range(40):
+            overlay.join_new_peer(malicious=False)
+        assert len(overlay.topology) > 1
+        assert overlay.operations.stats.splits >= 1
+        overlay.check_invariants()
+
+    def test_duplicate_join_rejected(self):
+        overlay = build_overlay()
+        peer = overlay.join_new_peer(malicious=False)
+        with pytest.raises(MembershipError, match="already"):
+            overlay.join_peer(peer)
+
+
+class TestLeave:
+    def test_spare_leave_updates_views_only(self):
+        overlay = build_overlay()
+        for _ in range(6):
+            overlay.join_new_peer(malicious=False)
+        spare = next(
+            p
+            for p in overlay.peers
+            if overlay.cluster_of(p).role_of(p) == "spare"
+        )
+        cluster = overlay.cluster_of(spare)
+        core_before = list(cluster.core)
+        assert overlay.leave_peer(spare)
+        assert cluster.core == core_before
+
+    def test_core_leave_restores_core_size(self):
+        overlay = build_overlay()
+        for _ in range(7):
+            overlay.join_new_peer(malicious=False)
+        core_member = next(
+            p
+            for p in overlay.peers
+            if overlay.cluster_of(p).role_of(p) == "core"
+        )
+        cluster = overlay.cluster_of(core_member)
+        assert overlay.leave_peer(core_member)
+        assert len(cluster.core) == overlay.params.core_size
+        assert overlay.operations.stats.maintenances == 1
+
+    def test_unknown_peer_rejected(self):
+        overlay = build_overlay()
+        peer = overlay.join_new_peer(malicious=False)
+        overlay.leave_peer(peer)
+        with pytest.raises(MembershipError, match="not in the overlay"):
+            overlay.leave_peer(peer)
+
+    def test_malicious_leave_suppressed_under_adversary(self):
+        overlay = build_overlay(mu=0.5, adversarial=True)
+        for _ in range(6):
+            overlay.join_new_peer()
+        overlay_peer = overlay.join_new_peer(malicious=True)
+        if overlay_peer is not None:
+            assert not overlay.leave_peer(overlay_peer)
+            assert overlay.operations.stats.leaves_suppressed >= 1
+
+    def test_forced_leave_cannot_be_suppressed(self):
+        overlay = build_overlay(mu=0.5, adversarial=True)
+        for _ in range(6):
+            overlay.join_new_peer()
+        peer = overlay.join_new_peer(malicious=True)
+        if peer is not None:
+            assert overlay.leave_peer(peer, forced=True)
+
+
+class TestSplitMergeCycle:
+    def test_churn_preserves_invariants(self):
+        overlay = build_overlay(seed=3)
+        rng = np.random.default_rng(17)
+        for _ in range(120):
+            overlay.join_new_peer(malicious=False)
+        for _ in range(600):
+            if rng.random() < 0.5 or overlay.n_peers < 12:
+                overlay.join_new_peer(malicious=False)
+            else:
+                overlay.leave_peer(overlay.random_member())
+        overlay.check_invariants()
+        stats = overlay.operations.stats
+        assert stats.splits > 0
+        assert stats.merges > 0
+
+    def test_merge_members_land_in_spare(self):
+        # Drain one cluster until it merges; its survivors must sit in
+        # the spare set of the receiving cluster (Section IV).
+        overlay = build_overlay(seed=5)
+        for _ in range(60):
+            overlay.join_new_peer(malicious=False)
+        overlay.check_invariants()
+        target = overlay.topology.clusters()[0]
+        victims = list(target.spare)
+        merged_happened = False
+        for victim in victims:
+            overlay.leave_peer(victim)
+            if overlay.operations.stats.merges > 0:
+                merged_happened = True
+                break
+        overlay.check_invariants()
+        if merged_happened:
+            assert overlay.operations.stats.merges >= 1
+
+    def test_peer_count_conserved_by_topology_changes(self):
+        overlay = build_overlay(seed=9)
+        for _ in range(80):
+            overlay.join_new_peer(malicious=False)
+        total_held = sum(
+            c.total_size for c in overlay.topology.clusters()
+        )
+        assert total_held == overlay.n_peers
+
+    def test_find_cluster_of_scan(self):
+        overlay = build_overlay()
+        peer = overlay.join_new_peer(malicious=False)
+        found = find_cluster_of(overlay.topology, peer)
+        assert found is overlay.cluster_of(peer)
+        outsider_overlay = build_overlay(seed=77)
+        outsider = outsider_overlay.join_new_peer(malicious=False)
+        with pytest.raises(MembershipError):
+            find_cluster_of(overlay.topology, outsider)
+
+
+class TestRule2Operationally:
+    def test_polluted_cluster_discards_honest_joins(self):
+        params = ModelParameters(core_size=4, spare_max=4, k=1, mu=0.5, d=0.9)
+        overlay = ClusterOverlay(
+            OverlayConfig(model=params, id_bits=12, key_bits=32),
+            np.random.default_rng(2),
+            StrongAdversary(params),
+        )
+        # Fill the core with malicious peers: instantly polluted.
+        for _ in range(4):
+            overlay.join_new_peer(malicious=True)
+        for _ in range(2):
+            overlay.join_new_peer(malicious=True)
+        before = overlay.operations.stats.joins_discarded
+        result = overlay.join_new_peer(malicious=False)
+        assert result is None
+        assert overlay.operations.stats.joins_discarded == before + 1

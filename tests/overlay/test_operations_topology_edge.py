@@ -1,0 +1,142 @@
+"""Targeted tests for the harder topology paths of the operations.
+
+Covers merge-by-transfer (sibling region subdivided), multi-region
+cluster handling across splits, and post-merge resplits -- the paths a
+uniform churn test only hits occasionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.overlay.cluster import Cluster
+from repro.overlay.operations import OverlayOperations
+from repro.overlay.peer import PeerFactory
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.topology import PrefixTopology
+
+PARAMS = ModelParameters(core_size=3, spare_max=4, k=1, mu=0.0, d=0.5)
+ID_BITS = 8
+
+
+@pytest.fixture
+def factory():
+    rng = np.random.default_rng(71)
+    ca = CertificateAuthority(rng, key_bits=128)
+    return PeerFactory(ca=ca, rng=rng, lifetime=100.0, key_bits=32, id_bits=ID_BITS)
+
+
+def filled_cluster(factory, label: str, n_spares: int) -> Cluster:
+    cluster = Cluster(label=label, core_size=3, spare_max=4)
+    for _ in range(3):
+        cluster.add_core(factory.create(0.0, malicious=False))
+    for _ in range(n_spares):
+        cluster.add_spare(factory.create(0.0, malicious=False))
+    return cluster
+
+
+def build_three_way(factory):
+    """Covering {0, 10, 11}: merging '0' must use the transfer path."""
+    topology = PrefixTopology(id_bits=ID_BITS)
+    topology.add_cluster(filled_cluster(factory, "", 2))
+    zero = filled_cluster(factory, "0", 2)
+    one0 = filled_cluster(factory, "10", 2)
+    one1 = filled_cluster(factory, "11", 2)
+    topology.remove_region("")
+    topology._region_to_cluster["0"] = zero
+    topology._region_to_cluster["10"] = one0
+    topology._region_to_cluster["11"] = one1
+    topology.check_covering()
+    rng = np.random.default_rng(5)
+    return topology, OverlayOperations(topology, PARAMS, rng)
+
+
+class TestMergeByTransfer:
+    def test_sibling_subdivided_transfers_region(self, factory):
+        topology, operations = build_three_way(factory)
+        zero = topology.lookup(0)
+        members = list(zero.members)
+        report = operations.merge(zero)
+        assert report.kind == "merge"
+        target = report.touched[-1]
+        assert target is not zero
+        # The dissolving cluster's members are spares of the target.
+        for member in members:
+            assert member in target.spare
+        # The region '0' is now owned by the target; covering is intact.
+        assert topology.lookup(0) is target
+        topology.check_covering()
+        # The dissolved cluster is cleared (stale-reference guard).
+        assert zero.total_size == 0
+
+    def test_fold_path_when_sibling_is_leaf(self, factory):
+        topology = PrefixTopology(id_bits=ID_BITS)
+        left = filled_cluster(factory, "0", 1)
+        right = filled_cluster(factory, "1", 2)
+        topology._region_to_cluster["0"] = left
+        topology._region_to_cluster["1"] = right
+        topology.check_covering()
+        operations = OverlayOperations(
+            topology, PARAMS, np.random.default_rng(6)
+        )
+        report = operations.merge(left)
+        merged = report.touched[-1]
+        assert merged.label == ""
+        assert topology.lookup(0) is merged
+        assert topology.lookup(255) is merged
+        # Paper semantics: surviving core is the neighbour's core.
+        assert merged.core == right.core or len(merged.core) == 3
+
+    def test_root_cluster_cannot_merge(self, factory):
+        topology = PrefixTopology(id_bits=ID_BITS)
+        root = filled_cluster(factory, "", 0)
+        topology.add_cluster(root)
+        operations = OverlayOperations(
+            topology, PARAMS, np.random.default_rng(7)
+        )
+        report = operations.merge(root)
+        assert report.detail == "root"
+        assert topology.lookup(17) is root
+
+
+class TestMultiRegionSplit:
+    def test_split_reassigns_absorbed_regions(self, factory):
+        topology, operations = build_three_way(factory)
+        zero = topology.lookup(0)
+        operations.merge(zero)
+        owner = topology.lookup(0)
+        regions_before = set(topology.regions_of(owner))
+        assert len(regions_before) >= 2
+        # Grow the owner to force a split of its primary region.
+        while not owner.must_split:
+            owner.spare.append(factory.create(0.0, malicious=False))
+        report = operations.split(owner)
+        if report.kind == "split":
+            topology.check_covering()
+            # Every previously-owned region is still owned by someone.
+            for region in regions_before:
+                probe = int(region + "0" * (ID_BITS - len(region)), 2)
+                topology.lookup(probe)
+        else:
+            assert report.kind == "split-deferred"
+
+    def test_lopsided_split_defers(self, factory):
+        # All member identifiers on one side: the split must defer.
+        topology = PrefixTopology(id_bits=ID_BITS)
+        cluster = Cluster(label="", core_size=3, spare_max=4)
+        peers = []
+        while len(peers) < 8:
+            peer = factory.create(0.0, malicious=False)
+            if peer.identifier_for_incarnation(1) < 128:  # leading 0
+                peers.append(peer)
+        for peer in peers[:3]:
+            cluster.add_core(peer)
+        for peer in peers[3:7]:
+            cluster.add_spare(peer)
+        topology.add_cluster(cluster)
+        operations = OverlayOperations(
+            topology, PARAMS, np.random.default_rng(8)
+        )
+        report = operations.split(cluster)
+        assert report.kind == "split-deferred"
+        assert topology.lookup(0) is cluster

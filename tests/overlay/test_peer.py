@@ -1,0 +1,99 @@
+"""Unit tests for peers and the peer factory."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.crypto import CertificateAuthority
+from repro.overlay.peer import PeerFactory
+
+
+@pytest.fixture(scope="module")
+def factory():
+    rng = np.random.default_rng(4242)
+    ca = CertificateAuthority(rng, key_bits=128)
+    return PeerFactory(
+        ca=ca,
+        rng=rng,
+        lifetime=10.0,
+        grace_window=1.0,
+        key_bits=64,
+        id_bits=32,
+        malicious_fraction=0.5,
+    )
+
+
+class TestIdentity:
+    def test_identifier_changes_across_incarnations(self, factory):
+        peer = factory.create(created_at=0.0)
+        early = peer.identifier_at(1.0)
+        late = peer.identifier_at(11.0)
+        assert early != late
+        assert peer.incarnation_at(1.0) == 1
+        assert peer.incarnation_at(11.0) == 2
+
+    def test_identifier_stable_within_incarnation(self, factory):
+        peer = factory.create(created_at=0.0)
+        assert peer.identifier_at(1.0) == peer.identifier_at(9.0)
+
+    def test_identifier_fits_width(self, factory):
+        peer = factory.create(created_at=0.0)
+        assert 0 <= peer.identifier_at(0.0) < (1 << 32)
+
+    def test_validity_check_accepts_current_id(self, factory):
+        peer = factory.create(created_at=0.0)
+        assert peer.identifier_is_valid(peer.identifier_at(3.0), 3.0)
+
+    def test_validity_check_rejects_expired_id(self, factory):
+        peer = factory.create(created_at=0.0)
+        old = peer.identifier_at(3.0)
+        assert not peer.identifier_is_valid(old, 25.0)
+
+    def test_grace_window_accepts_two_ids(self, factory):
+        peer = factory.create(created_at=0.0)
+        accepted = peer.accepted_identifiers(9.8)
+        assert len(accepted) == 2
+
+    def test_expiry_time(self, factory):
+        peer = factory.create(created_at=0.0)
+        assert peer.expiry_time(3.0) == pytest.approx(10.0, abs=1.0)
+
+    def test_distinct_peers_have_distinct_ids(self, factory):
+        ids = {
+            factory.create(created_at=0.0).identifier_at(0.0)
+            for _ in range(20)
+        }
+        assert len(ids) == 20
+
+
+class TestFactory:
+    def test_explicit_malicious_flag(self, factory):
+        assert factory.create(0.0, malicious=True).malicious
+        assert not factory.create(0.0, malicious=False).malicious
+
+    def test_malicious_fraction_is_sampled(self, factory):
+        peers = factory.create_many(300, created_at=0.0)
+        fraction = sum(p.malicious for p in peers) / len(peers)
+        assert 0.35 < fraction < 0.65
+
+    def test_names_are_unique(self, factory):
+        names = {factory.create(0.0).name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_signed_messages_verify(self, factory):
+        peer = factory.create(created_at=0.0)
+        message = peer.sign(b"route-request")
+        message.verify(factory._ca)
+
+    def test_equality_by_name(self, factory):
+        peer = factory.create(0.0, name="fixed")
+        assert peer == peer
+        assert peer != factory.create(0.0)
+
+    def test_rejects_bad_fraction(self, factory):
+        with pytest.raises(ValueError):
+            PeerFactory(
+                ca=factory._ca,
+                rng=np.random.default_rng(0),
+                lifetime=1.0,
+                malicious_fraction=1.5,
+            )

@@ -1,0 +1,132 @@
+"""Unit tests for greedy prefix routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.overlay.cluster import Cluster
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.overlay.routing import (
+    RoutingError,
+    average_path_length,
+    redundant_route,
+    route,
+)
+from repro.overlay.topology import PrefixTopology
+
+
+def build_topology(depth: int, id_bits: int = 10) -> PrefixTopology:
+    """A perfect binary covering at the given depth."""
+    topology = PrefixTopology(id_bits=id_bits)
+    topology.add_cluster(Cluster(label="", core_size=4, spare_max=4))
+    frontier = [""]
+    for _ in range(depth):
+        next_frontier = []
+        for label in frontier:
+            topology.replace_with_children(
+                label,
+                Cluster(label=label + "0", core_size=4, spare_max=4),
+                Cluster(label=label + "1", core_size=4, spare_max=4),
+            )
+            next_frontier += [label + "0", label + "1"]
+        frontier = next_frontier
+    return topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_topology(depth=4)
+
+
+class TestDelivery:
+    def test_all_pairs_deliver(self, topology):
+        clusters = topology.clusters()
+        for source in clusters[:4]:
+            for target in (0, 341, 1023):
+                result = route(topology, source, target)
+                assert result.delivered
+                final = result.hops[-1]
+                assert topology.lookup(target) is final
+
+    def test_local_delivery_is_zero_hops(self, topology):
+        target = 0
+        source = topology.lookup(target)
+        result = route(topology, source, target)
+        assert result.hop_count == 0
+
+    def test_hop_count_bounded_by_label_length(self, topology):
+        # Greedy correction fixes at least one bit per hop.
+        clusters = topology.clusters()
+        for source in clusters:
+            result = route(topology, source, 1023)
+            assert result.hop_count <= 4
+
+    def test_hops_correct_prefix_monotonically(self, topology):
+        source = topology.lookup(0)
+        result = route(topology, source, 0b11_1111_1111)
+        prefixes = [
+            len(hop.label) - len(hop.label.lstrip("1")) for hop in result.hops
+        ]
+        assert prefixes == sorted(prefixes)
+
+
+class TestAdversarialDrops:
+    def test_dropping_cluster_blocks_path(self, topology):
+        source = topology.lookup(0)
+        target = 1023
+        direct = route(topology, source, target)
+        assert direct.delivered
+        dropper = direct.hops[1]
+        result = route(
+            topology, source, target, drop_predicate=lambda c: c is dropper
+        )
+        assert not result.delivered
+        assert result.dropped_at is dropper
+
+    def test_source_never_drops_its_own_message(self, topology):
+        source = topology.lookup(0)
+        result = route(
+            topology, source, 3, drop_predicate=lambda c: True
+        )
+        # Either delivered within the source cluster or dropped later --
+        # but the source itself does not drop.
+        assert result.hops[0] is source
+
+    def test_redundant_routing_survives_single_dropper(self, topology):
+        target = 1023
+        direct = route(topology, topology.lookup(0), target)
+        dropper = direct.hops[1]
+        sources = [topology.lookup(0), topology.lookup(512 + 256)]
+        delivered, results = redundant_route(
+            topology, sources, target, drop_predicate=lambda c: c is dropper
+        )
+        assert delivered
+        assert len(results) == 2
+
+    def test_redundant_routing_requires_sources(self, topology):
+        with pytest.raises(RoutingError):
+            redundant_route(topology, [], 5)
+
+
+class TestStatistics:
+    def test_average_path_length(self, topology):
+        clusters = topology.clusters()
+        pairs = [(clusters[0], 1023), (clusters[0], 0)]
+        mean = average_path_length(topology, pairs)
+        assert 0.0 < mean <= 4.0
+
+    def test_average_requires_pairs(self, topology):
+        with pytest.raises(RoutingError):
+            average_path_length(topology, [])
+
+    def test_routing_on_live_overlay(self, rng):
+        params = ModelParameters(core_size=4, spare_max=4)
+        overlay = ClusterOverlay(
+            OverlayConfig(model=params, id_bits=12, key_bits=32), rng
+        )
+        for _ in range(120):
+            overlay.join_new_peer(malicious=False)
+        clusters = overlay.topology.clusters()
+        assert len(clusters) > 2
+        result = route(overlay.topology, clusters[0], 2048)
+        assert result.delivered

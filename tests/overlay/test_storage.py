@@ -1,0 +1,155 @@
+"""Unit tests for the replicated DHT data plane."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.overlay.storage import OverlayStorage, StorageError
+
+
+def build_storage(
+    mu: float = 0.0,
+    seed: int = 17,
+    n_peers: int = 60,
+    drop_in_transit: bool = True,
+    malicious: bool | None = False,
+):
+    params = ModelParameters(core_size=5, spare_max=5, k=1, mu=mu, d=0.9)
+    overlay = ClusterOverlay(
+        OverlayConfig(model=params, id_bits=12, key_bits=32),
+        np.random.default_rng(seed),
+    )
+    for _ in range(n_peers):
+        overlay.join_new_peer(malicious=malicious)
+    return OverlayStorage(
+        overlay=overlay,
+        rng=np.random.default_rng(seed + 1),
+        drop_in_transit=drop_in_transit,
+    )
+
+
+class TestHonestOperation:
+    def test_put_get_roundtrip(self):
+        storage = build_storage()
+        assert storage.put(100, b"hello")
+        outcome = storage.get(100)
+        assert outcome.delivered
+        assert outcome.correct
+        assert outcome.value == b"hello"
+        assert not outcome.forged
+
+    def test_missing_key_reads_none(self):
+        storage = build_storage()
+        outcome = storage.get(4000)
+        assert outcome.delivered
+        assert outcome.value is None
+        assert not outcome.correct
+
+    def test_overwrite(self):
+        storage = build_storage()
+        storage.put(5, b"v1")
+        storage.put(5, b"v2")
+        assert storage.get(5).value == b"v2"
+
+    def test_populate_and_audit_clean_overlay(self):
+        storage = build_storage()
+        keys = storage.populate(40)
+        assert len(keys) == 40
+        audit = storage.audit(keys)
+        assert audit == {
+            "delivery_rate": 1.0,
+            "correct_rate": 1.0,
+            "forgery_rate": 0.0,
+        }
+
+    def test_stats_accumulate(self):
+        storage = build_storage()
+        storage.put(9, b"x")
+        storage.get(9)
+        storage.get(9)
+        assert storage.stats.puts_delivered == 1
+        assert storage.stats.gets_attempted == 2
+        assert storage.stats.read_success_rate == 1.0
+
+    def test_key_bounds_checked(self):
+        storage = build_storage()
+        with pytest.raises(StorageError, match="outside"):
+            storage.put(1 << 12, b"x")
+        with pytest.raises(StorageError, match="outside"):
+            storage.get(-1)
+
+    def test_audit_requires_keys(self):
+        storage = build_storage()
+        with pytest.raises(StorageError, match="no keys"):
+            storage.audit([])
+
+
+class TestViewChanges:
+    def test_reads_survive_membership_churn(self):
+        storage = build_storage()
+        keys = storage.populate(25)
+        overlay = storage.overlay
+        rng = np.random.default_rng(3)
+        for _ in range(120):
+            if rng.random() < 0.5 or overlay.n_peers < 12:
+                overlay.join_new_peer(malicious=False)
+            else:
+                overlay.leave_peer(overlay.random_member())
+        overlay.check_invariants()
+        audit = storage.audit(keys)
+        # Lazy state transfer: every read still answers correctly.
+        assert audit["correct_rate"] == 1.0
+
+
+class TestUnderAttack:
+    def test_minority_malicious_cores_cannot_forge(self):
+        # Single fully-mixed cluster with 2 of 5 core malicious: the
+        # majority vote still returns the honest value.
+        storage = build_storage(mu=0.0, n_peers=0)
+        overlay = storage.overlay
+        for i in range(5):
+            overlay.join_new_peer(malicious=i < 2)
+        storage.drop_in_transit = False
+        storage.put(17, b"honest")
+        outcome = storage.get(17)
+        assert outcome.correct
+        assert outcome.malicious_replies == 2
+
+    def test_core_majority_takeover_forges_reads(self):
+        storage = build_storage(mu=0.0, n_peers=0)
+        overlay = storage.overlay
+        for i in range(5):
+            overlay.join_new_peer(malicious=i < 3)
+        storage.drop_in_transit = False
+        storage.ground_truth[23] = b"honest"
+        outcome = storage.get(23)
+        assert outcome.delivered
+        assert outcome.forged
+        assert not outcome.correct
+
+    def test_transit_pollution_drops_requests(self):
+        # Many clusters; make every cluster polluted-looking by
+        # flooding malicious peers, then transit drops should appear.
+        storage = build_storage(mu=0.0, n_peers=0, seed=23)
+        overlay = storage.overlay
+        for _ in range(80):
+            overlay.join_new_peer(malicious=True)
+        keys = [int(k) for k in np.random.default_rng(5).integers(0, 1 << 12, 30)]
+        delivered = sum(storage.get(k).delivered for k in keys)
+        assert delivered < 30  # at least some drops occur
+
+    def test_attack_degrades_audit_metrics(self):
+        clean = build_storage(mu=0.0, seed=31)
+        clean_keys = clean.populate(30)
+        attacked = build_storage(mu=0.0, n_peers=0, seed=31)
+        for i in range(70):
+            attacked.overlay.join_new_peer(malicious=i % 2 == 0)
+        attacked_keys = attacked.populate(30)
+        if not attacked_keys:
+            return  # everything dropped: degradation is total
+        clean_audit = clean.audit(clean_keys)
+        attacked_audit = attacked.audit(attacked_keys)
+        assert (
+            attacked_audit["correct_rate"] <= clean_audit["correct_rate"]
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for the prefix-tree topology."""
+
+import pytest
+
+from repro.overlay.cluster import Cluster
+from repro.overlay.errors import TopologyError
+from repro.overlay.topology import PrefixTopology, sibling_label
+
+
+def bare_cluster(label: str) -> Cluster:
+    return Cluster(label=label, core_size=4, spare_max=4)
+
+
+@pytest.fixture
+def three_way() -> PrefixTopology:
+    """Covering {0, 10, 11} of a 8-bit space."""
+    topology = PrefixTopology(id_bits=8)
+    root = bare_cluster("")
+    topology.add_cluster(root)
+    topology.replace_with_children(
+        "", bare_cluster("0"), bare_cluster("1")
+    )
+    one = topology.lookup(0b1000_0000)
+    topology.replace_with_children(
+        "1", bare_cluster("10"), bare_cluster("11")
+    )
+    return topology
+
+
+class TestSiblingLabel:
+    def test_flips_last_bit(self):
+        assert sibling_label("010") == "011"
+        assert sibling_label("1") == "0"
+
+    def test_root_has_no_sibling(self):
+        with pytest.raises(TopologyError):
+            sibling_label("")
+
+
+class TestCoveringInvariant:
+    def test_three_way_covering_is_valid(self, three_way):
+        three_way.check_covering()
+        assert len(three_way) == 3
+        assert three_way.regions() == ["0", "10", "11"]
+
+    def test_prefix_collision_detected(self, three_way):
+        # A collision cannot arise through the public mutators (each
+        # checks the covering), so corrupt the registry directly and
+        # verify the checker catches it.
+        three_way._region_to_cluster["01"] = bare_cluster("01")
+        with pytest.raises(TopologyError, match="prefix"):
+            three_way.check_covering()
+
+    def test_incomplete_covering_detected(self):
+        topology = PrefixTopology(id_bits=8)
+        with pytest.raises(TopologyError, match="measures"):
+            topology.add_cluster(bare_cluster("0"))
+
+    def test_duplicate_region_rejected(self, three_way):
+        with pytest.raises(TopologyError, match="already owned"):
+            three_way.add_cluster(bare_cluster("0"))
+
+
+class TestLookup:
+    def test_every_identifier_resolves(self, three_way):
+        for identifier in range(256):
+            cluster = three_way.lookup(identifier)
+            assert three_way.region_containing(identifier) in (
+                "0",
+                "10",
+                "11",
+            )
+            assert cluster is three_way.lookup(identifier)
+
+    def test_lookup_respects_prefixes(self, three_way):
+        assert three_way.lookup(0b0000_0001).label == "0"
+        assert three_way.lookup(0b1000_0001).label == "10"
+        assert three_way.lookup(0b1100_0001).label == "11"
+
+
+class TestMutations:
+    def test_split_requires_matching_children(self, three_way):
+        with pytest.raises(TopologyError, match="partition"):
+            three_way.replace_with_children(
+                "0", bare_cluster("10"), bare_cluster("11")
+            )
+
+    def test_fold_siblings(self, three_way):
+        merged = bare_cluster("1")
+        three_way.fold_siblings(merged)
+        assert three_way.regions() == ["0", "1"]
+        assert three_way.lookup(0b1100_0000) is merged
+
+    def test_fold_requires_both_children(self, three_way):
+        with pytest.raises(TopologyError, match="not live"):
+            three_way.fold_siblings(bare_cluster("0"))
+
+    def test_transfer_region_creates_multi_region_owner(self, three_way):
+        target = three_way.lookup(0b1000_0000)  # the "10" cluster
+        three_way.transfer_region("11", target)
+        assert sorted(three_way.regions_of(target)) == ["10", "11"]
+        assert three_way.lookup(0b1100_0000) is target
+        assert len(three_way) == 2
+
+    def test_transfer_to_foreign_cluster_rejected(self, three_way):
+        with pytest.raises(TopologyError, match="not a registered"):
+            three_way.transfer_region("11", bare_cluster("11"))
+
+    def test_remove_unknown_region(self, three_way):
+        with pytest.raises(TopologyError, match="not registered"):
+            three_way.remove_region("0101")
+
+
+class TestNeighbourhood:
+    def test_dimension_neighbors(self, three_way):
+        zero = three_way.lookup(0)
+        ten = three_way.lookup(0b1000_0000)
+        eleven = three_way.lookup(0b1100_0000)
+        assert three_way.dimension_neighbor(zero, 0) in (ten, eleven)
+        assert three_way.dimension_neighbor(ten, 0) is zero
+        assert three_way.dimension_neighbor(ten, 1) is eleven
+
+    def test_neighbors_deduplicated(self, three_way):
+        ten = three_way.lookup(0b1000_0000)
+        neighbors = three_way.neighbors(ten)
+        assert len(neighbors) == 2
+
+    def test_bit_index_bounds(self, three_way):
+        zero = three_way.lookup(0)
+        with pytest.raises(TopologyError, match="bit index"):
+            three_way.dimension_neighbor(zero, 5)
+
+    def test_closest_other_cluster(self, three_way):
+        ten = three_way.lookup(0b1000_0000)
+        eleven = three_way.lookup(0b1100_0000)
+        assert three_way.closest_other_cluster(ten) is eleven
+
+    def test_closest_requires_another_cluster(self):
+        topology = PrefixTopology(id_bits=8)
+        root = bare_cluster("")
+        topology.add_cluster(root)
+        with pytest.raises(TopologyError, match="no neighbour"):
+            topology.closest_other_cluster(root)

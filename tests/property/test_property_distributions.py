@@ -1,0 +1,117 @@
+"""Property-based tests on the probability kernels."""
+
+from math import comb
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    binomial_pmf,
+    hypergeometric_pmf,
+    hypergeometric_support,
+    maintenance_kernel,
+)
+
+urns = st.integers(0, 30).flatmap(
+    lambda population: st.tuples(
+        st.just(population),
+        st.integers(0, population),  # draws
+        st.integers(0, population),  # reds
+    )
+)
+
+
+@settings(deadline=None, max_examples=200)
+@given(urn=urns)
+def test_hypergeometric_normalizes(urn):
+    population, draws, reds = urn
+    total = sum(
+        hypergeometric_pmf(draws, population, u, reds)
+        for u in range(draws + 1)
+    )
+    assert abs(total - 1.0) < 1e-9
+
+
+@settings(deadline=None, max_examples=200)
+@given(urn=urns)
+def test_hypergeometric_support_is_tight(urn):
+    population, draws, reds = urn
+    support = hypergeometric_support(draws, population, reds)
+    for u in support:
+        assert hypergeometric_pmf(draws, population, u, reds) > 0.0
+    if support.start > 0:
+        assert hypergeometric_pmf(draws, population, support.start - 1, reds) == 0.0
+    assert hypergeometric_pmf(draws, population, support.stop, reds) == 0.0
+
+
+@settings(deadline=None, max_examples=200)
+@given(urn=urns)
+def test_hypergeometric_mean_identity(urn):
+    """E[hits] = draws * reds / population."""
+    population, draws, reds = urn
+    if population == 0:
+        return
+    mean = sum(
+        u * hypergeometric_pmf(draws, population, u, reds)
+        for u in range(draws + 1)
+    )
+    assert abs(mean - draws * reds / population) < 1e-9
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    core_size=st.integers(2, 10),
+    spare_size=st.integers(1, 10),
+    data=st.data(),
+)
+def test_maintenance_kernel_normalizes_and_conserves(core_size, spare_size, data):
+    k = data.draw(st.integers(1, core_size))
+    malicious_core = data.draw(st.integers(0, core_size - 1))
+    malicious_spare = data.draw(st.integers(0, spare_size))
+    outcomes = list(
+        maintenance_kernel(
+            malicious_core_after=malicious_core,
+            malicious_spare=malicious_spare,
+            spare_size=spare_size,
+            core_size=core_size,
+            k=k,
+        )
+    )
+    total = sum(p for _, _, p in outcomes)
+    assert abs(total - 1.0) < 1e-9
+    for a, b, _ in outcomes:
+        # Malicious peers are conserved by the shuffle.
+        new_core = malicious_core - a + b
+        new_spare = malicious_spare + a - b
+        assert new_core + new_spare == malicious_core + malicious_spare
+        assert 0 <= new_core <= core_size
+        assert 0 <= new_spare
+
+
+@settings(deadline=None, max_examples=200)
+@given(n=st.integers(0, 25), p=st.floats(0.0, 1.0))
+def test_binomial_normalizes(n, p):
+    total = sum(binomial_pmf(n, p, k) for k in range(n + 1))
+    assert abs(total - 1.0) < 1e-9
+
+
+@settings(deadline=None, max_examples=200)
+@given(n=st.integers(1, 25), p=st.floats(0.0, 1.0))
+def test_binomial_mean(n, p):
+    mean = sum(k * binomial_pmf(n, p, k) for k in range(n + 1))
+    assert abs(mean - n * p) < 1e-9
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    population=st.integers(1, 20),
+    draws_reds=st.data(),
+)
+def test_hypergeometric_symmetry(population, draws_reds):
+    """q(k, l, u, v) is symmetric in swapping draws and reds."""
+    draws = draws_reds.draw(st.integers(0, population))
+    reds = draws_reds.draw(st.integers(0, population))
+    for u in range(min(draws, reds) + 1):
+        left = hypergeometric_pmf(draws, population, u, reds)
+        right = hypergeometric_pmf(reds, population, u, draws)
+        assert abs(left - right) < 1e-12

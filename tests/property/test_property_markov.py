@@ -1,0 +1,86 @@
+"""Property-based tests on the generic Markov machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.markov.competing import (
+    competing_law_binomial_mixture,
+    competing_transient_law,
+    slowdown_matrix,
+)
+from repro.markov.fundamental import AbsorbingAnalysis
+from repro.markov.linalg import solve_fundamental, substochastic_check
+
+
+def substochastic_matrices(size: int, leak: float = 0.05):
+    """Random sub-stochastic matrices with at least `leak` escape mass."""
+    return arrays(
+        dtype=float,
+        shape=(size, size),
+        elements=st.floats(0.0, 1.0),
+    ).map(lambda raw: _normalize(raw, leak))
+
+
+def _normalize(raw: np.ndarray, leak: float) -> np.ndarray:
+    sums = raw.sum(axis=1, keepdims=True)
+    sums[sums == 0.0] = 1.0
+    return raw / sums * (1.0 - leak)
+
+
+@settings(deadline=None, max_examples=50)
+@given(matrix=substochastic_matrices(4))
+def test_fundamental_matrix_is_nonnegative(matrix):
+    substochastic_check(matrix)
+    fundamental = solve_fundamental(matrix)
+    assert fundamental.min() >= -1e-9
+    # N = I + Q N (the renewal identity).
+    assert np.allclose(fundamental, np.eye(4) + matrix @ fundamental)
+
+
+@settings(deadline=None, max_examples=50)
+@given(matrix=substochastic_matrices(4))
+def test_absorbing_analysis_probabilities_normalize(matrix):
+    escape = 1.0 - matrix.sum(axis=1)
+    analysis = AbsorbingAnalysis(
+        transient_block=matrix,
+        absorbing_blocks=(("out", escape.reshape(-1, 1)),),
+        initial=np.array([1.0, 0.0, 0.0, 0.0]),
+    )
+    assert abs(analysis.absorption_probability("out") - 1.0) < 1e-8
+    assert analysis.expected_steps_to_absorption() >= 1.0 - 1e-9
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    matrix=substochastic_matrices(3),
+    n_chains=st.integers(1, 40),
+    n_events=st.integers(0, 60),
+)
+def test_theorem1_equivalence_randomized(matrix, n_chains, n_events):
+    """Matrix-power and binomial-mixture evaluations agree everywhere."""
+    alpha = np.array([0.5, 0.3, 0.2])
+    power = competing_transient_law(alpha, matrix, n_chains, n_events)
+    mixture = competing_law_binomial_mixture(alpha, matrix, n_chains, n_events)
+    assert np.allclose(power, mixture, atol=1e-8)
+
+
+@settings(deadline=None, max_examples=50)
+@given(matrix=substochastic_matrices(3), n_chains=st.integers(1, 50))
+def test_slowdown_preserves_substochasticity(matrix, n_chains):
+    lazy = slowdown_matrix(matrix, n_chains)
+    substochastic_check(lazy)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    matrix=substochastic_matrices(3),
+    n_events=st.integers(1, 50),
+)
+def test_more_chains_slow_the_decay(matrix, n_events):
+    """Per-chain transient mass decays slower in larger overlays."""
+    alpha = np.array([1.0, 0.0, 0.0])
+    few = competing_transient_law(alpha, matrix, 2, n_events).sum()
+    many = competing_transient_law(alpha, matrix, 20, n_events).sum()
+    assert many >= few - 1e-9

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on the analytical model."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.matrix import ClusterChain
+from repro.core.parameters import ModelParameters
+from repro.core.rules import relation2_probability, rule1_triggers
+from repro.core.statespace import State, StateSpace
+from repro.core.transitions import transition_distribution
+
+SMALL = dict(
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    max_examples=25,
+)
+
+parameter_strategy = st.builds(
+    ModelParameters,
+    core_size=st.integers(4, 8),
+    spare_max=st.integers(3, 8),
+    k=st.just(1),
+    mu=st.floats(0.0, 0.9),
+    d=st.floats(0.0, 0.99),
+    nu=st.floats(0.05, 0.5),
+)
+
+parameter_strategy_any_k = parameter_strategy.flatmap(
+    lambda p: st.integers(1, p.core_size).map(
+        lambda k: p.with_overrides(k=k)
+    )
+)
+
+
+@settings(**SMALL)
+@given(params=parameter_strategy_any_k)
+def test_transition_rows_are_distributions(params):
+    """Every transient row of the tree sums to one with no negatives."""
+    space = StateSpace(params)
+    for state in space.transient:
+        law = transition_distribution(state, params)
+        total = sum(law.values())
+        assert abs(total - 1.0) < 1e-9
+        assert all(p > 0.0 for p in law.values())
+
+
+@settings(**SMALL)
+@given(params=parameter_strategy_any_k)
+def test_transitions_never_reach_polluted_split(params):
+    """Rule 2 structurally forbids polluted-split targets."""
+    space = StateSpace(params)
+    for state in space.transient:
+        for target in transition_distribution(state, params):
+            assert space.index_of(target) >= 0
+
+
+@settings(**SMALL)
+@given(params=parameter_strategy_any_k)
+def test_matrix_is_stochastic_and_absorbing(params):
+    chain = ClusterChain(params)
+    assert np.allclose(chain.matrix.sum(axis=1), 1.0, atol=1e-9)
+    transient = chain.transient_matrix
+    # Sub-stochastic with spectral radius < 1 unless d = 1 pins peers.
+    assert transient.min() >= 0.0
+    assert transient.sum(axis=1).max() <= 1.0 + 1e-9
+
+
+@settings(**SMALL)
+@given(params=parameter_strategy)
+def test_absorption_probabilities_sum_to_one(params):
+    # Tolerance note: at extreme corners (mu near 1 with d near 1) the
+    # transient block's spectral radius approaches 1 within 1e-9 and
+    # the fundamental solve carries a condition number of ~1e9, so the
+    # sum can drift by ~1e-8 in float64.  5e-6 still catches any
+    # modeling error (a missing branch loses whole transition mass).
+    model = ClusterModel(params)
+    for initial in ("delta", "beta"):
+        probabilities = model.absorption_probabilities(initial)
+        assert abs(sum(probabilities.values()) - 1.0) < 5e-6
+        assert all(p >= -1e-12 for p in probabilities.values())
+
+
+@settings(**SMALL)
+@given(
+    params=parameter_strategy.filter(lambda p: p.mu == 0.0 or True),
+    spare=st.integers(1, 6),
+)
+def test_mu_zero_random_walk_identity(params, spare):
+    """E(T_S) from (s0, 0, 0) equals s0 (Delta - s0) when mu = 0."""
+    clean = params.with_overrides(mu=0.0)
+    s0 = min(spare, clean.spare_max - 1)
+    model = ClusterModel(clean)
+    expected = s0 * (clean.spare_max - s0)
+    assert abs(model.expected_time_safe((s0, 0, 0)) - expected) < 1e-8
+    assert model.expected_time_polluted((s0, 0, 0)) < 1e-10
+
+
+@settings(**SMALL)
+@given(params=parameter_strategy)
+def test_expected_times_decompose(params):
+    """E(T_S) + E(T_P) equals the expected absorption time."""
+    model = ClusterModel(params)
+    total = model.expected_lifetime("delta")
+    parts = model.expected_time_safe("delta") + model.expected_time_polluted(
+        "delta"
+    )
+    assert abs(total - parts) <= 1e-7 * max(1.0, abs(total))
+
+
+@settings(**SMALL)
+@given(
+    params=parameter_strategy_any_k,
+    s=st.integers(1, 6),
+    x=st.integers(0, 8),
+    y=st.integers(0, 6),
+)
+def test_relation2_is_probability(params, s, x, y):
+    s = min(s, params.spare_max - 1)
+    x = min(x, params.core_size)
+    y = min(y, s)
+    value = relation2_probability(State(s, x, y), params)
+    assert 0.0 <= value <= 1.0
+    if params.k == 1 or y <= 1:
+        assert value == 0.0
+
+
+@settings(**SMALL)
+@given(
+    params=parameter_strategy,
+    s=st.integers(1, 6),
+    x=st.integers(1, 8),
+    y=st.integers(0, 6),
+)
+def test_rule1_never_fires_for_k1(params, s, x, y):
+    s = min(s, params.spare_max - 1)
+    x = min(x, params.core_size)
+    y = min(y, s)
+    assert not rule1_triggers(State(s, x, y), params)
+
+
+@settings(**SMALL)
+@given(
+    mu=st.floats(0.01, 0.5),
+    d=st.floats(0.0, 0.95),
+)
+def test_beta_initial_normalizes(mu, d):
+    from repro.core.initial import beta_distribution
+
+    chain = ClusterChain(ModelParameters(mu=mu, d=d))
+    vector = beta_distribution(chain)
+    assert abs(vector.sum() - 1.0) < 1e-9
+    assert vector.min() >= 0.0

@@ -1,0 +1,126 @@
+"""Property-based tests on the operational overlay substrate."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import ModelParameters
+from repro.overlay.incarnation import (
+    IncarnationClock,
+    current_incarnation,
+    valid_incarnations,
+)
+from repro.overlay.identifiers import (
+    common_prefix_length,
+    has_prefix,
+    to_bit_string,
+)
+from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+
+OVERLAY_SETTINGS = dict(
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+    max_examples=10,
+)
+
+
+@settings(deadline=None, max_examples=300)
+@given(
+    value=st.integers(0, 2**16 - 1),
+    depth=st.integers(0, 15),
+)
+def test_prefix_of_own_bits(value, depth):
+    """Every identifier has its own truncations as prefixes."""
+    label = to_bit_string(value, 16)[:depth]
+    assert has_prefix(value, label, 16)
+
+
+@settings(deadline=None, max_examples=300)
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1))
+def test_common_prefix_symmetry_and_bound(a, b):
+    length = common_prefix_length(a, b, 16)
+    assert length == common_prefix_length(b, a, 16)
+    assert 0 <= length <= 16
+    if a == b:
+        assert length == 16
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    t0=st.floats(0.0, 100.0),
+    lifetime=st.floats(0.5, 50.0),
+    elapsed=st.floats(0.0, 500.0),
+)
+def test_incarnation_monotone_in_time(t0, lifetime, elapsed):
+    early = current_incarnation(t0 + elapsed / 2, t0, lifetime)
+    late = current_incarnation(t0 + elapsed, t0, lifetime)
+    assert 1 <= early <= late
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    t0=st.floats(0.0, 50.0),
+    lifetime=st.floats(0.5, 20.0),
+    window=st.floats(0.0, 5.0),
+    elapsed=st.floats(0.0, 100.0),
+)
+def test_grace_window_accepts_at_most_consecutive(t0, lifetime, window, elapsed):
+    accepted = valid_incarnations(t0 + elapsed, t0, lifetime, window)
+    values = sorted(accepted)
+    assert values == list(range(values[0], values[-1] + 1))
+    # Window below one lifetime: never more than two incarnations.
+    if window < lifetime:
+        assert len(values) <= 2
+
+
+@settings(deadline=None, max_examples=200)
+@given(
+    skew=st.floats(-1.0, 1.0),
+    probe=st.floats(0.0, 60.0),
+)
+def test_bounded_skew_peers_always_accepted(skew, probe):
+    """Property 1 liveness: |skew| <= W/2 implies acceptance."""
+    clock = IncarnationClock(
+        t0=0.0, lifetime=7.0, grace_window=2.0, skew=skew
+    )
+    assert clock.is_accepted(clock.own_incarnation(probe), probe)
+
+
+@settings(**OVERLAY_SETTINGS)
+@given(
+    seed=st.integers(0, 10_000),
+    operations=st.lists(st.booleans(), min_size=30, max_size=80),
+)
+def test_overlay_invariants_under_random_churn(seed, operations):
+    """Arbitrary join/leave interleavings preserve every invariant."""
+    params = ModelParameters(core_size=4, spare_max=4, k=1, mu=0.0, d=0.5)
+    overlay = ClusterOverlay(
+        OverlayConfig(model=params, id_bits=12, key_bits=32),
+        np.random.default_rng(seed),
+    )
+    for is_join in operations:
+        if is_join or overlay.n_peers < 6:
+            overlay.join_new_peer(malicious=False)
+        else:
+            overlay.leave_peer(overlay.random_member())
+    overlay.check_invariants()
+    held = sum(c.total_size for c in overlay.topology.clusters())
+    assert held == overlay.n_peers
+
+
+@settings(**OVERLAY_SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_lookup_total_function(seed):
+    """After arbitrary growth, every identifier resolves to one cluster."""
+    params = ModelParameters(core_size=4, spare_max=4)
+    overlay = ClusterOverlay(
+        OverlayConfig(model=params, id_bits=10, key_bits=32),
+        np.random.default_rng(seed),
+    )
+    for _ in range(64):
+        overlay.join_new_peer(malicious=False)
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(50):
+        identifier = int(rng.integers(0, 1 << 10))
+        cluster = overlay.topology.lookup(identifier)
+        assert cluster in overlay.topology.clusters()

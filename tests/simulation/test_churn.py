@@ -1,0 +1,96 @@
+"""Unit tests for churn generators."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.simulation.churn import (
+    EventKind,
+    bernoulli_event_stream,
+    exponential_sessions,
+    pareto_sessions,
+    poisson_event_stream,
+)
+
+
+class TestBernoulliStream:
+    def test_unit_spacing(self, rng):
+        events = list(itertools.islice(bernoulli_event_stream(rng), 5))
+        assert [e.time for e in events] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_join_fraction_matches_p(self):
+        rng = np.random.default_rng(0)
+        events = list(
+            itertools.islice(bernoulli_event_stream(rng, p_join=0.7), 5000)
+        )
+        fraction = sum(e.kind is EventKind.JOIN for e in events) / 5000
+        assert 0.66 < fraction < 0.74
+
+    def test_p_join_validated(self, rng):
+        with pytest.raises(ValueError):
+            next(bernoulli_event_stream(rng, p_join=1.0))
+
+
+class TestPoissonStream:
+    def test_times_strictly_increase(self, rng):
+        events = list(
+            itertools.islice(poisson_event_stream(rng, 1.0, 1.0), 100)
+        )
+        times = [e.time for e in events]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_rate_controls_density(self):
+        slow = list(
+            itertools.islice(
+                poisson_event_stream(np.random.default_rng(1), 0.5, 0.5), 500
+            )
+        )
+        fast = list(
+            itertools.islice(
+                poisson_event_stream(np.random.default_rng(1), 5.0, 5.0), 500
+            )
+        )
+        assert fast[-1].time < slow[-1].time
+
+    def test_join_share_follows_rates(self):
+        rng = np.random.default_rng(2)
+        events = list(
+            itertools.islice(poisson_event_stream(rng, 3.0, 1.0), 4000)
+        )
+        fraction = sum(e.kind is EventKind.JOIN for e in events) / 4000
+        assert 0.70 < fraction < 0.80
+
+    def test_rates_validated(self, rng):
+        with pytest.raises(ValueError):
+            next(poisson_event_stream(rng, 0.0, 1.0))
+
+
+class TestSessions:
+    def test_exponential_sessions_respect_horizon(self, rng):
+        plans = exponential_sessions(rng, 2.0, 5.0, horizon=100.0)
+        assert plans
+        assert all(p.arrival < 100.0 for p in plans)
+        assert all(p.departure > p.arrival for p in plans)
+
+    def test_exponential_mean_session(self):
+        rng = np.random.default_rng(3)
+        plans = exponential_sessions(rng, 5.0, 4.0, horizon=2000.0)
+        mean = np.mean([p.duration for p in plans])
+        assert 3.5 < mean < 4.5
+
+    def test_pareto_sessions_heavy_tail(self):
+        rng = np.random.default_rng(4)
+        plans = pareto_sessions(rng, 5.0, shape=1.5, scale=1.0, horizon=2000.0)
+        durations = np.array([p.duration for p in plans])
+        assert durations.min() >= 1.0  # scale is a hard floor
+        # Heavy tail: the max dwarfs the median.
+        assert durations.max() > 20 * np.median(durations)
+
+    def test_pareto_shape_validated(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            pareto_sessions(rng, 1.0, shape=1.0, scale=1.0, horizon=10.0)
+
+    def test_positive_parameters_validated(self, rng):
+        with pytest.raises(ValueError):
+            exponential_sessions(rng, -1.0, 1.0, 10.0)

@@ -1,0 +1,108 @@
+"""Unit tests for the single-cluster Monte-Carlo simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.simulation.cluster_sim import (
+    POLLUTED_MERGE,
+    SAFE_MERGE,
+    SAFE_SPLIT,
+    ClusterSimulator,
+    SimulationBudgetError,
+    monte_carlo_summary,
+)
+
+
+class TestTrajectories:
+    def test_absorption_classes(self, rng):
+        simulator = ClusterSimulator(
+            ModelParameters(mu=0.2, d=0.8, k=1), rng
+        )
+        for _ in range(50):
+            trajectory = simulator.run("delta")
+            assert trajectory.absorbed_in in (
+                SAFE_MERGE,
+                SAFE_SPLIT,
+                POLLUTED_MERGE,
+            )
+            assert trajectory.steps == (
+                trajectory.time_safe + trajectory.time_polluted
+            )
+
+    def test_mu_zero_never_pollutes(self, rng):
+        simulator = ClusterSimulator(ModelParameters(mu=0.0, d=0.0), rng)
+        for _ in range(50):
+            trajectory = simulator.run("delta")
+            assert trajectory.time_polluted == 0
+            assert not trajectory.ended_polluted
+            assert trajectory.polluted_sojourns == ()
+
+    def test_sojourns_partition_the_time(self, rng):
+        simulator = ClusterSimulator(
+            ModelParameters(mu=0.3, d=0.9, k=1), rng
+        )
+        for _ in range(30):
+            trajectory = simulator.run("delta", max_steps=200_000)
+            assert sum(trajectory.safe_sojourns) == trajectory.time_safe
+            assert sum(trajectory.polluted_sojourns) == trajectory.time_polluted
+
+    def test_point_initial_state(self, rng):
+        simulator = ClusterSimulator(ModelParameters(mu=0.1, d=0.5), rng)
+        trajectory = simulator.run((1, 0, 0), max_steps=100_000)
+        assert trajectory.steps >= 1
+
+    def test_beta_initial_state(self, rng):
+        simulator = ClusterSimulator(
+            ModelParameters(mu=0.3, d=0.5, k=1), rng
+        )
+        outcomes = [simulator.run("beta", max_steps=100_000) for _ in range(40)]
+        # Contaminated starts occasionally begin polluted.
+        assert any(t.polluted_sojourns for t in outcomes)
+
+    def test_unknown_initial_rejected(self, rng):
+        simulator = ClusterSimulator(ModelParameters(), rng)
+        with pytest.raises(ValueError, match="unknown initial"):
+            simulator.run("gamma")
+
+    def test_budget_error_on_pinned_cluster(self, rng):
+        # d = 1 with a fully malicious start never absorbs: malicious
+        # peers neither expire nor leave and Rule 2 blocks the split.
+        simulator = ClusterSimulator(
+            ModelParameters(mu=1.0, d=1.0, k=1), rng
+        )
+        with pytest.raises(SimulationBudgetError):
+            simulator.run((6, 7, 6), max_steps=5_000)
+
+
+class TestSummary:
+    def test_summary_fields_consistent(self, rng):
+        params = ModelParameters(mu=0.2, d=0.5, k=1)
+        summary = monte_carlo_summary(params, rng, runs=300)
+        assert summary.runs == 300
+        assert summary.p_safe_merge + summary.p_safe_split + summary.p_polluted_merge == pytest.approx(
+            1.0
+        )
+        assert summary.mean_time_safe > 0
+        assert summary.sem_time_safe > 0
+        record = summary.as_dict()
+        assert set(record) == {
+            "E(T_S)",
+            "E(T_P)",
+            "p(safe-merge)",
+            "p(safe-split)",
+            "p(polluted-merge)",
+        }
+
+    def test_runs_validated(self, rng):
+        with pytest.raises(ValueError):
+            monte_carlo_summary(ModelParameters(), rng, runs=0)
+
+    def test_mu_zero_summary_matches_random_walk(self):
+        params = ModelParameters(mu=0.0, d=0.0)
+        summary = monte_carlo_summary(
+            params, np.random.default_rng(8), runs=3000
+        )
+        assert summary.mean_time_safe == pytest.approx(12.0, rel=0.08)
+        assert summary.p_safe_merge == pytest.approx(4 / 7, abs=0.03)
+        assert summary.mean_time_polluted == 0.0

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import DiscreteEventEngine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        for tag in ("first", "second", "third"):
+            engine.schedule_at(5.0, lambda t=tag: fired.append(t))
+        engine.run_all()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        engine = DiscreteEventEngine()
+        seen = []
+        engine.schedule_at(4.5, lambda: seen.append(engine.now))
+        engine.run_all()
+        assert seen == [4.5]
+        assert engine.now == 4.5
+
+    def test_schedule_after_relative(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(2.0, lambda: None)
+        engine.step()
+        handle = engine.schedule_after(3.0, lambda: None)
+        assert handle.time == 5.0
+
+    def test_past_scheduling_rejected(self):
+        engine = DiscreteEventEngine()
+        engine.schedule_at(2.0, lambda: None)
+        engine.step()
+        with pytest.raises(SimulationError, match="already at"):
+            engine.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = DiscreteEventEngine()
+        with pytest.raises(SimulationError, match=">= 0"):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        handle = engine.schedule_at(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run_all()
+        assert fired == []
+
+    def test_handle_exposes_name(self):
+        engine = DiscreteEventEngine()
+        handle = engine.schedule_at(1.0, lambda: None, name="probe")
+        assert handle.name == "probe"
+
+
+class TestRunControls:
+    def test_run_until_stops_at_horizon(self):
+        engine = DiscreteEventEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        executed = engine.run_until(2.0)
+        assert executed == 2
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.0
+        assert engine.pending == 1
+
+    def test_run_until_max_events(self):
+        engine = DiscreteEventEngine()
+        for t in range(10):
+            engine.schedule_at(float(t), lambda: None)
+        executed = engine.run_until(100.0, max_events=4)
+        assert executed == 4
+
+    def test_run_all_budget_guards_loops(self):
+        engine = DiscreteEventEngine()
+
+        def reschedule():
+            engine.schedule_after(1.0, reschedule)
+
+        engine.schedule_after(1.0, reschedule)
+        with pytest.raises(SimulationError, match="budget"):
+            engine.run_all(max_events=100)
+
+    def test_events_fired_counter(self):
+        engine = DiscreteEventEngine()
+        for t in (1.0, 2.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run_all()
+        assert engine.events_fired == 2
+
+
+class TestPeriodic:
+    def test_periodic_fires_on_schedule(self):
+        engine = DiscreteEventEngine()
+        ticks = []
+        engine.schedule_periodic(2.0, lambda: ticks.append(engine.now))
+        engine.run_until(7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_periodic_with_explicit_start(self):
+        engine = DiscreteEventEngine()
+        ticks = []
+        engine.schedule_periodic(
+            2.0, lambda: ticks.append(engine.now), first_at=0.0
+        )
+        engine.run_until(4.0)
+        assert ticks == [0.0, 2.0, 4.0]
+
+    def test_stopper_halts_recurrence(self):
+        engine = DiscreteEventEngine()
+        ticks = []
+        stop = engine.schedule_periodic(1.0, lambda: ticks.append(engine.now))
+        engine.run_until(3.0)
+        stop()
+        engine.run_until(10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_period_must_be_positive(self):
+        engine = DiscreteEventEngine()
+        with pytest.raises(SimulationError, match="positive"):
+            engine.schedule_periodic(0.0, lambda: None)

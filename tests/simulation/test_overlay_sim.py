@@ -1,0 +1,123 @@
+"""Unit tests for the overlay-scale simulations."""
+
+import numpy as np
+import pytest
+
+from repro.adversary import StrongAdversary
+from repro.core.parameters import ModelParameters
+from repro.overlay.overlay import OverlayConfig
+from repro.simulation.overlay_sim import (
+    AgentOverlaySimulation,
+    CompetingClustersSimulation,
+)
+
+
+class TestCompetingClusters:
+    def test_series_starts_all_safe_under_delta(self, rng):
+        simulation = CompetingClustersSimulation(
+            ModelParameters(mu=0.2, d=0.8), 20, rng
+        )
+        series = simulation.run(200, record_every=20)
+        assert series.safe_fraction[0] == 1.0
+        assert series.polluted_fraction[0] == 0.0
+        assert series.n_clusters == 20
+
+    def test_fractions_bounded(self, rng):
+        simulation = CompetingClustersSimulation(
+            ModelParameters(mu=0.3, d=0.9), 30, rng
+        )
+        series = simulation.run(500, record_every=50)
+        total = series.safe_fraction + series.polluted_fraction
+        assert np.all(total <= 1.0 + 1e-12)
+        assert np.all(series.safe_fraction >= 0.0)
+
+    def test_all_clusters_eventually_absorb(self, rng):
+        simulation = CompetingClustersSimulation(
+            ModelParameters(mu=0.1, d=0.5), 10, rng
+        )
+        series = simulation.run(5000, record_every=1000)
+        assert series.safe_fraction[-1] + series.polluted_fraction[-1] < 0.2
+
+    def test_n_validated(self, rng):
+        with pytest.raises(ValueError):
+            CompetingClustersSimulation(ModelParameters(), 0, rng)
+
+    def test_recorded_axis(self, rng):
+        simulation = CompetingClustersSimulation(
+            ModelParameters(mu=0.2, d=0.5), 5, rng
+        )
+        series = simulation.run(100, record_every=30)
+        assert list(series.events) == [0, 30, 60, 90, 100]
+
+
+class TestAgentOverlay:
+    def build(self, seed=13, mu=0.2, adversarial=True, **kwargs):
+        params = ModelParameters(core_size=4, spare_max=4, k=1, mu=mu, d=0.8)
+        adversary = StrongAdversary(params) if adversarial else None
+        return AgentOverlaySimulation(
+            OverlayConfig(model=params, id_bits=14, key_bits=32),
+            np.random.default_rng(seed),
+            adversary=adversary,
+            **kwargs,
+        )
+
+    def test_bootstrap_honest_by_default(self):
+        simulation = self.build()
+        simulation.bootstrap(40)
+        assert simulation.overlay.polluted_fraction() == 0.0
+        assert all(not p.malicious for p in simulation.overlay.peers)
+
+    def test_bootstrap_contaminated_option(self):
+        simulation = self.build(mu=0.5)
+        simulation.bootstrap(60, honest_only=False)
+        assert any(p.malicious for p in simulation.overlay.peers)
+
+    def test_run_produces_snapshots(self):
+        simulation = self.build()
+        simulation.bootstrap(40)
+        result = simulation.run(30.0, sample_every=10.0)
+        assert len(result.snapshots) >= 4
+        assert result.peak_polluted_fraction >= result.final_polluted_fraction - 1e-9
+        assert "join" in result.operations
+
+    def test_invariants_hold_after_run(self):
+        simulation = self.build(seed=29)
+        simulation.bootstrap(60)
+        simulation.run(40.0, sample_every=10.0)
+        simulation.overlay.check_invariants()
+
+    def test_universe_bound_caps_malicious_fraction(self):
+        simulation = self.build(mu=0.2, events_per_unit=3)
+        simulation.bootstrap(50)
+        simulation.run(60.0, sample_every=20.0)
+        peers = simulation.overlay.peers
+        fraction = sum(p.malicious for p in peers) / len(peers)
+        # The bound gates *arrivals* at mu; honest attrition (malicious
+        # peers suppress their own leaves) can still drift the standing
+        # fraction modestly past mu before the gate pulls it back.
+        assert fraction <= 0.45
+
+    def test_unbounded_universe_can_drift(self):
+        bounded = self.build(mu=0.3, events_per_unit=3)
+        unbounded = self.build(
+            mu=0.3, events_per_unit=3, enforce_universe_bound=False
+        )
+        for simulation in (bounded, unbounded):
+            simulation.bootstrap(40)
+            simulation.run(80.0, sample_every=40.0)
+
+        def malicious_fraction(sim):
+            peers = sim.overlay.peers
+            return sum(p.malicious for p in peers) / len(peers)
+
+        assert malicious_fraction(unbounded) >= malicious_fraction(bounded) - 0.05
+
+    def test_collect_states_option(self):
+        simulation = self.build()
+        simulation.bootstrap(30)
+        result = simulation.run(10.0, sample_every=5.0, collect_states=True)
+        assert result.snapshots[-1].states
+
+    def test_events_per_unit_validated(self):
+        with pytest.raises(ValueError):
+            self.build(events_per_unit=0)
