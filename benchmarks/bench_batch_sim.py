@@ -1,0 +1,145 @@
+"""Benchmark: scalar vs vectorized batch competing-clusters engines.
+
+The perf acceptance gate of the batch Monte-Carlo subsystem: at
+``n_clusters = 10_000`` and 5 000 events the batch engine must beat the
+member-list scalar path by >= 10x while agreeing with Theorem 2's
+closed form within the 0.12 single-run tolerance used by
+``bench_overlay_sim``.  Also times the batch engine at ``n = 100_000``
+(a scale the scalar path is never asked to touch) and persists a
+machine-readable ``BENCH_1.json`` perf record so later PRs can track
+the trajectory.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core.overlay_model import OverlayModel
+from repro.core.parameters import ModelParameters
+from repro.core.transitions import transition_rows
+from repro.simulation.overlay_sim import CompetingClustersSimulation
+
+PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+N_EVENTS = 5_000
+RECORD = 500
+#: Sizes timed on both engines.
+COMPARE_N = (1_000, 10_000)
+#: Extra batch-only sizes demonstrating the unlocked scale.
+BATCH_ONLY_N = (100_000,)
+#: Acceptance gates.
+MIN_SPEEDUP_AT = 10_000
+MIN_SPEEDUP = 10.0
+THEOREM2_TOLERANCE = 0.12
+
+
+def time_engine(engine: str, n_clusters: int):
+    """Wall-clock one seeded construction + run; returns (seconds, series)."""
+    rng = np.random.default_rng(777)
+    start = time.perf_counter()
+    simulation = CompetingClustersSimulation(
+        PARAMS, n_clusters, rng, engine=engine
+    )
+    series = simulation.run(N_EVENTS, record_every=RECORD)
+    return time.perf_counter() - start, series
+
+
+def run_comparison():
+    # Warm the per-params row cache first: it is built once per process
+    # by design (shared with chain assembly), so neither engine should
+    # be billed for it.
+    transition_rows(PARAMS)
+    measurements = {}
+    for n_clusters in COMPARE_N:
+        scalar_seconds, _ = time_engine("scalar", n_clusters)
+        batch_seconds, batch_series = time_engine("batch", n_clusters)
+        measurements[n_clusters] = {
+            "scalar_seconds": scalar_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": scalar_seconds / batch_seconds,
+            "series": batch_series,
+        }
+    for n_clusters in BATCH_ONLY_N:
+        batch_seconds, batch_series = time_engine("batch", n_clusters)
+        measurements[n_clusters] = {
+            "scalar_seconds": None,
+            "batch_seconds": batch_seconds,
+            "speedup": None,
+            "series": batch_series,
+        }
+    return measurements
+
+
+def test_batch_engine_speedup_and_accuracy(benchmark, report, json_report):
+    measurements = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    gate = measurements[MIN_SPEEDUP_AT]
+    assert gate["speedup"] >= MIN_SPEEDUP, (
+        f"batch engine only {gate['speedup']:.1f}x faster than scalar at "
+        f"n={MIN_SPEEDUP_AT} (need >= {MIN_SPEEDUP}x)"
+    )
+
+    # Accuracy gate: the batch run must track Theorem 2's closed form.
+    series = gate["series"]
+    overlay = OverlayModel(PARAMS, MIN_SPEEDUP_AT)
+    analytic = overlay.proportion_series(
+        "delta", N_EVENTS, record_every=RECORD
+    )
+    gap = float(np.max(np.abs(series.safe_fraction - analytic.safe_fraction)))
+    assert gap < THEOREM2_TOLERANCE, (
+        f"batch deviation from Theorem 2 {gap:.3f} exceeds "
+        f"{THEOREM2_TOLERANCE}"
+    )
+
+    rows = []
+    for n_clusters, cells in sorted(measurements.items()):
+        rows.append(
+            [
+                n_clusters,
+                (
+                    f"{cells['scalar_seconds'] * 1e3:.1f}"
+                    if cells["scalar_seconds"] is not None
+                    else "-"
+                ),
+                f"{cells['batch_seconds'] * 1e3:.1f}",
+                (
+                    f"{cells['speedup']:.1f}x"
+                    if cells["speedup"] is not None
+                    else "-"
+                ),
+            ]
+        )
+    report(
+        "batch_sim",
+        render_table(
+            ["n clusters", "scalar (ms)", "batch (ms)", "speedup"],
+            rows,
+            title=(
+                f"Competing-clusters engines: {N_EVENTS} events, "
+                f"{PARAMS.describe()}"
+            ),
+        ),
+    )
+    json_report(
+        "BENCH_1.json",
+        {
+            "benchmark": "batch_sim",
+            "params": PARAMS.describe(),
+            "n_events": N_EVENTS,
+            "record_every": RECORD,
+            "theorem2_gap_at_gate": gap,
+            "gate": {
+                "n_clusters": MIN_SPEEDUP_AT,
+                "min_speedup": MIN_SPEEDUP,
+                "speedup": gate["speedup"],
+            },
+            "timings": {
+                str(n_clusters): {
+                    "scalar_seconds": cells["scalar_seconds"],
+                    "batch_seconds": cells["batch_seconds"],
+                    "speedup": cells["speedup"],
+                }
+                for n_clusters, cells in sorted(measurements.items())
+            },
+        },
+    )

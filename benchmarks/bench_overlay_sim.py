@@ -2,6 +2,8 @@
 
 Validates the overlay-level closed form (Figure 5's machinery) against
 the empirical n-chain simulation, and times the simulation itself.
+Runs on the default (vectorized batch) engine; the scalar-vs-batch
+comparison lives in ``bench_batch_sim``.
 """
 
 import numpy as np

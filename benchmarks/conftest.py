@@ -8,6 +8,7 @@ paper-shaped rows (visible with ``pytest -s``) and writes them under
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,5 +31,23 @@ def report(results_dir):
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def json_report(results_dir):
+    """Writer: ``json_report(name, payload)`` persists one JSON record.
+
+    Machine-readable companion of ``report``: ``name`` is the full file
+    name (e.g. ``BENCH_1.json``) so perf records can be diffed and
+    tracked across PRs without parsing tables.
+    """
+
+    def write(name: str, payload) -> None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        print()
+        print(text)
+        (results_dir / name).write_text(text + "\n")
 
     return write

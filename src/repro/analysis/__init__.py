@@ -32,6 +32,13 @@ from repro.analysis.figure5 import (
     compute_figure5,
     render_figure5,
 )
+from repro.analysis.montecarlo import (
+    EmpiricalTable2Row,
+    empirical_proportion_series,
+    empirical_sojourn_columns,
+    empirical_table2,
+    render_empirical_table2,
+)
 from repro.analysis.table1 import (
     PAPER_TABLE1,
     Table1Cell,
@@ -73,6 +80,11 @@ __all__ = [
     "Figure5Curve",
     "compute_figure5",
     "render_figure5",
+    "EmpiricalTable2Row",
+    "empirical_sojourn_columns",
+    "empirical_table2",
+    "render_empirical_table2",
+    "empirical_proportion_series",
     "Table1Cell",
     "compute_table1",
     "render_table1",

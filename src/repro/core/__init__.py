@@ -56,7 +56,12 @@ from repro.core.sojourn import (
     sojourn_profile,
 )
 from repro.core.statespace import Category, State, StateSpace, make_state
-from repro.core.transitions import transition_distribution
+from repro.core.transitions import (
+    TransitionRows,
+    clear_transition_caches,
+    transition_distribution,
+    transition_rows,
+)
 from repro.core.variants import (
     JoinPolicy,
     build_variant_chain,
@@ -78,6 +83,9 @@ __all__ = [
     "ClusterFate",
     "SojournProfile",
     "transition_distribution",
+    "transition_rows",
+    "TransitionRows",
+    "clear_transition_caches",
     "relation2_probability",
     "rule1_triggers",
     "rule2_discards_join",

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.parameters import ModelParameters
 from repro.core.statespace import Category, State, StateSpace
-from repro.core.transitions import transition_distribution
+from repro.core.transitions import transition_distribution, transition_rows
 from repro.markov.chain import MarkovChain
 
 
@@ -92,6 +92,14 @@ class ClusterChain:
 
     def _build_matrix(self) -> np.ndarray:
         space = self._space
+        if (
+            self._transition_fn is transition_distribution
+            and not space.includes_polluted_split
+        ):
+            # The paper's exact chain: scatter the memoized row cache
+            # (shared with the batch Monte-Carlo engine) instead of
+            # re-deriving the Figure-2 tree state by state.
+            return transition_rows(self._params).dense_matrix()
         size = space.model_size
         matrix = np.zeros((size, size))
         for state in space.transient:

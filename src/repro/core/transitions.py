@@ -45,21 +45,29 @@ Branch structure (root probabilities ``p_j = p_l = 1/2``):
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.core.distributions import maintenance_kernel
 from repro.core.parameters import ModelParameters
 from repro.core.rules import property1_survival, rule1_triggers
-from repro.core.statespace import State, StateSpaceError
+from repro.core.statespace import Category, State, StateSpace, StateSpaceError
 
 
-def transition_distribution(
+@lru_cache(maxsize=None)
+def _transition_items(
     state: State, params: ModelParameters
-) -> dict[State, float]:
-    """One-step law of the chain from a transient state.
+) -> tuple[tuple[State, float], ...]:
+    """Memoized transition law as a hashable tuple of items.
 
-    Raises :class:`StateSpaceError` when called on a closed state
-    (``s = 0`` or ``s = Delta``): closed states are absorbing by
-    definition and carry identity rows in the matrix.
+    Deriving the Figure-2 tree walks the maintenance kernel's
+    hypergeometric double sum for every maintenance edge, which
+    dominates chain-assembly time.  Both :class:`ModelParameters` and
+    :class:`State` are frozen/hashable, so the derivation is shared by
+    repeated chain assemblies (sweeps re-building ``ClusterChain``) and
+    by the batch-row precomputation in :func:`transition_rows`.
     """
     s, x, y = state
     delta = params.spare_max
@@ -70,7 +78,30 @@ def transition_distribution(
     law: dict[State, float] = defaultdict(float)
     _add_join_branch(law, state, params)
     _add_leave_branch(law, state, params)
-    return {target: p for target, p in law.items() if p > 0.0}
+    return tuple(
+        (target, p) for target, p in law.items() if p > 0.0
+    )
+
+
+def transition_distribution(
+    state: State, params: ModelParameters
+) -> dict[State, float]:
+    """One-step law of the chain from a transient state.
+
+    Raises :class:`StateSpaceError` when called on a closed state
+    (``s = 0`` or ``s = Delta``): closed states are absorbing by
+    definition and carry identity rows in the matrix.
+
+    The underlying derivation is memoized per ``(state, params)``; the
+    returned dict is a fresh copy, safe for callers to mutate.
+    """
+    return dict(_transition_items(State(*state), params))
+
+
+def clear_transition_caches() -> None:
+    """Drop the memoized distributions and precomputed row tables."""
+    _transition_items.cache_clear()
+    _ROW_CACHE.clear()
 
 
 def _add_join_branch(
@@ -255,3 +286,159 @@ def _add_maintenance(
     ):
         target = State(s - 1, malicious_core_after - a + b, y + a - b)
         law[target] += weight * probability
+
+
+# -- precomputed transition rows (shared by matrix assembly and the
+# -- vectorized batch Monte-Carlo engine) ----------------------------------
+
+#: Integer codes of the partition classes, in canonical matrix order.
+#: Transient classes come first so ``code <= CODE_POLLUTED`` tests
+#: transience and ``code >= CODE_SAFE_MERGE`` tests absorption.
+CATEGORY_CODES: dict[Category, int] = {
+    Category.SAFE: 0,
+    Category.POLLUTED: 1,
+    Category.SAFE_MERGE: 2,
+    Category.SAFE_SPLIT: 3,
+    Category.POLLUTED_MERGE: 4,
+    Category.POLLUTED_SPLIT: 5,
+}
+
+CODE_SAFE = CATEGORY_CODES[Category.SAFE]
+CODE_POLLUTED = CATEGORY_CODES[Category.POLLUTED]
+CODE_SAFE_MERGE = CATEGORY_CODES[Category.SAFE_MERGE]
+CODE_SAFE_SPLIT = CATEGORY_CODES[Category.SAFE_SPLIT]
+CODE_POLLUTED_MERGE = CATEGORY_CODES[Category.POLLUTED_MERGE]
+
+
+@dataclass(frozen=True)
+class TransitionRows:
+    """Dense, padded one-step law of the whole chain for one parameter set.
+
+    Row ``i`` describes model state ``i`` in the canonical
+    :class:`~repro.core.statespace.StateSpace` ordering.  Each row lists
+    its (few) reachable targets left-aligned:
+
+    * ``targets[i, j]`` -- model index of the ``j``-th target; padding
+      columns repeat the last real target,
+    * ``probs[i, j]`` -- its probability; padding columns hold 0,
+    * ``cum_probs[i, j]`` -- running sum along the row, so sampling a
+      transition is an inverse-CDF lookup: the drawn column is the first
+      ``j`` with ``cum_probs[i, j] > u``.
+
+    Closed states carry probability-one self loops, which lets a batch
+    stepper advance a mixed live/absorbed index array uniformly.
+    ``category_codes`` maps every model state to its
+    :data:`CATEGORY_CODES` entry and ``state_index`` is a dense
+    ``(Delta+1, C+1, Delta+1)`` lookup from ``(s, x, y)`` to the model
+    index (``-1`` for tuples outside the matrix).  All arrays are
+    read-only; they are shared across every consumer of the cache.
+    """
+
+    params: ModelParameters
+    targets: np.ndarray
+    probs: np.ndarray
+    cum_probs: np.ndarray
+    category_codes: np.ndarray
+    state_index: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        """Number of model states (matrix rows)."""
+        return self.targets.shape[0]
+
+    @property
+    def width(self) -> int:
+        """Padded row width (maximal number of distinct targets)."""
+        return self.targets.shape[1]
+
+    def index_of(self, state: State) -> int:
+        """Model index of ``state``; raises on non-model states."""
+        s, x, y = State(*state)
+        lookup = self.state_index
+        if not (
+            0 <= s < lookup.shape[0]
+            and 0 <= x < lookup.shape[1]
+            and 0 <= y < lookup.shape[2]
+        ):
+            raise StateSpaceError(
+                f"state {(s, x, y)} outside Omega for {self.params.describe()}"
+            )
+        index = int(lookup[s, x, y])
+        if index < 0:
+            raise StateSpaceError(
+                f"state {(s, x, y)} is not part of the transition matrix"
+            )
+        return index
+
+    def dense_matrix(self) -> np.ndarray:
+        """Fresh dense stochastic matrix over the canonical ordering."""
+        n, width = self.targets.shape
+        matrix = np.zeros((n, n))
+        rows = np.repeat(np.arange(n), width)
+        np.add.at(matrix, (rows, self.targets.ravel()), self.probs.ravel())
+        return matrix
+
+
+_ROW_CACHE: dict[ModelParameters, TransitionRows] = {}
+
+
+def transition_rows(params: ModelParameters) -> TransitionRows:
+    """Memoized :class:`TransitionRows` for one parameter set.
+
+    Built once per :class:`ModelParameters`; chain assembly
+    (:class:`~repro.core.matrix.ClusterChain`) scatters the rows into
+    its dense matrix and the batch Monte-Carlo engine samples them
+    directly, so the Figure-2 tree is derived exactly once per
+    parameter point across the whole process.
+    """
+    cached = _ROW_CACHE.get(params)
+    if cached is not None:
+        return cached
+    space = StateSpace(params)
+    states = space.model_states
+    n_transient = len(space.transient)
+    per_row: list[list[tuple[int, float]]] = []
+    for i, state in enumerate(states):
+        if i < n_transient:
+            items = sorted(
+                (space.index_of(target), p)
+                for target, p in _transition_items(state, params)
+            )
+        else:
+            items = [(i, 1.0)]
+        per_row.append(items)
+    width = max(len(items) for items in per_row)
+    n = len(per_row)
+    targets = np.empty((n, width), dtype=np.intp)
+    probs = np.zeros((n, width))
+    for i, items in enumerate(per_row):
+        count = len(items)
+        targets[i, :count] = [index for index, _ in items]
+        targets[i, count:] = items[-1][0]
+        probs[i, :count] = [p for _, p in items]
+    cum_probs = probs.cumsum(axis=1)
+    # Guarantee the final column covers every uniform draw in [0, 1)
+    # despite float summation drift (the padding keeps monotonicity).
+    cum_probs[:, -1] = np.maximum(cum_probs[:, -1], 1.0)
+    category_codes = np.array(
+        [CATEGORY_CODES[space.categorize(state)] for state in states],
+        dtype=np.int8,
+    )
+    delta = params.spare_max
+    state_index = np.full(
+        (delta + 1, params.core_size + 1, delta + 1), -1, dtype=np.intp
+    )
+    for i, (s, x, y) in enumerate(states):
+        state_index[s, x, y] = i
+    for array in (targets, probs, cum_probs, category_codes, state_index):
+        array.setflags(write=False)
+    rows = TransitionRows(
+        params=params,
+        targets=targets,
+        probs=probs,
+        cum_probs=cum_probs,
+        category_codes=category_codes,
+        state_index=state_index,
+    )
+    _ROW_CACHE[params] = rows
+    return rows

@@ -5,13 +5,25 @@
 * :mod:`~repro.simulation.churn` -- the model's Bernoulli event stream
   plus Poisson/heavy-tailed variants.
 * :mod:`~repro.simulation.cluster_sim` -- agent-level single-cluster
-  Monte Carlo validating Relations (5)-(9).
+  Monte Carlo validating Relations (5)-(9) (tier 1, the scalar
+  semantics oracle).
+* :mod:`~repro.simulation.batch` -- vectorized batch Monte-Carlo engine
+  advancing whole cluster populations per NumPy call (tier 2, the
+  scale/performance tier; statistically equivalent to tier 1).
 * :mod:`~repro.simulation.overlay_sim` -- competing-clusters and full
   agent-based overlay simulations validating Theorem 2.
 * :mod:`~repro.simulation.metrics` -- confidence intervals and
   model-vs-simulation comparison helpers.
 """
 
+from repro.simulation.batch import (
+    BatchClusterEngine,
+    BatchCompetingClustersSimulation,
+    BatchTrajectories,
+    CompetingSeries,
+    batch_monte_carlo_summary,
+    run_batch_trajectories,
+)
 from repro.simulation.churn import (
     ChurnEvent,
     EventKind,
@@ -27,6 +39,7 @@ from repro.simulation.cluster_sim import (
     MonteCarloSummary,
     SimulationBudgetError,
     monte_carlo_summary,
+    sample_initial_state,
 )
 from repro.simulation.engine import (
     DiscreteEventEngine,
@@ -44,7 +57,6 @@ from repro.simulation.overlay_sim import (
     AgentOverlaySimulation,
     AgentRunResult,
     CompetingClustersSimulation,
-    CompetingSeries,
     OverlaySnapshot,
 )
 from repro.simulation.rng import (
@@ -70,6 +82,12 @@ __all__ = [
     "MonteCarloSummary",
     "SimulationBudgetError",
     "monte_carlo_summary",
+    "sample_initial_state",
+    "BatchClusterEngine",
+    "BatchCompetingClustersSimulation",
+    "BatchTrajectories",
+    "batch_monte_carlo_summary",
+    "run_batch_trajectories",
     "CompetingClustersSimulation",
     "CompetingSeries",
     "AgentOverlaySimulation",

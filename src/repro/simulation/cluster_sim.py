@@ -1,14 +1,24 @@
 """Agent-level Monte-Carlo simulation of a single cluster.
 
-Independent validation of the analytical chain: instead of sampling the
-derived transition matrix, this simulator re-enacts the *operational*
-semantics of Sections IV-V on explicit member lists (honest/malicious
-flags) -- joins filtered by Rule 2, uniform leave targets, Property-1
-geometric expiries, ``protocol_k`` maintenance as actual draws without
-replacement, adversary-biased replacement under a polluted quorum, and
-Rule 1 voluntary departures.  Agreement between these trajectories and
-Relations (5)-(9) is checked by the integration tests and the
-``bench_montecarlo`` benchmark.
+This module is the **scalar oracle** of the two-tier simulation
+architecture:
+
+* tier 1 (here) -- :class:`ClusterSimulator` re-enacts the
+  *operational* semantics of Sections IV-V on explicit member lists
+  (honest/malicious flags): joins filtered by Rule 2, uniform leave
+  targets, Property-1 geometric expiries, ``protocol_k`` maintenance as
+  actual draws without replacement, adversary-biased replacement under
+  a polluted quorum, and Rule 1 voluntary departures.  It never touches
+  the transition matrix, so agreement between its trajectories and
+  Relations (5)-(9) validates the Figure-2 derivation end to end.
+* tier 2 (:mod:`repro.simulation.batch`) -- the vectorized batch engine
+  exploits member exchangeability to collapse each cluster to its
+  count state ``(s, x, y)`` and advances thousands of clusters per
+  NumPy call.  The scalar simulator is the semantics reference the
+  batch engine is tested against.
+
+Use this tier for semantic spot-checks and small runs; use the batch
+engine for anything measured in thousands of clusters or trajectories.
 """
 
 from __future__ import annotations
@@ -30,6 +40,32 @@ POLLUTED_MERGE = "polluted-merge"
 class SimulationBudgetError(RuntimeError):
     """Raised when a trajectory exceeds its step budget (expected for
     parameter corners where E(T_P) blows up -- use the closed form)."""
+
+
+def sample_initial_state(
+    params: ModelParameters, rng: np.random.Generator, initial: str | State
+) -> State:
+    """Draw one starting count state ``(s, x, y)`` for an initial law.
+
+    The shared definition of the paper's initial distributions at the
+    sample level: ``"delta"`` is the deterministic malicious-free state
+    ``(floor(Delta/2), 0, 0)``; ``"beta"`` draws ``s0`` uniformly on
+    ``{1, .., Delta-1}`` and binomially contaminated counts
+    ``x ~ Bin(C, mu)``, ``y ~ Bin(s0, mu)`` (Relation (3)).  A
+    :class:`~repro.core.statespace.State` (or plain triple) passes
+    through unchanged.  Used by the scalar simulator, the competing
+    overlay simulation and (in vectorized form) the batch engine.
+    """
+    if isinstance(initial, str):
+        if initial == "delta":
+            return State(params.spare_max // 2, 0, 0)
+        if initial == "beta":
+            s0 = int(rng.integers(1, params.spare_max))
+            x = int(rng.binomial(params.core_size, params.mu))
+            y = int(rng.binomial(s0, params.mu))
+            return State(s0, x, y)
+        raise ValueError(f"unknown initial law {initial!r}")
+    return State(*initial)
 
 
 @dataclass(frozen=True)
@@ -60,22 +96,19 @@ class ClusterSimulator:
 
     # -- state sampling -------------------------------------------------------
 
-    def _draw_initial(self, initial: str | State) -> tuple[list[bool], list[bool]]:
-        """Materialize core/spare member lists for an initial law."""
+    def draw_initial(
+        self, initial: str | State = "delta"
+    ) -> tuple[list[bool], list[bool]]:
+        """Materialize shuffled core/spare member lists for an initial law.
+
+        Public so that multi-cluster drivers (the scalar competing
+        simulation) can seed replicas without reaching into the
+        simulator's internals; the count state itself comes from the
+        shared :func:`sample_initial_state` law.
+        """
         params = self._params
         rng = self._rng
-        if isinstance(initial, str):
-            if initial == "delta":
-                state = State(params.spare_max // 2, 0, 0)
-            elif initial == "beta":
-                s0 = int(rng.integers(1, params.spare_max))
-                x = int(rng.binomial(params.core_size, params.mu))
-                y = int(rng.binomial(s0, params.mu))
-                state = State(s0, x, y)
-            else:
-                raise ValueError(f"unknown initial law {initial!r}")
-        else:
-            state = State(*initial)
+        state = sample_initial_state(params, rng, initial)
         core = [True] * state.x + [False] * (params.core_size - state.x)
         spare = [True] * state.y + [False] * (state.s - state.y)
         rng.shuffle(core)
@@ -92,7 +125,7 @@ class ClusterSimulator:
         """Simulate one cluster from ``initial`` until merge or split."""
         params = self._params
         rng = self._rng
-        core, spare = self._draw_initial(initial)
+        core, spare = self.draw_initial(initial)
         quorum = params.pollution_quorum
         steps = 0
         time_safe = 0

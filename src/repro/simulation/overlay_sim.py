@@ -1,10 +1,16 @@
 """Overlay-scale simulations.
 
-Two levels of fidelity:
+Three levels of fidelity:
 
 * :class:`CompetingClustersSimulation` -- ``n`` independent cluster
-  simulators competing for uniformly dispatched events, the literal
-  setting of Theorems 1-2 (used to validate Figure 5 empirically);
+  replicas competing for uniformly dispatched events, the literal
+  setting of Theorems 1-2 (used to validate Figure 5 empirically).
+  Dispatches to one of two engines sharing the same recording contract
+  and :class:`~repro.simulation.batch.CompetingSeries` output:
+  ``"batch"`` (default) runs the vectorized count-state engine of
+  :mod:`repro.simulation.batch`; ``"scalar"`` keeps the member-list
+  oracle, one Python event at a time, for semantics cross-checks and
+  the scalar-vs-batch benchmark;
 * :class:`AgentOverlaySimulation` -- the full
   :class:`~repro.overlay.overlay.ClusterOverlay` driven by churn events,
   Property-1 sweeps and adversary Rule-1 probes, with splits and merges
@@ -22,30 +28,21 @@ from repro.adversary.base import AdversaryStrategy
 from repro.core.parameters import ModelParameters
 from repro.core.statespace import State
 from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.simulation.batch import (
+    BatchCompetingClustersSimulation,
+    CompetingSeries,
+)
 from repro.simulation.cluster_sim import ClusterSimulator
 from repro.simulation.engine import DiscreteEventEngine
 
 
-@dataclass(frozen=True)
-class CompetingSeries:
-    """Empirical counterpart of the analytic ``OverlaySeries``."""
-
-    events: np.ndarray
-    safe_fraction: np.ndarray
-    polluted_fraction: np.ndarray
-    n_clusters: int
-
-    @property
-    def peak_polluted_fraction(self) -> float:
-        """Maximum observed polluted fraction."""
-        return float(self.polluted_fraction.max())
-
-
-class CompetingClustersSimulation:
-    """``n`` cluster replicas; each global event hits one uniformly.
+class _ScalarCompetingClusters:
+    """Member-list engine: ``n`` cluster replicas, one event at a time.
 
     Clusters that merge or split stay absorbed (they logically disappear
     from the model's graph), matching the analytical setting exactly.
+    Live safe/polluted occupancy is maintained incrementally as events
+    land -- recording a sample is O(1), never an O(n) rescan.
     """
 
     def __init__(
@@ -55,8 +52,6 @@ class CompetingClustersSimulation:
         rng: np.random.Generator,
         initial: str | State = "delta",
     ) -> None:
-        if n_clusters < 1:
-            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
         self._params = params
         self._rng = rng
         self._n = n_clusters
@@ -64,60 +59,122 @@ class CompetingClustersSimulation:
         self._cores: list[list[bool]] = []
         self._spares: list[list[bool]] = []
         for _ in range(n_clusters):
-            core, spare = simulator._draw_initial(initial)
+            core, spare = simulator.draw_initial(initial)
             self._cores.append(core)
             self._spares.append(spare)
         self._simulator = simulator
-        self._absorbed: list[bool] = [False] * n_clusters
+        # A cluster whose initial state is already closed (possible
+        # only with an explicit absorbing ``initial``) starts absorbed,
+        # mirroring the batch engine; it never receives events.
+        self._absorbed: list[bool] = [
+            len(spare) == 0 or len(spare) >= params.spare_max
+            for spare in self._spares
+        ]
+        self._n_polluted = 0
+        self._n_safe = 0
+        for index in range(n_clusters):
+            if self._absorbed[index]:
+                continue
+            if self._is_polluted(index):
+                self._n_polluted += 1
+            else:
+                self._n_safe += 1
 
     def _is_polluted(self, index: int) -> bool:
         return sum(self._cores[index]) > self._params.pollution_quorum
 
-    def _counts(self) -> tuple[int, int]:
-        safe = 0
-        polluted = 0
-        for index in range(self._n):
-            if self._absorbed[index]:
-                continue
-            if self._is_polluted(index):
-                polluted += 1
-            else:
-                safe += 1
-        return safe, polluted
-
-    def run(
-        self, n_events: int, record_every: int = 1
-    ) -> CompetingSeries:
-        """Dispatch ``n_events`` uniformly and record occupancy."""
-        rng = self._rng
+    def _apply_event(self, index: int) -> None:
+        """One join/leave on cluster ``index``, updating the counters."""
         params = self._params
         simulator = self._simulator
+        core = self._cores[index]
+        spare = self._spares[index]
+        was_polluted = self._is_polluted(index)
+        if self._rng.random() < params.p_join:
+            simulator._join_event(core, spare)
+        else:
+            simulator._leave_event(core, spare)
+        if was_polluted:
+            self._n_polluted -= 1
+        else:
+            self._n_safe -= 1
+        if len(spare) == 0 or len(spare) >= params.spare_max:
+            self._absorbed[index] = True
+        elif self._is_polluted(index):
+            self._n_polluted += 1
+        else:
+            self._n_safe += 1
+
+    def run(self, n_events: int, record_every: int = 1) -> CompetingSeries:
+        """Dispatch ``n_events`` uniformly and record occupancy."""
+        rng = self._rng
         events_axis = [0]
-        safe0, polluted0 = self._counts()
-        safe_series = [safe0 / self._n]
-        polluted_series = [polluted0 / self._n]
+        safe_series = [self._n_safe / self._n]
+        polluted_series = [self._n_polluted / self._n]
         for event in range(1, n_events + 1):
             index = int(rng.integers(0, self._n))
             if not self._absorbed[index]:
-                core = self._cores[index]
-                spare = self._spares[index]
-                if rng.random() < params.p_join:
-                    simulator._join_event(core, spare)
-                else:
-                    simulator._leave_event(core, spare)
-                if len(spare) == 0 or len(spare) >= params.spare_max:
-                    self._absorbed[index] = True
+                self._apply_event(index)
             if event % record_every == 0 or event == n_events:
-                safe, polluted = self._counts()
                 events_axis.append(event)
-                safe_series.append(safe / self._n)
-                polluted_series.append(polluted / self._n)
+                safe_series.append(self._n_safe / self._n)
+                polluted_series.append(self._n_polluted / self._n)
         return CompetingSeries(
             events=np.asarray(events_axis),
             safe_fraction=np.asarray(safe_series),
             polluted_fraction=np.asarray(polluted_series),
             n_clusters=self._n,
         )
+
+
+class CompetingClustersSimulation:
+    """``n`` cluster replicas; each global event hits one uniformly.
+
+    Facade over the two competing-clusters engines.  ``engine="batch"``
+    (default) advances count states with the vectorized
+    :class:`~repro.simulation.batch.BatchCompetingClustersSimulation`
+    and is the right choice for any real population size;
+    ``engine="scalar"`` re-enacts the member-list semantics event by
+    event and serves as the oracle the batch engine is validated
+    against.  Both produce the same
+    :class:`~repro.simulation.batch.CompetingSeries` record with
+    identical event axes, and both are deterministic for a seeded
+    generator (the two engines consume the stream differently, so their
+    draws are equal in distribution, not bitwise).
+    """
+
+    def __init__(
+        self,
+        params: ModelParameters,
+        n_clusters: int,
+        rng: np.random.Generator,
+        initial: str | State = "delta",
+        engine: str = "batch",
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if engine == "batch":
+            self._impl = BatchCompetingClustersSimulation(
+                params, n_clusters, rng, initial=initial
+            )
+        elif engine == "scalar":
+            self._impl = _ScalarCompetingClusters(
+                params, n_clusters, rng, initial=initial
+            )
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'batch' or 'scalar'"
+            )
+        self._engine_name = engine
+
+    @property
+    def engine(self) -> str:
+        """Which engine backs this simulation (``batch`` or ``scalar``)."""
+        return self._engine_name
+
+    def run(self, n_events: int, record_every: int = 1) -> CompetingSeries:
+        """Dispatch ``n_events`` uniformly and record occupancy."""
+        return self._impl.run(n_events, record_every=record_every)
 
 
 @dataclass

@@ -1,0 +1,85 @@
+"""Tests for the analysis-level empirical Monte-Carlo columns."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import base_parameters
+from repro.analysis.montecarlo import (
+    empirical_proportion_series,
+    empirical_sojourn_columns,
+    empirical_table2,
+    render_empirical_table2,
+)
+
+
+class TestEmpiricalTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return empirical_table2(runs=4000, mu_grid=(0.0, 0.2))
+
+    def test_grid_shape(self, rows):
+        assert [row.mu for row in rows] == [0.0, 0.2]
+        assert all(row.runs == 4000 for row in rows)
+
+    def test_attack_free_point_is_exact(self, rows):
+        clean = rows[0]
+        assert clean.polluted_first == 0.0
+        assert clean.polluted_first_mc == 0.0
+        assert clean.total_polluted_mc == 0.0
+
+    def test_estimates_track_closed_forms(self, rows):
+        for row in rows:
+            assert row.safe_first_mc == pytest.approx(
+                row.safe_first, rel=0.06
+            )
+            assert row.total_safe_mc == pytest.approx(
+                row.total_safe, rel=0.06
+            )
+            assert row.total_polluted_mc == pytest.approx(
+                row.total_polluted, rel=0.25, abs=0.05
+            )
+
+    def test_render_pairs_columns(self, rows):
+        table = render_empirical_table2(rows)
+        assert "MC" in table
+        assert "mu=20%" in table
+        assert "4000 runs" in table
+
+    def test_deterministic_per_seed(self):
+        params = base_parameters(k=1, mu=0.2, d=0.9)
+        first = empirical_sojourn_columns(params, runs=500, seed=5)
+        second = empirical_sojourn_columns(params, runs=500, seed=5)
+        assert first == second
+
+
+class TestEmpiricalProportionSeries:
+    def test_axis_and_bounds(self):
+        params = base_parameters(k=1, mu=0.25, d=0.9)
+        series = empirical_proportion_series(
+            params, 500, 2000, record_every=500, replications=3
+        )
+        assert series.events.tolist() == [0, 500, 1000, 1500, 2000]
+        assert series.n_clusters == 500
+        assert series.safe_fraction[0] == 1.0
+        total = series.safe_fraction + series.polluted_fraction
+        assert np.all(total <= 1.0 + 1e-12)
+
+    def test_replication_averaging_reduces_noise(self):
+        params = base_parameters(k=1, mu=0.25, d=0.9)
+        single = empirical_proportion_series(
+            params, 60, 1500, record_every=300, replications=1, seed=1
+        )
+        averaged = empirical_proportion_series(
+            params, 60, 1500, record_every=300, replications=10, seed=1
+        )
+        assert averaged.events.tolist() == single.events.tolist()
+        # The averaged curve is a mean of seeded replications, the first
+        # of which is the single run.
+        assert not np.array_equal(
+            averaged.safe_fraction, single.safe_fraction
+        )
+
+    def test_replications_validated(self):
+        params = base_parameters(k=1, mu=0.1, d=0.5)
+        with pytest.raises(ValueError):
+            empirical_proportion_series(params, 10, 100, replications=0)

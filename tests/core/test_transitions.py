@@ -178,3 +178,113 @@ class TestRule1InTree:
         )
         # The malicious core member's no-expiry branch self-loops.
         assert result.get(state, 0.0) > 0.0
+
+
+class TestMemoization:
+    def test_repeated_calls_share_the_derivation(self):
+        from repro.core.transitions import _transition_items
+
+        params = ModelParameters(mu=0.15, d=0.7, k=2)
+        state = State(3, 1, 1)
+        first = _transition_items(state, params)
+        second = _transition_items(state, params)
+        assert first is second  # cached tuple, derived once
+
+    def test_returned_dict_is_a_fresh_copy(self):
+        params = ModelParameters(mu=0.2, d=0.8)
+        state = State(2, 1, 0)
+        law_a = transition_distribution(state, params)
+        law_a.clear()  # caller mutation must not poison the cache
+        law_b = transition_distribution(state, params)
+        assert law_b
+        assert sum(law_b.values()) == pytest.approx(1.0)
+
+    def test_distinct_params_get_distinct_laws(self):
+        state = State(3, 2, 1)
+        law_a = transition_distribution(state, ModelParameters(mu=0.1, d=0.5))
+        law_b = transition_distribution(state, ModelParameters(mu=0.3, d=0.5))
+        assert law_a != law_b
+
+
+class TestTransitionRows:
+    def test_rows_are_memoized_per_params(self):
+        from repro.core.transitions import transition_rows
+
+        params = ModelParameters(mu=0.25, d=0.9, k=2)
+        assert transition_rows(params) is transition_rows(params)
+        other = ModelParameters(mu=0.25, d=0.9, k=3)
+        assert transition_rows(params) is not transition_rows(other)
+
+    def test_rows_match_transition_distribution(self):
+        from repro.core.transitions import transition_rows
+
+        params = ModelParameters(mu=0.2, d=0.85, k=3)
+        rows = transition_rows(params)
+        space = StateSpace(params)
+        for state in space.transient:
+            index = space.index_of(state)
+            law = transition_distribution(state, params)
+            unpadded = {}
+            for target, p in zip(rows.targets[index], rows.probs[index]):
+                if p > 0.0:
+                    unpadded[int(target)] = unpadded.get(int(target), 0.0) + p
+            expected = {
+                space.index_of(target): p for target, p in law.items()
+            }
+            assert unpadded.keys() == expected.keys()
+            for target, p in expected.items():
+                assert unpadded[target] == pytest.approx(p)
+
+    def test_cumulative_rows_are_sampling_safe(self):
+        import numpy as np
+
+        from repro.core.transitions import transition_rows
+
+        rows = transition_rows(ModelParameters(mu=0.3, d=0.9, k=7))
+        assert np.all(np.diff(rows.cum_probs, axis=1) >= -1e-12)
+        assert np.all(rows.cum_probs[:, -1] >= 1.0)
+        assert np.all(rows.targets >= 0)
+        assert np.all(rows.targets < rows.n_states)
+
+    def test_closed_states_are_self_loops(self):
+        from repro.core.statespace import Category
+        from repro.core.transitions import CODE_POLLUTED, transition_rows
+
+        params = ModelParameters(mu=0.2, d=0.8)
+        rows = transition_rows(params)
+        space = StateSpace(params)
+        for state in space.safe_merge + space.safe_split + space.polluted_merge:
+            index = space.index_of(state)
+            assert rows.category_codes[index] > CODE_POLLUTED
+            assert rows.targets[index, 0] == index
+            assert rows.probs[index, 0] == 1.0
+
+    def test_dense_matrix_matches_cluster_chain(self):
+        import numpy as np
+
+        from repro.core.matrix import ClusterChain
+        from repro.core.transitions import transition_rows
+
+        params = ModelParameters(mu=0.25, d=0.9, k=2)
+        dense = transition_rows(params).dense_matrix()
+        chain = ClusterChain(params)
+        assert np.allclose(dense, chain.matrix)
+        assert np.allclose(dense.sum(axis=1), 1.0)
+
+    def test_state_index_round_trip(self):
+        from repro.core.transitions import transition_rows
+
+        params = ModelParameters(mu=0.1, d=0.5)
+        rows = transition_rows(params)
+        space = StateSpace(params)
+        for index, state in enumerate(space.model_states):
+            assert rows.index_of(state) == index
+        with pytest.raises(StateSpaceError):
+            rows.index_of(State(7, 7, 7))  # polluted split: not in matrix
+
+    def test_arrays_are_read_only(self):
+        from repro.core.transitions import transition_rows
+
+        rows = transition_rows(ModelParameters(mu=0.1, d=0.5, k=2))
+        with pytest.raises(ValueError):
+            rows.probs[0, 0] = 0.5

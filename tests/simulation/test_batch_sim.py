@@ -1,0 +1,317 @@
+"""Batch Monte-Carlo engine: equivalence with the scalar oracle.
+
+Two families of checks:
+
+* statistical -- seeded batch runs must match the scalar member-list
+  simulator (and the closed forms both are validated against) within
+  tolerance: per-state occupancy, absorption-class frequencies,
+  expected times and first sojourns;
+* exact -- the batch ``CompetingSeries`` must reproduce the scalar
+  recording semantics bit for bit (event axis, shapes, bounds) and be
+  deterministic under a fixed seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cluster_model import ClusterModel
+from repro.core.parameters import ModelParameters
+from repro.core.statespace import State
+from repro.simulation.batch import (
+    BatchClusterEngine,
+    BatchCompetingClustersSimulation,
+    batch_monte_carlo_summary,
+    run_batch_trajectories,
+)
+from repro.core.transitions import CODE_SAFE_MERGE
+from repro.simulation.cluster_sim import (
+    ClusterSimulator,
+    SimulationBudgetError,
+    monte_carlo_summary,
+)
+from repro.simulation.overlay_sim import CompetingClustersSimulation
+
+ATTACK = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.8)
+
+
+def make_engine(params=ATTACK, seed=12345):
+    return BatchClusterEngine(params, np.random.default_rng(seed))
+
+
+class TestBatchEngine:
+    def test_initial_indices_delta_is_deterministic(self):
+        engine = make_engine()
+        indices = engine.sample_initial_indices(50, "delta")
+        assert len(set(indices.tolist())) == 1
+        assert engine.is_transient(indices).all()
+        assert not engine.is_polluted(indices).any()
+
+    def test_initial_indices_beta_all_transient(self):
+        engine = make_engine(ModelParameters(mu=0.3, d=0.5))
+        indices = engine.sample_initial_indices(500, "beta")
+        assert engine.is_transient(indices).all()
+        assert len(set(indices.tolist())) > 1
+
+    def test_unknown_initial_law_rejected(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.sample_initial_indices(5, "gamma")
+
+    def test_explicit_state_initial(self):
+        engine = make_engine()
+        state = State(3, 2, 1)
+        indices = engine.sample_initial_indices(4, state)
+        assert (indices == engine.rows.index_of(state)).all()
+
+    def test_step_stays_inside_model_space(self):
+        engine = make_engine()
+        indices = engine.sample_initial_indices(200, "beta")
+        for _ in range(30):
+            indices = engine.step(indices)
+            assert (0 <= indices).all()
+            assert (indices < engine.rows.n_states).all()
+
+    def test_absorbing_states_self_loop(self):
+        engine = make_engine()
+        absorbed = np.flatnonzero(~engine.is_transient(
+            np.arange(engine.rows.n_states)
+        ))
+        landed = engine.step(absorbed.astype(np.intp))
+        assert (landed == absorbed).all()
+
+    def test_occupancy_matches_transient_law(self):
+        """Empirical per-state occupancy tracks the chain's exact law.
+
+        After t lockstep transitions from delta, the batch population's
+        distribution over transient states must match
+        ``ClusterModel.transient_law`` -- this exercises the padded-row
+        searchsorted sampling against the analytically correct law.
+        """
+        params = ATTACK
+        model = ClusterModel(params)
+        chain = model.chain
+        engine = make_engine(params, seed=99)
+        n = 40_000
+        steps = 6
+        indices = engine.sample_initial_indices(n, "delta")
+        for _ in range(steps):
+            indices = engine.step(indices)
+        law = model.transient_law("delta", steps)
+        counts = np.bincount(indices, minlength=engine.rows.n_states)
+        n_transient = law.shape[0]
+        empirical = counts[:n_transient] / n
+        total_variation = 0.5 * np.abs(empirical - law).sum()
+        # Mass absorbed so far must agree too.
+        assert counts[:n_transient].sum() / n == pytest.approx(
+            law.sum(), abs=0.02
+        )
+        assert total_variation < 0.02
+
+    def test_absorbing_initial_yields_zero_step_trajectories(self):
+        """Parity with the scalar oracle on a closed initial state."""
+        engine = make_engine()
+        result = run_batch_trajectories(engine, 10, initial=State(0, 0, 0))
+        assert (result.steps == 0).all()
+        assert (result.time_safe == 0).all()
+        assert (result.time_polluted == 0).all()
+        assert (result.absorbed_code == CODE_SAFE_MERGE).all()
+        oracle = ClusterSimulator(ATTACK, np.random.default_rng(0)).run(
+            initial=State(0, 0, 0)
+        )
+        assert oracle.steps == 0
+        assert oracle.absorbed_in == "safe-merge"
+
+    def test_budget_error_raised(self):
+        params = ModelParameters(mu=0.0, d=0.0)
+        engine = make_engine(params)
+        with pytest.raises(SimulationBudgetError):
+            run_batch_trajectories(engine, 50, max_steps=2)
+
+    def test_runs_validated(self):
+        with pytest.raises(ValueError):
+            run_batch_trajectories(make_engine(), 0)
+
+
+class TestBatchTrajectoryEquivalence:
+    @pytest.fixture(scope="class")
+    def batch_summary(self):
+        rng = np.random.default_rng(20110627)
+        return batch_monte_carlo_summary(ATTACK, rng, runs=20_000)
+
+    @pytest.fixture(scope="class")
+    def scalar_summary(self):
+        rng = np.random.default_rng(20110627)
+        return monte_carlo_summary(ATTACK, rng, runs=2_000)
+
+    @pytest.fixture(scope="class")
+    def analytic(self):
+        return ClusterModel(ATTACK)
+
+    def test_times_match_scalar_and_closed_form(
+        self, batch_summary, scalar_summary, analytic
+    ):
+        fate = analytic.cluster_fate("delta")
+        assert batch_summary.mean_time_safe == pytest.approx(
+            fate.expected_time_safe, rel=0.03
+        )
+        assert batch_summary.mean_time_safe == pytest.approx(
+            scalar_summary.mean_time_safe, rel=0.08
+        )
+        assert batch_summary.mean_time_polluted == pytest.approx(
+            fate.expected_time_polluted, rel=0.15, abs=0.05
+        )
+
+    def test_absorption_frequencies_match(
+        self, batch_summary, scalar_summary, analytic
+    ):
+        fate = analytic.cluster_fate("delta")
+        assert batch_summary.p_safe_merge == pytest.approx(
+            fate.p_safe_merge, abs=0.02
+        )
+        assert batch_summary.p_safe_split == pytest.approx(
+            fate.p_safe_split, abs=0.02
+        )
+        assert batch_summary.p_polluted_merge == pytest.approx(
+            fate.p_polluted_merge, abs=0.01
+        )
+        for attribute in ("p_safe_merge", "p_safe_split", "p_polluted_merge"):
+            assert getattr(batch_summary, attribute) == pytest.approx(
+                getattr(scalar_summary, attribute), abs=0.04
+            )
+        total = (
+            batch_summary.p_safe_merge
+            + batch_summary.p_safe_split
+            + batch_summary.p_polluted_merge
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_first_sojourns_match_relations_7_8(self, batch_summary, analytic):
+        profile = analytic.sojourn_profile("delta", depth=1)
+        assert batch_summary.mean_first_safe_sojourn == pytest.approx(
+            profile.safe_sojourns[0], rel=0.03
+        )
+        assert batch_summary.mean_first_polluted_sojourn == pytest.approx(
+            profile.polluted_sojourns[0], rel=0.15, abs=0.05
+        )
+
+    def test_beta_initial_matches_closed_form(self):
+        params = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.5)
+        rng = np.random.default_rng(7)
+        summary = batch_monte_carlo_summary(
+            params, rng, runs=20_000, initial="beta"
+        )
+        fate = ClusterModel(params).cluster_fate("beta")
+        assert summary.mean_time_safe == pytest.approx(
+            fate.expected_time_safe, rel=0.03
+        )
+        assert summary.p_polluted_merge == pytest.approx(
+            fate.p_polluted_merge, abs=0.01
+        )
+
+    def test_deterministic_under_seed(self):
+        first = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(42), runs=500
+        )
+        second = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(42), runs=500
+        )
+        assert first == second
+
+
+class TestBatchCompetingSeries:
+    def test_event_axis_exactly_matches_scalar(self):
+        """Recording semantics are unchanged engine to engine."""
+        for n_events, record_every in [(100, 30), (100, 100), (7, 10), (500, 50)]:
+            batch = CompetingClustersSimulation(
+                ATTACK, 20, np.random.default_rng(1), engine="batch"
+            ).run(n_events, record_every=record_every)
+            scalar = CompetingClustersSimulation(
+                ATTACK, 20, np.random.default_rng(1), engine="scalar"
+            ).run(n_events, record_every=record_every)
+            assert batch.events.tolist() == scalar.events.tolist()
+            assert batch.safe_fraction.shape == scalar.safe_fraction.shape
+            assert batch.polluted_fraction.shape == scalar.polluted_fraction.shape
+            assert batch.n_clusters == scalar.n_clusters
+
+    def test_series_starts_all_safe_under_delta(self):
+        series = CompetingClustersSimulation(
+            ATTACK, 25, np.random.default_rng(3)
+        ).run(200, record_every=20)
+        assert series.safe_fraction[0] == 1.0
+        assert series.polluted_fraction[0] == 0.0
+
+    def test_fractions_bounded_and_monotone_population(self):
+        series = CompetingClustersSimulation(
+            ModelParameters(mu=0.3, d=0.9), 300, np.random.default_rng(5)
+        ).run(2000, record_every=100)
+        total = series.safe_fraction + series.polluted_fraction
+        assert np.all(total <= 1.0 + 1e-12)
+        assert np.all(series.safe_fraction >= 0.0)
+        assert np.all(series.polluted_fraction >= 0.0)
+
+    def test_occupancy_tracks_scalar_engine(self):
+        """Same population, same horizon: the two engines' mean occupancy
+        curves agree (averaged over seeded replications)."""
+        params = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+        n_clusters, n_events, record = 50, 1500, 300
+        curves = {}
+        for engine in ("batch", "scalar"):
+            safe = []
+            for replication in range(12):
+                series = CompetingClustersSimulation(
+                    params,
+                    n_clusters,
+                    np.random.default_rng(300 + replication),
+                    engine=engine,
+                ).run(n_events, record_every=record)
+                safe.append(series.safe_fraction)
+            curves[engine] = np.mean(safe, axis=0)
+        gap = np.max(np.abs(curves["batch"] - curves["scalar"]))
+        assert gap < 0.06
+
+    def test_deterministic_under_seed(self):
+        runs = [
+            BatchCompetingClustersSimulation(
+                ATTACK, 100, np.random.default_rng(11)
+            ).run(500, record_every=100)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].safe_fraction, runs[1].safe_fraction)
+        assert np.array_equal(
+            runs[0].polluted_fraction, runs[1].polluted_fraction
+        )
+
+    def test_all_clusters_eventually_absorb(self):
+        series = CompetingClustersSimulation(
+            ModelParameters(mu=0.1, d=0.5), 50, np.random.default_rng(9)
+        ).run(30_000, record_every=10_000)
+        assert series.safe_fraction[-1] + series.polluted_fraction[-1] < 0.05
+
+    def test_absorbing_initial_handled_identically_by_both_engines(self):
+        """Initially-merged clusters start absorbed on both engines: no
+        events reach them and the occupancy series stays flat at zero."""
+        for engine in ("batch", "scalar"):
+            series = CompetingClustersSimulation(
+                ATTACK,
+                8,
+                np.random.default_rng(2),
+                initial=State(0, 0, 0),
+                engine=engine,
+            ).run(50, record_every=10)
+            assert np.all(series.safe_fraction == 0.0), engine
+            assert np.all(series.polluted_fraction == 0.0), engine
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            CompetingClustersSimulation(ATTACK, 0, rng)
+        with pytest.raises(ValueError):
+            CompetingClustersSimulation(ATTACK, 5, rng, engine="quantum")
+
+    def test_engine_property(self):
+        rng = np.random.default_rng(0)
+        assert CompetingClustersSimulation(ATTACK, 5, rng).engine == "batch"
+        assert (
+            CompetingClustersSimulation(ATTACK, 5, rng, engine="scalar").engine
+            == "scalar"
+        )
