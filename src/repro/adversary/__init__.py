@@ -1,4 +1,11 @@
-"""Adversary strategies plugged into the overlay operations."""
+"""Adversary strategies plugged into the overlay operations.
+
+The module registers every built-in strategy in
+:data:`repro.scenario.registry.ADVERSARIES` under its canonical name
+(``strong``, ``passive``, ``greedy-leave``, ``none``); each entry is a
+factory ``params -> AdversaryStrategy | None`` so scenario specs and
+the CLI can select strategies by string.
+"""
 
 from repro.adversary.base import AdversaryStrategy, HonestEnvironment
 from repro.adversary.strategies import (
@@ -6,6 +13,30 @@ from repro.adversary.strategies import (
     PassiveAdversary,
     StrongAdversary,
 )
+from repro.scenario.registry import ADVERSARIES
+
+
+def resolve_adversary(name, params):
+    """Build the registered strategy ``name`` for ``params``.
+
+    Passes :class:`AdversaryStrategy` instances (and ``None``) through
+    unchanged, so call sites accept either form.
+    """
+    if name is None or isinstance(name, AdversaryStrategy):
+        return name
+    return ADVERSARIES.get(name)(params)
+
+
+def _register_defaults() -> None:
+    ADVERSARIES.register("strong", StrongAdversary)
+    ADVERSARIES.register("passive", lambda params: PassiveAdversary())
+    ADVERSARIES.register("greedy-leave", GreedyLeaveAdversary)
+    # The attack-free baseline: overlay operations run their honest
+    # default path when no strategy is installed.
+    ADVERSARIES.register("none", lambda params: None)
+
+
+_register_defaults()
 
 __all__ = [
     "AdversaryStrategy",
@@ -13,4 +44,5 @@ __all__ = [
     "StrongAdversary",
     "PassiveAdversary",
     "GreedyLeaveAdversary",
+    "resolve_adversary",
 ]

@@ -16,12 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.adversary import (
-    AdversaryStrategy,
-    GreedyLeaveAdversary,
-    PassiveAdversary,
-    StrongAdversary,
-)
+from repro.adversary import resolve_adversary
 from repro.analysis.experiments import ModelCache, base_parameters
 from repro.analysis.tables import render_table
 from repro.core.absorption import cluster_fate
@@ -233,6 +228,14 @@ class AdversaryComparison:
     leaves_suppressed: int
 
 
+#: Display labels of the registry names compared by default.
+ADVERSARY_LABELS = {
+    "strong": "strong (Rules 1+2)",
+    "passive": "passive",
+    "greedy-leave": "greedy-leave",
+}
+
+
 def compare_adversaries(
     mu: float = 0.20,
     d: float = 0.90,
@@ -240,11 +243,15 @@ def compare_adversaries(
     duration: float = 300.0,
     events_per_unit: int = 2,
     seed: int = 11,
+    adversaries: tuple[str, ...] = ("strong", "passive", "greedy-leave"),
 ) -> list[AdversaryComparison]:
-    """Run the agent-based overlay under three adversary strategies.
+    """Run the agent-based overlay under the named adversary strategies.
 
-    Expected ordering (and the paper-consistent story): the strong
-    adversary's probability-gated strategy dominates; the greedy
+    ``adversaries`` are registry keys
+    (:data:`repro.scenario.registry.ADVERSARIES`), so any strategy a
+    plugin registers is comparable from here and from the CLI.
+    Expected ordering on the defaults (the paper-consistent story): the
+    strong adversary's probability-gated strategy dominates; the greedy
     variant, which volunteers core leaves without Relation (2)'s gate,
     keeps sacrificing won seats and performs *worse than doing nothing
     strategic at all* -- the operational face of the paper's lesson that
@@ -253,13 +260,10 @@ def compare_adversaries(
     params = ModelParameters(
         core_size=7, spare_max=7, k=1, mu=mu, d=d
     )
-    strategies: list[tuple[str, AdversaryStrategy]] = [
-        ("strong (Rules 1+2)", StrongAdversary(params)),
-        ("passive", PassiveAdversary()),
-        ("greedy-leave", GreedyLeaveAdversary(params)),
-    ]
     results = []
-    for name, strategy in strategies:
+    for strategy_name in adversaries:
+        name = ADVERSARY_LABELS.get(strategy_name, strategy_name)
+        strategy = resolve_adversary(strategy_name, params)
         rng = np.random.default_rng(seed)
         simulation = AgentOverlaySimulation(
             OverlayConfig(model=params, id_bits=16, key_bits=32),

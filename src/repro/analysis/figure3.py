@@ -15,10 +15,12 @@ from repro.analysis.experiments import (
     D_GRID,
     MU_GRID,
     ModelCache,
-    base_parameters,
+    analysis_runner,
+    analytic_spec,
     mu_percent,
 )
 from repro.analysis.tables import render_table
+from repro.scenario import ScenarioSpec, SweepRunner
 
 
 @dataclass(frozen=True)
@@ -33,34 +35,52 @@ class Figure3Cell:
     expected_polluted: float
 
 
+def figure3_specs(
+    k_values: tuple[int, ...] = (1, 7),
+    initials: tuple[str, ...] = ("delta", "beta"),
+    mu_grid: tuple[float, ...] = MU_GRID,
+    d_grid: tuple[float, ...] = D_GRID,
+) -> list[tuple[ScenarioSpec, tuple[int, str, float, float]]]:
+    """The four panels' grid as (spec, (k, initial, d, mu)) points."""
+    points = []
+    for k in k_values:
+        for initial in initials:
+            for d in d_grid:
+                for mu in mu_grid:
+                    spec = analytic_spec(
+                        f"figure3[k={k},alpha={initial},d={d},mu={mu}]",
+                        initial=initial,
+                        k=k,
+                        mu=mu,
+                        d=d,
+                    )
+                    points.append((spec, (k, initial, d, mu)))
+    return points
+
+
 def compute_figure3(
     k_values: tuple[int, ...] = (1, 7),
     initials: tuple[str, ...] = ("delta", "beta"),
     mu_grid: tuple[float, ...] = MU_GRID,
     d_grid: tuple[float, ...] = D_GRID,
     cache: ModelCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[Figure3Cell]:
-    """Evaluate every bar of the four panels."""
-    cache = cache if cache is not None else ModelCache()
-    cells = []
-    for k in k_values:
-        for initial in initials:
-            for d in d_grid:
-                for mu in mu_grid:
-                    model = cache.get(base_parameters(k=k, mu=mu, d=d))
-                    cells.append(
-                        Figure3Cell(
-                            k=k,
-                            initial=initial,
-                            d=d,
-                            mu=mu,
-                            expected_safe=model.expected_time_safe(initial),
-                            expected_polluted=model.expected_time_polluted(
-                                initial
-                            ),
-                        )
-                    )
-    return cells
+    """Evaluate every bar of the four panels through the sweep runner."""
+    del cache
+    points = figure3_specs(k_values, initials, mu_grid, d_grid)
+    results = analysis_runner(runner).sweep([spec for spec, _ in points])
+    return [
+        Figure3Cell(
+            k=k,
+            initial=initial,
+            d=d,
+            mu=mu,
+            expected_safe=result.metrics["E(T_S)"],
+            expected_polluted=result.metrics["E(T_P)"],
+        )
+        for (_, (k, initial, d, mu)), result in zip(points, results)
+    ]
 
 
 def render_figure3(cells: list[Figure3Cell]) -> str:

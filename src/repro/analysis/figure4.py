@@ -16,10 +16,12 @@ from repro.analysis.experiments import (
     D_GRID,
     MU_GRID,
     ModelCache,
-    base_parameters,
+    analysis_runner,
+    analytic_spec,
     mu_percent,
 )
 from repro.analysis.tables import render_table
+from repro.scenario import ScenarioSpec, SweepRunner
 
 #: Published anchors at mu = 0 (random-walk exit odds from s0 = 3).
 PAPER_MU0_SAFE_MERGE = 0.57
@@ -41,31 +43,52 @@ class Figure4Cell:
     p_polluted_merge: float
 
 
+def figure4_specs(
+    initials: tuple[str, ...] = ("delta", "beta"),
+    mu_grid: tuple[float, ...] = MU_GRID,
+    d_grid: tuple[float, ...] = D_GRID,
+) -> list[tuple[ScenarioSpec, tuple[str, float, float]]]:
+    """Both panels' grid as (spec, (initial, d, mu)) points."""
+    return [
+        (
+            analytic_spec(
+                f"figure4[alpha={initial},d={d},mu={mu}]",
+                metrics="absorption",
+                initial=initial,
+                k=1,
+                mu=mu,
+                d=d,
+            ),
+            (initial, d, mu),
+        )
+        for initial in initials
+        for d in d_grid
+        for mu in mu_grid
+    ]
+
+
 def compute_figure4(
     initials: tuple[str, ...] = ("delta", "beta"),
     mu_grid: tuple[float, ...] = MU_GRID,
     d_grid: tuple[float, ...] = D_GRID,
     cache: ModelCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[Figure4Cell]:
-    """Evaluate both panels of Figure 4."""
-    cache = cache if cache is not None else ModelCache()
-    cells = []
-    for initial in initials:
-        for d in d_grid:
-            for mu in mu_grid:
-                model = cache.get(base_parameters(k=1, mu=mu, d=d))
-                probabilities = model.absorption_probabilities(initial)
-                cells.append(
-                    Figure4Cell(
-                        initial=initial,
-                        d=d,
-                        mu=mu,
-                        p_safe_merge=probabilities["safe-merge"],
-                        p_safe_split=probabilities["safe-split"],
-                        p_polluted_merge=probabilities["polluted-merge"],
-                    )
-                )
-    return cells
+    """Evaluate both panels of Figure 4 through the sweep runner."""
+    del cache
+    points = figure4_specs(initials, mu_grid, d_grid)
+    results = analysis_runner(runner).sweep([spec for spec, _ in points])
+    return [
+        Figure4Cell(
+            initial=initial,
+            d=d,
+            mu=mu,
+            p_safe_merge=result.metrics["p(safe-merge)"],
+            p_safe_split=result.metrics["p(safe-split)"],
+            p_polluted_merge=result.metrics["p(polluted-merge)"],
+        )
+        for (_, (initial, d, mu)), result in zip(points, results)
+    ]
 
 
 def render_figure4(cells: list[Figure4Cell]) -> str:

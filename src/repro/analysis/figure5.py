@@ -22,11 +22,13 @@ from repro.analysis.experiments import (
     FIGURE5_MU,
     FIGURE5_N_GRID,
     ModelCache,
-    base_parameters,
+    analysis_runner,
+    scenario_spec,
 )
 from repro.analysis.tables import render_table
 from repro.core.calibration import lifetime_from_d
-from repro.core.overlay_model import OverlayModel, OverlaySeries
+from repro.core.overlay_model import OverlaySeries
+from repro.scenario import ScenarioSpec, SweepRunner
 
 #: Published ceiling on the expected polluted proportion.
 PAPER_POLLUTED_CEILING = 0.022
@@ -42,6 +44,33 @@ class Figure5Curve:
     series: OverlaySeries
 
 
+def figure5_specs(
+    mu: float = FIGURE5_MU,
+    n_grid: tuple[int, ...] = FIGURE5_N_GRID,
+    d_grid: tuple[float, ...] = FIGURE5_D_GRID,
+    n_events: int = FIGURE5_EVENTS,
+    record_every: int = 500,
+) -> list[tuple[ScenarioSpec, tuple[int, float]]]:
+    """The four Theorem-2 curves as (spec, (n, d)) points."""
+    return [
+        (
+            scenario_spec(
+                f"figure5[n={n_clusters},d={d}]",
+                engine="overlay-analytic",
+                k=1,
+                mu=mu,
+                d=d,
+                n=n_clusters,
+                events=n_events,
+                record_every=record_every,
+            ),
+            (n_clusters, d),
+        )
+        for d in d_grid
+        for n_clusters in n_grid
+    ]
+
+
 def compute_figure5(
     mu: float = FIGURE5_MU,
     n_grid: tuple[int, ...] = FIGURE5_N_GRID,
@@ -49,28 +78,28 @@ def compute_figure5(
     n_events: int = FIGURE5_EVENTS,
     record_every: int = 500,
     cache: ModelCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[Figure5Curve]:
-    """Evaluate the four curves of Figure 5."""
-    cache = cache if cache is not None else ModelCache()
-    curves = []
-    for d in d_grid:
-        model = cache.get(base_parameters(k=1, mu=mu, d=d))
-        for n_clusters in n_grid:
-            overlay = OverlayModel(
-                model.params, n_clusters, chain=model.chain
-            )
-            series = overlay.proportion_series(
-                "delta", n_events, record_every=record_every
-            )
-            curves.append(
-                Figure5Curve(
-                    n_clusters=n_clusters,
-                    d=d,
-                    lifetime=lifetime_from_d(d),
-                    series=series,
-                )
-            )
-    return curves
+    """Evaluate the four curves of Figure 5 through the sweep runner."""
+    del cache
+    points = figure5_specs(mu, n_grid, d_grid, n_events, record_every)
+    results = analysis_runner(runner).sweep([spec for spec, _ in points])
+    return [
+        Figure5Curve(
+            n_clusters=n_clusters,
+            d=d,
+            lifetime=lifetime_from_d(d),
+            series=OverlaySeries(
+                events=np.asarray(result.series["events"]),
+                safe_fraction=np.asarray(result.series["safe_fraction"]),
+                polluted_fraction=np.asarray(
+                    result.series["polluted_fraction"]
+                ),
+                n_clusters=n_clusters,
+            ),
+        )
+        for (_, (n_clusters, d)), result in zip(points, results)
+    ]
 
 
 def render_figure5(curves: list[Figure5Curve], sample_points: int = 11) -> str:

@@ -31,13 +31,14 @@ from repro.analysis.experiments import (
     TABLE2_D,
     TABLE2_MU_GRID,
     ModelCache,
+    analysis_runner,
     base_parameters,
     mu_percent,
 )
 from repro.analysis.tables import render_table
 from repro.core.parameters import ModelParameters
+from repro.scenario import ScenarioSpec, SweepRunner
 from repro.simulation.batch import (
-    BatchCompetingClustersSimulation,
     CompetingSeries,
     batch_monte_carlo_summary,
 )
@@ -77,39 +78,72 @@ class EmpiricalTable2Row:
     total_polluted_mc: float
 
 
+def empirical_table2_specs(
+    runs: int = 20_000,
+    mu_grid: tuple[float, ...] = TABLE2_MU_GRID,
+    d: float = TABLE2_D,
+    seed: int = DEFAULT_SEED,
+) -> list[ScenarioSpec]:
+    """The closed-form/batch spec pairs of the empirical Table II.
+
+    Each ``mu`` contributes one ``analytic`` point (depth-1 sojourn
+    profile) and one ``batch`` point whose seed is ``seed + index`` --
+    the historical per-row law, kept so rows stay reproducible
+    independently of the grid they appear in.
+    """
+    specs: list[ScenarioSpec] = []
+    for offset, mu in enumerate(mu_grid):
+        params = base_parameters(k=1, mu=mu, d=d)
+        specs.append(
+            ScenarioSpec(
+                name=f"table2-closed[mu={mu}]",
+                params=params,
+                engine="analytic",
+                options={"metrics": "sojourns", "depth": 1},
+            )
+        )
+        specs.append(
+            ScenarioSpec(
+                name=f"table2-mc[mu={mu}]",
+                params=params,
+                engine="batch",
+                runs=runs,
+                seed=seed + offset,
+                max_steps=2_000_000,
+            )
+        )
+    return specs
+
+
 def empirical_table2(
     runs: int = 20_000,
     mu_grid: tuple[float, ...] = TABLE2_MU_GRID,
     d: float = TABLE2_D,
     seed: int = DEFAULT_SEED,
     cache: ModelCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[EmpiricalTable2Row]:
-    """Table II's grid with an empirical column per closed form.
-
-    Each grid point gets its own deterministic seed (``seed + index``)
-    so rows are reproducible independently of the grid they appear in.
-    """
-    cache = cache if cache is not None else ModelCache()
+    """Table II's grid with an empirical column per closed form."""
+    del cache
+    results = analysis_runner(runner).sweep(
+        empirical_table2_specs(runs, mu_grid, d, seed)
+    )
     rows: list[EmpiricalTable2Row] = []
     for offset, mu in enumerate(mu_grid):
-        params = base_parameters(k=1, mu=mu, d=d)
-        model = cache.get(params)
-        profile = model.sojourn_profile("delta", depth=1)
-        measured = empirical_sojourn_columns(
-            params, runs=runs, seed=seed + offset
-        )
+        closed = results[2 * offset].metrics
+        measured = results[2 * offset + 1].metrics
         rows.append(
             EmpiricalTable2Row(
                 mu=mu,
                 runs=runs,
-                safe_first=profile.safe_sojourns[0],
-                safe_first_mc=measured.mean_first_safe_sojourn,
-                polluted_first=profile.polluted_sojourns[0],
-                polluted_first_mc=measured.mean_first_polluted_sojourn,
-                total_safe=profile.total_safe,
-                total_safe_mc=measured.mean_time_safe,
-                total_polluted=profile.total_polluted,
-                total_polluted_mc=measured.mean_time_polluted,
+                safe_first=closed["E(T_S,1)"],
+                safe_first_mc=measured["E(T_S,1)"],
+                polluted_first=closed["E(T_P,1)"],
+                polluted_first_mc=measured["E(T_P,1)"],
+                total_safe=closed["E(T_S)"],
+                total_safe_mc=measured["E(T_S)"],
+                total_polluted=closed["E(T_P)"],
+                total_polluted_mc=measured["E(T_P)"],
             )
         )
     return rows
@@ -160,6 +194,7 @@ def empirical_proportion_series(
     replications: int = 5,
     initial: str = "delta",
     seed: int = DEFAULT_SEED,
+    runner: SweepRunner | None = None,
 ) -> CompetingSeries:
     """Replication-averaged Figure-5 curve from the batch engine.
 
@@ -172,25 +207,24 @@ def empirical_proportion_series(
     """
     if replications < 1:
         raise ValueError(f"replications must be >= 1, got {replications}")
-    safe_total: np.ndarray | None = None
-    polluted_total: np.ndarray | None = None
-    events: np.ndarray | None = None
-    for replication in range(replications):
-        rng = np.random.default_rng(seed + replication)
-        simulation = BatchCompetingClustersSimulation(
-            params, n_clusters, rng, initial=initial
-        )
-        series = simulation.run(n_events, record_every=record_every)
-        if safe_total is None:
-            events = series.events
-            safe_total = series.safe_fraction.copy()
-            polluted_total = series.polluted_fraction.copy()
-        else:
-            safe_total += series.safe_fraction
-            polluted_total += series.polluted_fraction
+    spec = ScenarioSpec(
+        name=(
+            f"proportions[n={n_clusters},mu={params.mu},d={params.d},"
+            f"events={n_events}]"
+        ),
+        params=params,
+        initial=initial,
+        engine="competing-batch",
+        n=n_clusters,
+        events=n_events,
+        record_every=record_every,
+        replications=replications,
+        seed=seed,
+    )
+    result = analysis_runner(runner).run(spec)
     return CompetingSeries(
-        events=events,
-        safe_fraction=safe_total / replications,
-        polluted_fraction=polluted_total / replications,
+        events=np.asarray(result.series["events"]),
+        safe_fraction=np.asarray(result.series["safe_fraction"]),
+        polluted_fraction=np.asarray(result.series["polluted_fraction"]),
         n_clusters=n_clusters,
     )

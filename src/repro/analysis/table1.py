@@ -15,10 +15,12 @@ from repro.analysis.experiments import (
     TABLE1_D_GRID,
     TABLE1_MU_GRID,
     ModelCache,
-    base_parameters,
+    analysis_runner,
+    analytic_spec,
     mu_percent,
 )
 from repro.analysis.tables import render_table
+from repro.scenario import ScenarioSpec, SweepRunner
 
 #: The paper's published values, keyed by (mu, d):
 #: (E(T_S^(1)), E(T_P^(1))).  ``None`` marks the suspect cell.
@@ -50,24 +52,41 @@ class Table1Cell:
     paper_polluted: float | None
 
 
-def compute_table1(cache: ModelCache | None = None) -> list[Table1Cell]:
-    """Evaluate every cell of Table I."""
-    cache = cache if cache is not None else ModelCache()
+def table1_specs() -> list[ScenarioSpec]:
+    """Table I's grid as declarative scenario points."""
+    return [
+        analytic_spec(
+            f"table1[mu={mu},d={d}]", k=1, mu=mu, d=d
+        )
+        for mu in TABLE1_MU_GRID
+        for d in TABLE1_D_GRID
+    ]
+
+
+def compute_table1(
+    cache: ModelCache | None = None, runner: SweepRunner | None = None
+) -> list[Table1Cell]:
+    """Evaluate every cell of Table I through the sweep runner.
+
+    ``cache`` is accepted for backward compatibility; model reuse now
+    happens in the analytic backend's per-process memo.
+    """
+    del cache
+    results = analysis_runner(runner).sweep(table1_specs())
+    grid = [(mu, d) for mu in TABLE1_MU_GRID for d in TABLE1_D_GRID]
     cells = []
-    for mu in TABLE1_MU_GRID:
-        for d in TABLE1_D_GRID:
-            model = cache.get(base_parameters(k=1, mu=mu, d=d))
-            paper = PAPER_TABLE1.get((mu, d), (None, None))
-            cells.append(
-                Table1Cell(
-                    mu=mu,
-                    d=d,
-                    expected_safe=model.expected_time_safe("delta"),
-                    expected_polluted=model.expected_time_polluted("delta"),
-                    paper_safe=paper[0],
-                    paper_polluted=paper[1],
-                )
+    for (mu, d), result in zip(grid, results):
+        paper = PAPER_TABLE1.get((mu, d), (None, None))
+        cells.append(
+            Table1Cell(
+                mu=mu,
+                d=d,
+                expected_safe=result.metrics["E(T_S)"],
+                expected_polluted=result.metrics["E(T_P)"],
+                paper_safe=paper[0],
+                paper_polluted=paper[1],
             )
+        )
     return cells
 
 

@@ -19,10 +19,12 @@ from repro.analysis.experiments import (
     TABLE2_D,
     TABLE2_MU_GRID,
     ModelCache,
-    base_parameters,
+    analysis_runner,
+    analytic_spec,
     mu_percent,
 )
 from repro.analysis.tables import render_table
+from repro.scenario import ScenarioSpec, SweepRunner
 
 #: Published values keyed by mu: (E(T_S,1), E(T_S,2), E(T_P,1), E(T_P,2)).
 #: ``None`` marks the suspect mu=20 % polluted-second-sojourn cell.
@@ -47,22 +49,36 @@ class Table2Row:
     total_polluted: float
 
 
-def compute_table2(cache: ModelCache | None = None) -> list[Table2Row]:
+def table2_specs(
+    mu_grid: tuple[float, ...] = TABLE2_MU_GRID,
+) -> list[ScenarioSpec]:
+    """Table II's grid as declarative scenario points."""
+    return [
+        analytic_spec(
+            f"table2[mu={mu}]", metrics="sojourns", k=1, mu=mu, d=TABLE2_D
+        )
+        for mu in mu_grid
+    ]
+
+
+def compute_table2(
+    cache: ModelCache | None = None, runner: SweepRunner | None = None
+) -> list[Table2Row]:
     """Evaluate Relations (7) and (8) for n = 1, 2 plus the totals."""
-    cache = cache if cache is not None else ModelCache()
+    del cache
+    results = analysis_runner(runner).sweep(table2_specs())
     rows = []
-    for mu in TABLE2_MU_GRID:
-        model = cache.get(base_parameters(k=1, mu=mu, d=TABLE2_D))
-        profile = model.sojourn_profile("delta", depth=2)
+    for mu, result in zip(TABLE2_MU_GRID, results):
+        metrics = result.metrics
         rows.append(
             Table2Row(
                 mu=mu,
-                safe_first=profile.safe_sojourns[0],
-                safe_second=profile.safe_sojourns[1],
-                polluted_first=profile.polluted_sojourns[0],
-                polluted_second=profile.polluted_sojourns[1],
-                total_safe=profile.total_safe,
-                total_polluted=profile.total_polluted,
+                safe_first=metrics["E(T_S,1)"],
+                safe_second=metrics["E(T_S,2)"],
+                polluted_first=metrics["E(T_P,1)"],
+                polluted_second=metrics["E(T_P,2)"],
+                total_safe=metrics["E(T_S)"],
+                total_polluted=metrics["E(T_P)"],
             )
         )
     return rows

@@ -6,6 +6,13 @@ optionally, as CSV artifacts for external plotting::
     python -m repro table1
     python -m repro figure5 --out results/
     python -m repro all
+
+The ``scenario`` subcommand drives the declarative scenario subsystem::
+
+    python -m repro scenario list
+    python -m repro scenario run examples/scenarios/strong_batch.json
+    python -m repro scenario sweep examples/scenarios/cross_product.toml \
+        --workers 4
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from repro.analysis import figure5 as fig5
 from repro.analysis import table1 as tab1
 from repro.analysis import table2 as tab2
 from repro.analysis.io import write_csv
+from repro.analysis.tables import render_table
 
 EXPERIMENTS = ("figure3", "figure4", "figure5", "table1", "table2", "ablations")
 
@@ -29,7 +37,8 @@ EXPERIMENTS = ("figure3", "figure4", "figure5", "table1", "table2", "ablations")
 EXTRA_EXPERIMENTS = ("report",)
 
 
-def _run_figure3(out: pathlib.Path | None) -> str:
+def _run_figure3(arguments) -> str:
+    out = arguments.out
     cells = fig3.compute_figure3()
     checks = fig3.shape_checks(cells)
     if out is not None:
@@ -44,7 +53,8 @@ def _run_figure3(out: pathlib.Path | None) -> str:
     return fig3.render_figure3(cells) + "\n\nshape checks: " + str(checks)
 
 
-def _run_figure4(out: pathlib.Path | None) -> str:
+def _run_figure4(arguments) -> str:
+    out = arguments.out
     cells = fig4.compute_figure4()
     checks = fig4.shape_checks(cells)
     if out is not None:
@@ -66,7 +76,8 @@ def _run_figure4(out: pathlib.Path | None) -> str:
     return fig4.render_figure4(cells) + "\n\nshape checks: " + str(checks)
 
 
-def _run_figure5(out: pathlib.Path | None) -> str:
+def _run_figure5(arguments) -> str:
+    out = arguments.out
     curves = fig5.compute_figure5()
     checks = fig5.shape_checks(curves)
     if out is not None:
@@ -86,7 +97,8 @@ def _run_figure5(out: pathlib.Path | None) -> str:
     return fig5.render_figure5(curves) + "\n\nshape checks: " + str(checks)
 
 
-def _run_table1(out: pathlib.Path | None) -> str:
+def _run_table1(arguments) -> str:
+    out = arguments.out
     cells = tab1.compute_table1()
     if out is not None:
         write_csv(
@@ -111,7 +123,8 @@ def _run_table1(out: pathlib.Path | None) -> str:
     )
 
 
-def _run_table2(out: pathlib.Path | None) -> str:
+def _run_table2(arguments) -> str:
+    out = arguments.out
     rows = tab2.compute_table2()
     if out is not None:
         write_csv(
@@ -145,11 +158,19 @@ def _run_table2(out: pathlib.Path | None) -> str:
     )
 
 
-def _run_ablations(out: pathlib.Path | None) -> str:
+def _run_ablations(arguments) -> str:
+    out = arguments.out
+    adversaries = tuple(
+        name.strip()
+        for name in getattr(
+            arguments, "adversaries", "strong,passive,greedy-leave"
+        ).split(",")
+        if name.strip()
+    )
     k_points = ablations.compute_k_sweep()
     nu_points = ablations.compute_nu_sweep()
     join_points = ablations.compute_join_policy_ablation()
-    adversaries = ablations.compare_adversaries()
+    comparisons = ablations.compare_adversaries(adversaries=adversaries)
     if out is not None:
         write_csv(
             out / "ablation_k.csv",
@@ -173,14 +194,15 @@ def _run_ablations(out: pathlib.Path | None) -> str:
             "spare-first join dominates: "
             f"{ablations.spare_first_dominates(join_points)}"
         ),
-        ablations.render_adversary_comparison(adversaries),
+        ablations.render_adversary_comparison(comparisons),
     ]
     return "\n\n".join(sections)
 
 
-def _run_report(out: pathlib.Path | None) -> str:
+def _run_report(arguments) -> str:
     from repro.analysis.report import build_sections, render_report
 
+    out = arguments.out
     sections = build_sections()
     text = render_report(sections)
     if out is not None:
@@ -202,6 +224,110 @@ _RUNNERS = {
 }
 
 
+# -- scenario subcommand -----------------------------------------------------
+
+def _metrics_line(metrics: dict[str, float], limit: int = 6) -> str:
+    parts = []
+    for key, value in metrics.items():
+        if key.startswith("op:") and len(metrics) > limit:
+            continue
+        rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+        parts.append(f"{key}={rendered}")
+        if len(parts) >= limit:
+            break
+    return " ".join(parts)
+
+
+def _run_scenario(arguments) -> int:
+    from repro.scenario import backends  # noqa: F401 -- populate ENGINES
+    from repro.scenario import (
+        ADVERSARIES,
+        CHURN_MODELS,
+        ENGINES,
+        SweepSpec,
+        load_scenario,
+    )
+    from repro.scenario.runner import SweepRunner, list_cached
+
+    cache_dir = None if arguments.no_cache else arguments.cache_dir
+    if arguments.action == "list":
+        print("engines:     " + ", ".join(ENGINES.names()))
+        print("adversaries: " + ", ".join(ADVERSARIES.names()))
+        print("churn:       " + ", ".join(CHURN_MODELS.names()))
+        entries = list_cached(arguments.cache_dir)
+        if entries:
+            rows = [
+                [
+                    entry["name"],
+                    entry["engine"],
+                    entry["adversary"],
+                    entry["churn"],
+                    entry["key"][:12],
+                ]
+                for entry in entries
+            ]
+            print()
+            print(
+                render_table(
+                    ["scenario", "engine", "adversary", "churn", "key"],
+                    rows,
+                    title=f"cached results under {arguments.cache_dir}",
+                )
+            )
+        else:
+            print(f"\nno cached results under {arguments.cache_dir}")
+        return 0
+
+    document = load_scenario(arguments.spec_file)
+    runner = SweepRunner(
+        workers=getattr(arguments, "workers", 0), cache_dir=cache_dir
+    )
+    if arguments.action == "run":
+        if isinstance(document, SweepSpec):
+            print(
+                f"{arguments.spec_file} declares sweep axes; "
+                "use 'repro scenario sweep'"
+            )
+            return 2
+        result = runner.run(document)
+        print(f"scenario: {result.name}")
+        print(f"engine:   {result.engine}")
+        print(f"key:      {result.key}")
+        print(f"cached:   {runner.cache_hits > 0}")
+        for key, value in result.metrics.items():
+            print(f"  {key} = {value:.10g}")
+        return 0
+
+    # sweep
+    specs = (
+        document.expand()
+        if isinstance(document, SweepSpec)
+        else [document]
+    )
+    results = runner.sweep(specs)
+    rows = [
+        [
+            result.name,
+            result.engine,
+            result.meta.get("adversary", "?"),
+            result.meta.get("churn", "?"),
+            _metrics_line(result.metrics),
+        ]
+        for result in results
+    ]
+    print(
+        render_table(
+            ["scenario", "engine", "adversary", "churn", "metrics"],
+            rows,
+            title=(
+                f"sweep of {len(results)} points "
+                f"({runner.cache_hits} cached, {runner.cache_misses} computed)"
+            ),
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -209,30 +335,81 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Regenerate the tables and figures of 'Modeling and "
             "Evaluating Targeted Attacks in Large Scale Dynamic Systems' "
-            "(DSN 2011)."
+            "(DSN 2011), or run declarative scenarios."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        choices=EXPERIMENTS + EXTRA_EXPERIMENTS + ("all",),
-        help="which artifact to regenerate",
+    subparsers = parser.add_subparsers(
+        dest="experiment",
+        required=True,
+        metavar="experiment",
+        help="which artifact to regenerate (or 'scenario')",
     )
-    parser.add_argument(
-        "--out",
-        type=pathlib.Path,
-        default=None,
-        help="directory for CSV artifacts (omit to print only)",
+    for name in EXPERIMENTS + EXTRA_EXPERIMENTS + ("all",):
+        experiment = subparsers.add_parser(name)
+        experiment.add_argument(
+            "--out",
+            type=pathlib.Path,
+            default=None,
+            help="directory for CSV artifacts (omit to print only)",
+        )
+        if name in ("ablations", "all"):
+            experiment.add_argument(
+                "--adversaries",
+                default="strong,passive,greedy-leave",
+                help=(
+                    "comma-separated adversary registry names for the "
+                    "agent-based comparison"
+                ),
+            )
+
+    from repro.scenario.runner import DEFAULT_CACHE_DIR
+
+    scenario = subparsers.add_parser(
+        "scenario", help="declarative scenario runner"
     )
+    actions = scenario.add_subparsers(
+        dest="action", required=True, metavar="action"
+    )
+    for action in ("run", "sweep", "list"):
+        sub = actions.add_parser(action)
+        if action != "list":
+            sub.add_argument(
+                "spec_file",
+                type=pathlib.Path,
+                help="scenario spec (.json or .toml)",
+            )
+            sub.add_argument(
+                "--no-cache",
+                action="store_true",
+                help="recompute even when a cached result exists",
+            )
+        else:
+            sub.set_defaults(no_cache=False)
+        sub.add_argument(
+            "--cache-dir",
+            type=pathlib.Path,
+            default=DEFAULT_CACHE_DIR,
+            help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+        )
+        if action == "sweep":
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=0,
+                help="worker processes for grid fan-out (0 = in-process)",
+            )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point."""
     arguments = build_parser().parse_args(argv)
+    if arguments.experiment == "scenario":
+        return _run_scenario(arguments)
     names = EXPERIMENTS if arguments.experiment == "all" else (arguments.experiment,)
     for name in names:
         print(f"=== {name} ===")
-        print(_RUNNERS[name](arguments.out))
+        print(_RUNNERS[name](arguments))
         print()
     return 0
 

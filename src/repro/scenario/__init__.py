@@ -1,0 +1,66 @@
+"""Declarative scenario subsystem.
+
+One :class:`~repro.scenario.spec.ScenarioSpec` (loadable from JSON or
+TOML) names a model parameter point, an initial distribution, an
+adversary, a churn model and a simulation engine; the
+:class:`~repro.scenario.runner.SweepRunner` expands grid axes into
+points, fans them out over worker processes with
+``SeedSequence``-spawned child seeds and caches every result by
+content address.  Components resolve through the string-keyed
+registries in :mod:`repro.scenario.registry`.
+
+Only the light modules load eagerly; backends (which pull in the
+simulators) and the runner resolve lazily on first attribute access so
+that low-level modules can import the registries without cycles.
+"""
+
+from repro.scenario.registry import (
+    ADVERSARIES,
+    CHURN_MODELS,
+    ENGINES,
+    Registry,
+    RegistryError,
+)
+from repro.scenario.spec import (
+    DEFAULT_SEED,
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    load_scenario,
+)
+
+#: Lazily-resolved exports (PEP 562) -- importing them here eagerly
+#: would cycle through the simulation modules that register components.
+_LAZY = {
+    "ScenarioResult": "repro.scenario.backends",
+    "SimulationBackend": "repro.scenario.backends",
+    "SweepRunner": "repro.scenario.runner",
+    "expand_grid": "repro.scenario.runner",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(name)
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "ADVERSARIES",
+    "CHURN_MODELS",
+    "DEFAULT_SEED",
+    "ENGINES",
+    "Registry",
+    "RegistryError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SimulationBackend",
+    "SpecError",
+    "SweepRunner",
+    "SweepSpec",
+    "expand_grid",
+    "load_scenario",
+]

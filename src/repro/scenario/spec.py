@@ -1,0 +1,282 @@
+"""Declarative scenario descriptions.
+
+A :class:`ScenarioSpec` is the single currency of the scenario
+subsystem: one frozen, JSON-serializable record naming everything a run
+needs -- model parameters, initial distribution, adversary, churn
+model, engine, population size, event budget, seeds and replications.
+Specs load from JSON or TOML files, and a ``sweep`` table in the same
+file turns the spec into a grid: every axis entry is expanded into the
+cross product of scenario points (see :class:`SweepSpec`).
+
+Every spec has a *content address* -- the SHA-256 digest of its
+canonical JSON form -- used by the
+:class:`~repro.scenario.runner.SweepRunner` to cache results under
+``results/scenarios/`` so identical points are never recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import pathlib
+import tomllib
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.core.parameters import ModelParameters
+
+#: Seed namespace shared with :mod:`repro.analysis.montecarlo`.
+DEFAULT_SEED = 20110627
+
+#: ``params`` keys accepted by spec files (ModelParameters fields).
+_PARAM_FIELDS = tuple(
+    f.name for f in dataclasses.fields(ModelParameters)
+)
+
+
+class SpecError(ValueError):
+    """Raised when a scenario document is malformed."""
+
+
+def _freeze_options(options) -> tuple[tuple[str, Any], ...]:
+    """Normalize a mapping (or item tuple) to sorted hashable items."""
+    if isinstance(options, Mapping):
+        items = options.items()
+    else:
+        items = tuple(options)
+    frozen = tuple(sorted((str(k), v) for k, v in items))
+    for _, value in frozen:
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise SpecError(
+                f"option values must be JSON scalars, got {value!r}"
+            )
+    return frozen
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified simulation scenario.
+
+    ==================  ====================================================
+    ``name``            free-form label (not part of the content address)
+    ``params``          the :class:`~repro.core.parameters.ModelParameters`
+    ``initial``         initial distribution: ``"delta"``, ``"beta"`` or an
+                        explicit ``(s, x, y)`` triple
+    ``adversary``       key into :data:`~repro.scenario.registry.ADVERSARIES`
+    ``churn``           key into :data:`~repro.scenario.registry.CHURN_MODELS`
+    ``churn_options``   keyword arguments for the churn factory
+    ``engine``          key into :data:`~repro.scenario.registry.ENGINES`
+    ``n``               population size (clusters or peers, per the engine)
+    ``events``          event budget (or time horizon, per the engine)
+    ``record_every``    sampling stride for series-producing engines
+    ``runs``            independent trajectories for Monte-Carlo engines
+    ``replications``    independently seeded repetitions averaged by the
+                        engine
+    ``seed``            root entropy for the run
+    ``seed_index``      spawn-key index assigned by grid expansion
+                        (``None`` = use ``seed`` directly)
+    ``max_steps``       per-trajectory step budget
+    ``options``         engine-specific extras (e.g. ``events_per_unit``)
+    ==================  ====================================================
+    """
+
+    name: str = "scenario"
+    params: ModelParameters = field(default_factory=ModelParameters)
+    initial: str | tuple[int, int, int] = "delta"
+    adversary: str = "strong"
+    churn: str = "bernoulli"
+    churn_options: tuple[tuple[str, Any], ...] = ()
+    engine: str = "batch"
+    n: int = 1
+    events: int = 0
+    record_every: int = 1
+    runs: int = 1
+    replications: int = 1
+    seed: int = DEFAULT_SEED
+    seed_index: int | None = None
+    max_steps: int = 1_000_000
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "churn_options", _freeze_options(self.churn_options)
+        )
+        object.__setattr__(self, "options", _freeze_options(self.options))
+        if isinstance(self.initial, list):
+            object.__setattr__(self, "initial", tuple(self.initial))
+        for bound, minimum in (
+            ("n", 1),
+            ("runs", 1),
+            ("replications", 1),
+            ("record_every", 1),
+            ("events", 0),
+            ("max_steps", 1),
+        ):
+            if getattr(self, bound) < minimum:
+                raise SpecError(
+                    f"{bound} must be >= {minimum}, got {getattr(self, bound)}"
+                )
+
+    # -- dict / file round trip ---------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON view (inverse of :meth:`from_dict`)."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "params": {
+                name: getattr(self.params, name) for name in _PARAM_FIELDS
+            },
+            "initial": (
+                list(self.initial)
+                if isinstance(self.initial, tuple)
+                else self.initial
+            ),
+            "adversary": self.adversary,
+            "churn": self.churn,
+            "churn_options": dict(self.churn_options),
+            "engine": self.engine,
+            "n": self.n,
+            "events": self.events,
+            "record_every": self.record_every,
+            "runs": self.runs,
+            "replications": self.replications,
+            "seed": self.seed,
+            "seed_index": self.seed_index,
+            "max_steps": self.max_steps,
+            "options": dict(self.options),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a spec from a parsed JSON/TOML mapping."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(document) - known - {"sweep"}
+        if unknown:
+            raise SpecError(
+                f"unknown scenario fields: {', '.join(sorted(unknown))}"
+            )
+        payload = {
+            key: value
+            for key, value in document.items()
+            if key in known
+        }
+        params = payload.get("params", {})
+        if isinstance(params, Mapping):
+            bad = set(params) - set(_PARAM_FIELDS)
+            if bad:
+                raise SpecError(
+                    f"unknown model parameters: {', '.join(sorted(bad))}"
+                )
+            payload["params"] = ModelParameters(**params)
+        return cls(**payload)
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "ScenarioSpec":
+        """Load a single scenario (``.json`` or ``.toml``); a ``sweep``
+        table in the file is an error here -- use :func:`load_scenario`."""
+        document = _read_document(path)
+        if "sweep" in document:
+            raise SpecError(
+                f"{path} declares a sweep; load it with load_scenario()"
+            )
+        return cls.from_dict(document)
+
+    # -- identity -----------------------------------------------------------
+
+    def canonical(self) -> str:
+        """Canonical JSON: the hashed cache identity of the scenario.
+
+        The ``name`` label is excluded -- renaming a scenario must not
+        invalidate its cached result.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Content address (SHA-256 of the canonical form)."""
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def with_overrides(self, **changes) -> "ScenarioSpec":
+        """Copy with fields replaced; ``params.<field>`` dotted keys and
+        a ``params`` mapping both override model parameters."""
+        param_changes = {}
+        for key in list(changes):
+            if key.startswith("params."):
+                param_changes[key.removeprefix("params.")] = changes.pop(key)
+        if isinstance(changes.get("params"), Mapping):
+            param_changes.update(changes.pop("params"))
+        if param_changes:
+            changes["params"] = self.params.with_overrides(**param_changes)
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A base scenario plus named grid axes.
+
+    ``axes`` maps a spec field (or a dotted ``params.<field>``) to the
+    values it sweeps over; :meth:`expand` yields the cross product in
+    deterministic (file) order, assigning each point its spawn-key
+    ``seed_index`` so every point draws from an independent child
+    stream of the base seed (``SeedSequence(seed, spawn_key=(i,))``).
+    """
+
+    base: ScenarioSpec
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "SweepSpec":
+        """Load a sweep document (base fields + ``sweep`` table)."""
+        document = _read_document(path)
+        axes = document.get("sweep")
+        if not axes:
+            raise SpecError(f"{path} declares no sweep axes")
+        return cls(
+            base=ScenarioSpec.from_dict(document),
+            axes=tuple((str(k), tuple(v)) for k, v in axes.items()),
+        )
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The grid points, in cross-product order."""
+        names = [axis for axis, _ in self.axes]
+        points = []
+        for index, values in enumerate(
+            itertools.product(*(values for _, values in self.axes))
+        ):
+            overrides = dict(zip(names, values))
+            label = ",".join(
+                f"{axis.removeprefix('params.')}={value}"
+                for axis, value in overrides.items()
+            )
+            points.append(
+                self.base.with_overrides(**overrides).with_overrides(
+                    name=f"{self.base.name}[{label}]", seed_index=index
+                )
+            )
+        return points
+
+
+def load_scenario(
+    path: str | pathlib.Path,
+) -> ScenarioSpec | SweepSpec:
+    """Load a scenario file, returning a sweep when it declares axes."""
+    document = _read_document(path)
+    if document.get("sweep"):
+        return SweepSpec.from_file(path)
+    return ScenarioSpec.from_dict(document)
+
+
+def _read_document(path: str | pathlib.Path) -> dict[str, Any]:
+    path = pathlib.Path(path)
+    if path.suffix == ".toml":
+        with path.open("rb") as handle:
+            return tomllib.load(handle)
+    if path.suffix == ".json":
+        return json.loads(path.read_text())
+    raise SpecError(
+        f"unsupported scenario file type {path.suffix!r} (json/toml only)"
+    )

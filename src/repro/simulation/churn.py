@@ -106,6 +106,22 @@ def exponential_sessions(
     return plans
 
 
+def session_event_stream(
+    plans: list[SessionPlan],
+) -> Iterator[ChurnEvent]:
+    """Flatten session plans into a time-ordered join/leave stream.
+
+    Each plan contributes a :data:`EventKind.JOIN` at its arrival and a
+    :data:`EventKind.LEAVE` at its departure; ties resolve joins first
+    so a session is always born before it dies.  The stream is finite
+    (two events per plan).
+    """
+    marks = [(plan.arrival, 0, EventKind.JOIN) for plan in plans]
+    marks += [(plan.departure, 1, EventKind.LEAVE) for plan in plans]
+    for time, _, kind in sorted(marks):
+        yield ChurnEvent(kind=kind, time=time)
+
+
 def pareto_sessions(
     rng: np.random.Generator,
     arrival_rate: float,
@@ -134,3 +150,76 @@ def pareto_sessions(
         duration = float(scale * (1.0 + rng.pareto(shape)))
         plans.append(SessionPlan(arrival=time, departure=time + duration))
     return plans
+
+
+# -- scenario registry entries ----------------------------------------------
+#
+# Factories share one signature -- ``factory(rng, params, **options) ->
+# Iterator[ChurnEvent]`` -- so a :class:`~repro.scenario.spec.ScenarioSpec`
+# can name any of them (with ``churn_options`` as the keyword arguments)
+# and the engines stay agnostic of which process drives the events.
+
+def _bernoulli_churn(
+    rng: np.random.Generator,
+    params,
+    p_join: float | None = None,
+    time_step: float = 1.0,
+) -> Iterator[ChurnEvent]:
+    if p_join is None:
+        p_join = params.p_join
+    return bernoulli_event_stream(rng, p_join=p_join, time_step=time_step)
+
+
+def _poisson_churn(
+    rng: np.random.Generator,
+    params,
+    rate: float = 2.0,
+    join_rate: float | None = None,
+    leave_rate: float | None = None,
+) -> Iterator[ChurnEvent]:
+    """Poisson superposition; by default the joint ``rate`` splits
+    between joins and leaves according to ``params.p_join``."""
+    if join_rate is None:
+        join_rate = rate * params.p_join
+    if leave_rate is None:
+        leave_rate = rate * params.p_leave
+    return poisson_event_stream(rng, join_rate, leave_rate)
+
+
+def _exponential_session_churn(
+    rng: np.random.Generator,
+    params,
+    arrival_rate: float = 1.0,
+    mean_session: float = 10.0,
+    horizon: float = 10_000.0,
+) -> Iterator[ChurnEvent]:
+    return session_event_stream(
+        exponential_sessions(rng, arrival_rate, mean_session, horizon)
+    )
+
+
+def _pareto_session_churn(
+    rng: np.random.Generator,
+    params,
+    arrival_rate: float = 1.0,
+    shape: float = 1.5,
+    scale: float = 1.0,
+    horizon: float = 10_000.0,
+) -> Iterator[ChurnEvent]:
+    return session_event_stream(
+        pareto_sessions(rng, arrival_rate, shape, scale, horizon)
+    )
+
+
+def _register_defaults() -> None:
+    from repro.scenario.registry import CHURN_MODELS
+
+    CHURN_MODELS.register("bernoulli", _bernoulli_churn)
+    CHURN_MODELS.register("poisson", _poisson_churn)
+    CHURN_MODELS.register(
+        "exponential-sessions", _exponential_session_churn
+    )
+    CHURN_MODELS.register("pareto-sessions", _pareto_session_churn)
+
+
+_register_defaults()

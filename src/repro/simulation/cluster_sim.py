@@ -24,17 +24,77 @@ engine for anything measured in thousands of clusters or trajectories.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.parameters import ModelParameters
 from repro.core.rules import rule1_triggers
 from repro.core.statespace import State
+from repro.simulation.churn import ChurnEvent, EventKind
 
 #: Absorption classes reported by the simulator.
 SAFE_MERGE = "safe-merge"
 SAFE_SPLIT = "safe-split"
 POLLUTED_MERGE = "polluted-merge"
+
+
+@dataclass(frozen=True)
+class CountAdversaryPolicy:
+    """Count-level rendition of an adversary strategy.
+
+    The scalar simulator plays the adversary through four switches that
+    mirror the agent-tier :class:`~repro.adversary.base.AdversaryStrategy`
+    hooks on anonymous member lists:
+
+    * ``rule2`` -- filter joins in polluted clusters (Rule 2);
+    * ``suppress_leaves`` -- malicious members resist natural churn and
+      depart only under Property 1;
+    * ``biased_replacement`` -- promote malicious spares while the
+      quorum holds;
+    * ``rule1`` -- voluntary core leaves: ``"gated"`` (Relation (2)),
+      ``"always"`` (whenever a malicious spare exists) or ``"never"``.
+
+    The default :data:`STRONG_POLICY` reproduces the paper's adversary
+    with the exact event semantics (and RNG draw order) the simulator
+    always had.
+    """
+
+    name: str
+    rule2: bool = True
+    suppress_leaves: bool = True
+    biased_replacement: bool = True
+    rule1: str = "gated"
+
+    def __post_init__(self) -> None:
+        if self.rule1 not in ("gated", "always", "never"):
+            raise ValueError(
+                f"rule1 must be gated/always/never, got {self.rule1!r}"
+            )
+
+
+#: The paper's Section-V adversary (Rules 1+2, biased maintenance).
+STRONG_POLICY = CountAdversaryPolicy("strong")
+
+#: Malicious peers exist but follow the protocol.
+PASSIVE_POLICY = CountAdversaryPolicy(
+    "passive",
+    rule2=False,
+    suppress_leaves=False,
+    biased_replacement=False,
+    rule1="never",
+)
+
+#: Rule 1 without Relation (2)'s probability gate (ablation).
+GREEDY_LEAVE_POLICY = CountAdversaryPolicy("greedy-leave", rule1="always")
+
+#: Count-level policies by adversary registry name.
+COUNT_POLICIES: dict[str, CountAdversaryPolicy] = {
+    "strong": STRONG_POLICY,
+    "passive": PASSIVE_POLICY,
+    "greedy-leave": GREEDY_LEAVE_POLICY,
+    "none": PASSIVE_POLICY,
+}
 
 
 class SimulationBudgetError(RuntimeError):
@@ -86,13 +146,39 @@ class ClusterTrajectory:
 
 
 class ClusterSimulator:
-    """Single-cluster agent simulation matching the model's semantics."""
+    """Single-cluster agent simulation matching the model's semantics.
+
+    ``adversary`` selects the count-level strategy: a
+    :class:`CountAdversaryPolicy`, a registry name from
+    :data:`COUNT_POLICIES`, or ``None`` for the paper's strong
+    adversary (the historical behaviour, draw-for-draw).
+    """
 
     def __init__(
-        self, params: ModelParameters, rng: np.random.Generator
+        self,
+        params: ModelParameters,
+        rng: np.random.Generator,
+        adversary: CountAdversaryPolicy | str | None = None,
     ) -> None:
         self._params = params
         self._rng = rng
+        if adversary is None:
+            adversary = STRONG_POLICY
+        elif isinstance(adversary, str):
+            try:
+                adversary = COUNT_POLICIES[adversary]
+            except KeyError:
+                known = ", ".join(sorted(COUNT_POLICIES))
+                raise ValueError(
+                    f"unknown count-level adversary {adversary!r}; "
+                    f"known: {known}"
+                ) from None
+        self._policy = adversary
+
+    @property
+    def policy(self) -> CountAdversaryPolicy:
+        """The active count-level adversary policy."""
+        return self._policy
 
     # -- state sampling -------------------------------------------------------
 
@@ -121,8 +207,15 @@ class ClusterSimulator:
         self,
         initial: str | State = "delta",
         max_steps: int = 1_000_000,
+        events: Iterator[ChurnEvent] | None = None,
     ) -> ClusterTrajectory:
-        """Simulate one cluster from ``initial`` until merge or split."""
+        """Simulate one cluster from ``initial`` until merge or split.
+
+        ``events`` optionally supplies the join/leave decisions from a
+        churn generator (:mod:`repro.simulation.churn`) instead of the
+        model's Bernoulli ``p_join`` draw; only the event *kind* is
+        consumed (the chain is event-indexed, not time-indexed).
+        """
         params = self._params
         rng = self._rng
         core, spare = self.draw_initial(initial)
@@ -158,7 +251,17 @@ class ClusterSimulator:
             else:
                 time_safe += 1
             current_run += 1
-            if rng.random() < params.p_join:
+            if events is None:
+                join = rng.random() < params.p_join
+            else:
+                try:
+                    join = next(events).kind is EventKind.JOIN
+                except StopIteration:
+                    raise SimulationBudgetError(
+                        f"churn stream exhausted after {steps - 1} events "
+                        f"({params.describe()})"
+                    ) from None
+            if join:
                 self._join_event(core, spare)
             else:
                 self._leave_event(core, spare)
@@ -184,7 +287,7 @@ class ClusterSimulator:
         joiner_malicious = rng.random() < params.mu
         polluted = sum(core) > params.pollution_quorum
         s = len(spare)
-        if polluted:
+        if polluted and self._policy.rule2:
             # Rule 2 filtering by the colluding quorum.
             if s == params.spare_max - 1:
                 return
@@ -210,10 +313,12 @@ class ClusterSimulator:
         if not spare[index]:
             spare.pop(index)
             return
-        # Malicious spare: departs only when Property 1 forces it.
-        y = sum(spare)
-        if rng.random() < params.d**y:
-            return
+        # Malicious spare: departs only when Property 1 forces it
+        # (a non-suppressing adversary follows the churn like anyone).
+        if self._policy.suppress_leaves:
+            y = sum(spare)
+            if rng.random() < params.d**y:
+                return
         spare.pop(index)
 
     def _core_leave(
@@ -225,27 +330,35 @@ class ClusterSimulator:
         x = sum(core)
         y = sum(spare)
         s = len(spare)
+        policy = self._policy
         if not core[index]:
             # Honest core member departs with the natural churn.
             core.pop(index)
-            if x > quorum:
+            if x > quorum and policy.biased_replacement:
                 self._biased_replacement(core, spare)
             else:
                 self._maintenance(core, spare)
             return
         # Malicious core member targeted.
-        if rng.random() < params.d**x:
+        if policy.suppress_leaves and rng.random() < params.d**x:
             # Identifiers valid: only a Rule 1 voluntary leave applies.
             if x > quorum or s <= 1:
                 return
-            if not rule1_triggers(State(s, x, y), params):
+            if policy.rule1 == "never":
+                return
+            if policy.rule1 == "gated":
+                if not rule1_triggers(State(s, x, y), params):
+                    return
+            elif y == 0:
+                # "always" still needs a malicious spare to promote.
                 return
             core.pop(index)
             self._maintenance(core, spare)
             return
-        # Property 1 forces the departure.
+        # Property 1 forces the departure (or the adversary lets the
+        # churn carry its member away).
         core.pop(index)
-        if x - 1 > quorum:
+        if x - 1 > quorum and policy.biased_replacement:
             self._biased_replacement(core, spare)
         else:
             self._maintenance(core, spare)
@@ -307,13 +420,20 @@ def monte_carlo_summary(
     runs: int,
     initial: str | State = "delta",
     max_steps: int = 1_000_000,
+    adversary: CountAdversaryPolicy | str | None = None,
+    events: Iterator[ChurnEvent] | None = None,
 ) -> MonteCarloSummary:
-    """Run ``runs`` independent trajectories and aggregate them."""
+    """Run ``runs`` independent trajectories and aggregate them.
+
+    ``adversary`` and ``events`` thread through to
+    :class:`ClusterSimulator`; a finite churn stream is consumed across
+    the whole batch of trajectories.
+    """
     if runs < 1:
         raise ValueError(f"runs must be >= 1, got {runs}")
-    simulator = ClusterSimulator(params, rng)
+    simulator = ClusterSimulator(params, rng, adversary=adversary)
     trajectories = [
-        simulator.run(initial=initial, max_steps=max_steps)
+        simulator.run(initial=initial, max_steps=max_steps, events=events)
         for _ in range(runs)
     ]
     times_safe = np.array([t.time_safe for t in trajectories], dtype=float)

@@ -21,17 +21,21 @@ Three levels of fidelity:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.adversary import resolve_adversary
 from repro.adversary.base import AdversaryStrategy
 from repro.core.parameters import ModelParameters
 from repro.core.statespace import State
 from repro.overlay.overlay import ClusterOverlay, OverlayConfig
+from repro.scenario.registry import CHURN_MODELS
 from repro.simulation.batch import (
     BatchCompetingClustersSimulation,
     CompetingSeries,
 )
+from repro.simulation.churn import ChurnEvent, EventKind
 from repro.simulation.cluster_sim import ClusterSimulator
 from repro.simulation.engine import DiscreteEventEngine
 
@@ -205,23 +209,38 @@ class AgentOverlaySimulation:
     churn events (join w.p. ``p_join``), enforces Property 1 and lets
     the adversary probe Rule 1 -- the operational rendition of the
     model's unit-time semantics.
+
+    ``adversary`` accepts a strategy instance or any registry name from
+    :data:`repro.scenario.registry.ADVERSARIES` (``"strong"``,
+    ``"passive"``, ...); ``churn`` optionally names a generator from
+    :data:`~repro.scenario.registry.CHURN_MODELS` that supplies the
+    join/leave decisions in place of the default Bernoulli draw
+    (``churn_options`` are its keyword arguments).
     """
 
     def __init__(
         self,
         config: OverlayConfig,
         rng: np.random.Generator,
-        adversary: AdversaryStrategy | None = None,
+        adversary: AdversaryStrategy | str | None = None,
         events_per_unit: int = 1,
         min_population: int = 8,
         enforce_universe_bound: bool = True,
+        churn: str | None = None,
+        churn_options: Mapping | None = None,
     ) -> None:
         if events_per_unit < 1:
             raise ValueError(
                 f"events_per_unit must be >= 1, got {events_per_unit}"
             )
+        adversary = resolve_adversary(adversary, config.model)
         self._overlay = ClusterOverlay(config, rng, adversary)
         self._rng = rng
+        self._churn_stream: Iterator[ChurnEvent] | None = None
+        if churn is not None:
+            self._churn_stream = CHURN_MODELS.get(churn)(
+                rng, config.model, **dict(churn_options or {})
+            )
         self._engine = DiscreteEventEngine()
         self._events_per_unit = events_per_unit
         self._min_population = min_population
@@ -263,11 +282,21 @@ class AgentOverlaySimulation:
             return 0.0
         return sum(1 for p in peers if p.malicious) / len(peers)
 
+    def _next_is_join(self) -> bool:
+        if self._churn_stream is None:
+            return self._rng.random() < self._overlay.params.p_join
+        try:
+            return next(self._churn_stream).kind is EventKind.JOIN
+        except StopIteration:
+            raise RuntimeError(
+                "churn stream exhausted before the run horizon; raise the "
+                "generator's horizon (churn_options) or shorten the run"
+            ) from None
+
     def _churn_tick(self) -> None:
         overlay = self._overlay
-        rng = self._rng
         for _ in range(self._events_per_unit):
-            join = rng.random() < overlay.params.p_join
+            join = self._next_is_join()
             if join or overlay.n_peers <= self._min_population:
                 malicious = None
                 if (

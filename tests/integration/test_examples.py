@@ -77,3 +77,13 @@ class TestDataPlaneAudit:
         keys = storage.populate(20)
         audit = storage.audit(keys)
         assert audit["correct_rate"] == pytest.approx(1.0)
+
+
+class TestCustomScenario:
+    def test_runs_and_prints_grid(self, capsys):
+        module = load_example("custom_scenario.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "Three views of mu=20%" in output
+        assert "Pareto-session churn" in output
+        assert "adversary x churn grid" in output

@@ -1,0 +1,197 @@
+"""Unit tests for the simulation backends behind the engine registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.scenario import ENGINES, ScenarioSpec, SpecError
+from repro.scenario.runner import execute_spec
+
+ATTACK = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.9)
+
+
+def spec(**fields) -> ScenarioSpec:
+    defaults = {"name": "t", "params": ATTACK, "seed": 3}
+    defaults.update(fields)
+    return ScenarioSpec(**defaults)
+
+
+class TestAnalyticBackend:
+    def test_times_match_model(self, attack_model):
+        result = execute_spec(spec(engine="analytic"))
+        assert result.metrics["E(T_S)"] == attack_model.with_overrides(
+            d=0.9
+        ).expected_time_safe("delta")
+
+    def test_sojourn_family(self):
+        result = execute_spec(
+            spec(engine="analytic", options={"metrics": "sojourns"})
+        )
+        assert {"E(T_S,1)", "E(T_S,2)", "E(T_P,1)", "E(T_P,2)"} <= set(
+            result.metrics
+        )
+
+    def test_absorption_family_sums_to_one(self):
+        result = execute_spec(
+            spec(engine="analytic", options={"metrics": "absorption"})
+        )
+        total = (
+            result.metrics["p(safe-merge)"]
+            + result.metrics["p(safe-split)"]
+            + result.metrics["p(polluted-merge)"]
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SpecError, match="metrics family"):
+            execute_spec(
+                spec(engine="analytic", options={"metrics": "bogus"})
+            )
+
+    def test_rejects_non_strong_adversary(self):
+        with pytest.raises(SpecError, match="strong adversary"):
+            execute_spec(spec(engine="analytic", adversary="passive"))
+
+    def test_rejects_non_bernoulli_churn(self):
+        with pytest.raises(SpecError, match="churn"):
+            execute_spec(spec(engine="analytic", churn="poisson"))
+
+
+class TestBatchBackend:
+    def test_matches_direct_summary(self):
+        from repro.simulation.batch import batch_monte_carlo_summary
+
+        result = execute_spec(spec(engine="batch", runs=2000, seed=17))
+        direct = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(17), runs=2000
+        )
+        assert result.metrics["E(T_S)"] == direct.mean_time_safe
+        assert result.metrics["E(T_P)"] == direct.mean_time_polluted
+        assert (
+            result.metrics["p(polluted-merge)"] == direct.p_polluted_merge
+        )
+
+
+class TestScalarBackend:
+    def test_adversary_axis_changes_outcome(self):
+        strong = execute_spec(spec(engine="scalar", runs=800))
+        passive = execute_spec(
+            spec(engine="scalar", runs=800, adversary="passive")
+        )
+        assert (
+            passive.metrics["E(T_P)"] < strong.metrics["E(T_P)"]
+        ), "a protocol-following adversary must pollute less"
+
+    def test_churn_axis_accepted(self):
+        result = execute_spec(
+            spec(
+                engine="scalar",
+                runs=200,
+                churn="pareto-sessions",
+                churn_options={"horizon": 100000.0},
+            )
+        )
+        assert result.metrics["runs"] == 200.0
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SpecError, match="count-level"):
+            execute_spec(spec(engine="scalar", adversary="martian"))
+
+    def test_misspelled_churn_option_rejected(self):
+        with pytest.raises(SpecError, match="mean_sesion"):
+            execute_spec(
+                spec(
+                    engine="scalar",
+                    runs=10,
+                    churn="exponential-sessions",
+                    churn_options={"mean_sesion": 2.0},
+                )
+            )
+
+    def test_foreign_but_valid_churn_option_dropped(self):
+        # 'horizon' belongs to the session generators; a bernoulli
+        # point in the same sweep simply ignores it.
+        result = execute_spec(
+            spec(
+                engine="scalar",
+                runs=50,
+                churn="bernoulli",
+                churn_options={"horizon": 1000.0},
+            )
+        )
+        assert result.metrics["runs"] == 50.0
+
+
+class TestCompetingBackends:
+    def test_batch_matches_montecarlo_helper(self):
+        from repro.analysis.montecarlo import empirical_proportion_series
+
+        result = execute_spec(
+            spec(
+                engine="competing-batch",
+                n=300,
+                events=1500,
+                record_every=500,
+                replications=3,
+                seed=5,
+            )
+        )
+        series = empirical_proportion_series(
+            ATTACK, 300, 1500, record_every=500, replications=3, seed=5
+        )
+        assert result.series["events"] == series.events.tolist()
+        assert result.series["safe_fraction"] == series.safe_fraction.tolist()
+
+    def test_scalar_engine_runs(self):
+        result = execute_spec(
+            spec(
+                engine="competing-scalar",
+                n=50,
+                events=400,
+                record_every=200,
+            )
+        )
+        assert len(result.series["events"]) == 3
+        assert result.series["safe_fraction"][0] == 1.0
+
+
+class TestAgentBackend:
+    def test_deterministic_per_spec(self):
+        point = spec(
+            engine="agent",
+            n=40,
+            events=60,
+            adversary="strong",
+            options={"sample_every": 20.0},
+        )
+        first = execute_spec(point)
+        second = execute_spec(point)
+        assert first.metrics == second.metrics
+        assert first.series == second.series
+
+    def test_adversary_and_churn_axes(self):
+        result = execute_spec(
+            spec(
+                engine="agent",
+                n=40,
+                events=60,
+                adversary="passive",
+                churn="poisson",
+            )
+        )
+        assert result.metrics.get("op:leave-suppressed", 0.0) == 0.0
+        assert result.meta["churn"] == "poisson"
+
+
+class TestEngineRegistryDispatch:
+    def test_unknown_engine(self):
+        from repro.scenario.registry import RegistryError
+
+        with pytest.raises(RegistryError, match="simulation backend"):
+            execute_spec(spec(engine="warp-drive"))
+
+    def test_all_engines_expose_run(self):
+        import repro.scenario.backends  # noqa: F401
+
+        for name in ENGINES.names():
+            assert callable(ENGINES.get(name).run)

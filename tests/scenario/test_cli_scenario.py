@@ -1,0 +1,129 @@
+"""CLI tests for the ``repro scenario`` subcommands."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    path = tmp_path / "point.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-point",
+                "params": {"mu": 0.2, "d": 0.9},
+                "engine": "batch",
+                "runs": 300,
+                "seed": 3,
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture
+def sweep_file(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-grid",
+                "params": {"d": 0.9},
+                "engine": "batch",
+                "runs": 200,
+                "seed": 3,
+                "sweep": {"params.mu": [0.0, 0.2]},
+            }
+        )
+    )
+    return path
+
+
+class TestScenarioParser:
+    def test_run_requires_spec_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run"])
+
+    def test_sweep_parses_workers(self, spec_file):
+        arguments = build_parser().parse_args(
+            ["scenario", "sweep", str(spec_file), "--workers", "3"]
+        )
+        assert arguments.action == "sweep"
+        assert arguments.workers == 3
+        assert arguments.spec_file == spec_file
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "fly"])
+
+
+class TestScenarioExecution:
+    def test_list_prints_registries(self, tmp_path, capsys):
+        assert main(["scenario", "list", "--cache-dir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "engines:" in output
+        assert "batch" in output
+        assert "adversaries:" in output
+        assert "greedy-leave" in output
+
+    def test_run_prints_metrics_and_caches(self, spec_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "scenario",
+            "run",
+            str(spec_file),
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "cli-point" in output
+        assert "E(T_S)" in output
+        assert "cached:   False" in output
+        assert main(argv) == 0
+        assert "cached:   True" in capsys.readouterr().out
+
+    def test_run_rejects_sweep_file(self, sweep_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(sweep_file),
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 2
+        )
+        assert "sweep" in capsys.readouterr().out
+
+    def test_sweep_reports_cache_split(self, sweep_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "scenario",
+            "sweep",
+            str(sweep_file),
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(argv) == 0
+        assert "0 cached, 2 computed" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "2 cached, 0 computed" in capsys.readouterr().out
+
+    def test_sweep_no_cache_leaves_no_files(self, sweep_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "scenario",
+            "sweep",
+            str(sweep_file),
+            "--cache-dir",
+            str(cache),
+            "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert not cache.exists()

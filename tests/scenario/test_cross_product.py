@@ -1,0 +1,63 @@
+"""End-to-end acceptance: the shipped cross-product sweep.
+
+``examples/scenarios/cross_product.toml`` sweeps 3 adversaries x 3
+churn models x 2 engines (the scalar oracle and the agent-based
+overlay) from one spec file.  This test runs it with parallel workers
+into a temporary cache, checks deterministic per-point seeding, and
+proves the re-run is served entirely from cache.
+"""
+
+import pathlib
+
+from repro.scenario import SweepRunner, SweepSpec, load_scenario
+
+SPEC_FILE = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "examples"
+    / "scenarios"
+    / "cross_product.toml"
+)
+
+
+class TestCrossProductSweep:
+    def test_full_grid_parallel_then_cached(self, tmp_path):
+        document = load_scenario(SPEC_FILE)
+        assert isinstance(document, SweepSpec)
+        points = document.expand()
+        assert len(points) == 3 * 3 * 2
+        assert {p.adversary for p in points} == {
+            "strong",
+            "passive",
+            "greedy-leave",
+        }
+        assert {p.churn for p in points} == {
+            "bernoulli",
+            "poisson",
+            "pareto-sessions",
+        }
+        assert {p.engine for p in points} == {"scalar", "agent"}
+        assert [p.seed_index for p in points] == list(range(18))
+        assert len({p.key() for p in points}) == 18
+
+        runner = SweepRunner(workers=2, cache_dir=tmp_path)
+        results = runner.sweep(points)
+        assert len(results) == 18
+        assert runner.cache_misses == 18
+        assert all(result.metrics for result in results)
+
+        # Re-run: pure cache hits, identical payloads.
+        rerun = SweepRunner(workers=2, cache_dir=tmp_path)
+        again = rerun.sweep(points)
+        assert rerun.cache_hits == 18
+        assert rerun.cache_misses == 0
+        for first, second in zip(results, again):
+            assert first.metrics == second.metrics
+            assert first.series == second.series
+
+    def test_seeding_is_deterministic_across_runners(self, tmp_path):
+        # Two fresh runners with no shared cache must agree exactly.
+        points = load_scenario(SPEC_FILE).expand()[:4]
+        one = SweepRunner().sweep(points)
+        two = SweepRunner(workers=2).sweep(points)
+        for first, second in zip(one, two):
+            assert first.metrics == second.metrics

@@ -1,0 +1,61 @@
+"""Byte-identity of the refactored analysis paths.
+
+The Figure 3/4/5 and Table I/II grids now execute through the scenario
+subsystem's :class:`~repro.scenario.runner.SweepRunner`; these golden
+files were rendered by the direct per-module implementations
+immediately before the refactor, so equality here proves the runner
+path reproduces the historical outputs byte for byte.
+"""
+
+import pathlib
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden"
+
+
+def golden(name: str) -> str:
+    return (GOLDEN_DIR / name).read_text()
+
+
+class TestClosedFormGrids:
+    def test_table1_byte_identical(self):
+        from repro.analysis import table1
+
+        rendered = table1.render_table1(table1.compute_table1())
+        assert rendered + "\n" == golden("table1.txt")
+
+    def test_table2_byte_identical(self):
+        from repro.analysis import table2
+
+        rendered = table2.render_table2(table2.compute_table2())
+        assert rendered + "\n" == golden("table2.txt")
+
+    def test_figure3_byte_identical(self):
+        from repro.analysis import figure3
+
+        rendered = figure3.render_figure3(figure3.compute_figure3())
+        assert rendered + "\n" == golden("figure3.txt")
+
+    def test_figure4_byte_identical(self):
+        from repro.analysis import figure4
+
+        rendered = figure4.render_figure4(figure4.compute_figure4())
+        assert rendered + "\n" == golden("figure4.txt")
+
+
+class TestOverlayGrid:
+    def test_figure5_byte_identical(self):
+        from repro.analysis import figure5
+
+        rendered = figure5.render_figure5(figure5.compute_figure5())
+        assert rendered + "\n" == golden("figure5.txt")
+
+
+class TestMonteCarloGrid:
+    def test_empirical_table2_byte_identical(self):
+        from repro.analysis.montecarlo import (
+            empirical_table2,
+            render_empirical_table2,
+        )
+
+        rendered = render_empirical_table2(empirical_table2(runs=2000))
+        assert rendered + "\n" == golden("montecarlo_table2.txt")

@@ -1,0 +1,132 @@
+"""Unit tests for the sweep runner: caching, parallelism, seeding."""
+
+import json
+import pathlib
+
+from repro.core.parameters import ModelParameters
+from repro.scenario import ScenarioSpec, SweepRunner
+from repro.scenario.runner import expand_grid, list_cached
+
+ATTACK = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.2, d=0.9)
+
+
+def batch_spec(**fields) -> ScenarioSpec:
+    defaults = {
+        "name": "runner-test",
+        "params": ATTACK,
+        "engine": "batch",
+        "runs": 500,
+        "seed": 9,
+    }
+    defaults.update(fields)
+    return ScenarioSpec(**defaults)
+
+
+class TestCaching:
+    def test_miss_then_hit(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        spec = batch_spec()
+        first = runner.run(spec)
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+        second = runner.run(spec)
+        assert (runner.cache_hits, runner.cache_misses) == (1, 1)
+        assert first.metrics == second.metrics
+
+    def test_cache_file_is_content_addressed(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        spec = batch_spec()
+        runner.run(spec)
+        path = tmp_path / f"{spec.key()}.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["spec"]["engine"] == "batch"
+        assert payload["result"]["key"] == spec.key()
+
+    def test_rename_does_not_invalidate(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(batch_spec(name="alpha"))
+        runner.run(batch_spec(name="beta"))
+        assert runner.cache_hits == 1
+
+    def test_no_cache_dir_never_writes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        runner = SweepRunner()
+        runner.run(batch_spec(runs=50))
+        assert not pathlib.Path("results").exists()
+        # Executed points still count as misses for progress reporting.
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+
+    def test_cache_hit_relabelled_after_rename(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(batch_spec(name="old-name"))
+        result = runner.run(batch_spec(name="new-name"))
+        assert runner.cache_hits == 1
+        assert result.name == "new-name"
+
+    def test_list_cached(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.run(batch_spec(name="listed"))
+        entries = list_cached(tmp_path)
+        assert len(entries) == 1
+        assert entries[0]["name"] == "listed"
+        assert entries[0]["engine"] == "batch"
+
+
+class TestSweep:
+    def test_grid_order_and_seed_indices(self):
+        points = expand_grid(
+            batch_spec(), {"params.mu": [0.0, 0.1, 0.2]}
+        )
+        assert [p.params.mu for p in points] == [0.0, 0.1, 0.2]
+        assert [p.seed_index for p in points] == [0, 1, 2]
+        assert len({p.key() for p in points}) == 3
+
+    def test_sweep_results_align_with_specs(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        points = expand_grid(batch_spec(runs=200), {"params.mu": [0.0, 0.2]})
+        results = runner.sweep(points)
+        assert [r.name for r in results] == [p.name for p in points]
+        # mu = 0: pollution is impossible.
+        assert results[0].metrics["E(T_P)"] == 0.0
+        assert results[1].metrics["E(T_P)"] > 0.0
+
+    def test_partial_cache_reuse(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        first = expand_grid(batch_spec(runs=200), {"params.mu": [0.0, 0.1]})
+        runner.sweep(first)
+        wider = expand_grid(
+            batch_spec(runs=200), {"params.mu": [0.0, 0.1, 0.2]}
+        )
+        runner.sweep(wider)
+        # The two shared points are hits, only mu=0.2 is computed.
+        assert runner.cache_hits == 2
+        assert runner.cache_misses == 3
+
+    def test_parallel_equals_serial(self, tmp_path):
+        points = expand_grid(
+            batch_spec(runs=300), {"params.mu": [0.0, 0.1, 0.2, 0.3]}
+        )
+        serial = SweepRunner().sweep(points)
+        parallel = SweepRunner(workers=2).sweep(points)
+        for one, two in zip(serial, parallel):
+            assert one.metrics == two.metrics
+            assert one.key == two.key
+
+
+class TestSeeding:
+    def test_points_draw_independent_streams(self):
+        # Same parameters on every point: only the spawned child seed
+        # differs, so the Monte-Carlo estimates must differ.
+        points = expand_grid(batch_spec(runs=400), {"initial": ["delta"] * 2})
+        runner = SweepRunner()
+        results = runner.sweep(points)
+        assert (
+            results[0].metrics["E(T_S)"] != results[1].metrics["E(T_S)"]
+        )
+
+    def test_rerun_is_deterministic(self):
+        points = expand_grid(batch_spec(runs=400), {"params.d": [0.8, 0.9]})
+        first = SweepRunner().sweep(points)
+        second = SweepRunner().sweep(points)
+        for one, two in zip(first, second):
+            assert one.metrics == two.metrics

@@ -1,0 +1,137 @@
+"""Unit tests for scenario specs, files and sweep expansion."""
+
+import json
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.scenario.spec import (
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    load_scenario,
+)
+
+
+class TestScenarioSpec:
+    def test_defaults_are_papers_base_point(self):
+        spec = ScenarioSpec()
+        assert spec.params == ModelParameters()
+        assert spec.adversary == "strong"
+        assert spec.churn == "bernoulli"
+        assert spec.engine == "batch"
+
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt",
+            params=ModelParameters(mu=0.2, d=0.9),
+            adversary="passive",
+            churn="poisson",
+            churn_options={"rate": 3.0},
+            engine="scalar",
+            runs=500,
+            seed=42,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"frobnicate": 1})
+
+    def test_unknown_model_parameter_rejected(self):
+        with pytest.raises(SpecError, match="unknown model parameters"):
+            ScenarioSpec.from_dict({"params": {"gamma": 0.5}})
+
+    def test_initial_triple_normalized(self):
+        spec = ScenarioSpec.from_dict({"initial": [3, 0, 0]})
+        assert spec.initial == (3, 0, 0)
+        assert spec.to_dict()["initial"] == [3, 0, 0]
+
+    def test_bounds_validated(self):
+        with pytest.raises(SpecError, match="runs"):
+            ScenarioSpec(runs=0)
+
+    def test_non_scalar_option_rejected(self):
+        with pytest.raises(SpecError, match="JSON scalars"):
+            ScenarioSpec(options={"bad": [1, 2]})
+
+
+class TestContentAddress:
+    def test_key_is_stable_and_name_free(self):
+        spec = ScenarioSpec(name="a", seed=1)
+        renamed = spec.with_overrides(name="b")
+        assert spec.key() == renamed.key()
+
+    def test_key_changes_with_content(self):
+        spec = ScenarioSpec(seed=1)
+        assert spec.key() != spec.with_overrides(seed=2).key()
+        assert (
+            spec.key()
+            != spec.with_overrides(**{"params.mu": 0.1}).key()
+        )
+
+    def test_with_overrides_dotted_params(self):
+        spec = ScenarioSpec().with_overrides(
+            **{"params.mu": 0.25, "params.d": 0.9}
+        )
+        assert spec.params.mu == 0.25
+        assert spec.params.d == 0.9
+
+
+class TestSpecFiles:
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "json-spec",
+                    "params": {"mu": 0.2, "d": 0.9},
+                    "engine": "analytic",
+                }
+            )
+        )
+        spec = ScenarioSpec.from_file(path)
+        assert spec.name == "json-spec"
+        assert spec.params.mu == 0.2
+        assert spec.engine == "analytic"
+
+    def test_toml_file_with_sweep(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "name = 'grid'\n"
+            "engine = 'scalar'\n"
+            "runs = 10\n"
+            "[params]\n"
+            "mu = 0.2\n"
+            "[sweep]\n"
+            "adversary = ['strong', 'passive']\n"
+            "churn = ['bernoulli', 'poisson']\n"
+        )
+        document = load_scenario(path)
+        assert isinstance(document, SweepSpec)
+        points = document.expand()
+        assert len(points) == 4
+        assert [p.seed_index for p in points] == [0, 1, 2, 3]
+        assert points[0].adversary == "strong"
+        assert points[0].churn == "bernoulli"
+        assert points[3].adversary == "passive"
+        assert points[3].churn == "poisson"
+        assert all(p.params.mu == 0.2 for p in points)
+
+    def test_sweep_point_names_encode_axes(self, tmp_path):
+        base = ScenarioSpec(name="s")
+        sweep = SweepSpec(base=base, axes=(("params.mu", (0.1, 0.2)),))
+        names = [p.name for p in sweep.expand()]
+        assert names == ["s[mu=0.1]", "s[mu=0.2]"]
+
+    def test_run_file_rejects_sweep(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"name": "x", "sweep": {"seed": [1, 2]}}))
+        with pytest.raises(SpecError, match="sweep"):
+            ScenarioSpec.from_file(path)
+
+    def test_unsupported_extension(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: x")
+        with pytest.raises(SpecError, match="json/toml"):
+            load_scenario(path)

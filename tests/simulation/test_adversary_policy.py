@@ -1,0 +1,152 @@
+"""Tests for count-level adversary policies and churn-driven runs."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.simulation.churn import bernoulli_event_stream
+from repro.simulation.cluster_sim import (
+    COUNT_POLICIES,
+    GREEDY_LEAVE_POLICY,
+    PASSIVE_POLICY,
+    STRONG_POLICY,
+    ClusterSimulator,
+    CountAdversaryPolicy,
+    SimulationBudgetError,
+    monte_carlo_summary,
+)
+
+ATTACK = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+
+
+class TestPolicyRecord:
+    def test_rule1_mode_validated(self):
+        with pytest.raises(ValueError, match="rule1"):
+            CountAdversaryPolicy("bad", rule1="sometimes")
+
+    def test_builtin_policies_by_name(self):
+        assert COUNT_POLICIES["strong"] is STRONG_POLICY
+        assert COUNT_POLICIES["passive"] is PASSIVE_POLICY
+        assert COUNT_POLICIES["greedy-leave"] is GREEDY_LEAVE_POLICY
+        assert COUNT_POLICIES["none"] is PASSIVE_POLICY
+
+    def test_unknown_name_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown count-level"):
+            ClusterSimulator(ATTACK, rng, adversary="martian")
+
+
+class TestStrongDefaultUnchanged:
+    """The refactor must not move a single RNG draw of the oracle."""
+
+    def test_default_equals_explicit_strong(self):
+        first = ClusterSimulator(ATTACK, np.random.default_rng(42)).run()
+        second = ClusterSimulator(
+            ATTACK, np.random.default_rng(42), adversary=STRONG_POLICY
+        ).run()
+        third = ClusterSimulator(
+            ATTACK, np.random.default_rng(42), adversary="strong"
+        ).run()
+        assert first == second == third
+
+    def test_bernoulli_stream_is_draw_identical(self):
+        # The stream consumes exactly one uniform per event, in the
+        # same order as the inline p_join draw.
+        inline = ClusterSimulator(ATTACK, np.random.default_rng(7)).run()
+        rng = np.random.default_rng(7)
+        simulator = ClusterSimulator(ATTACK, rng)
+        streamed = simulator.run(
+            events=bernoulli_event_stream(rng, p_join=ATTACK.p_join)
+        )
+        assert inline == streamed
+
+
+class TestPolicySemantics:
+    def test_passive_adversary_pollutes_less(self):
+        strong = monte_carlo_summary(
+            ATTACK, np.random.default_rng(1), runs=600
+        )
+        passive = monte_carlo_summary(
+            ATTACK, np.random.default_rng(1), runs=600, adversary="passive"
+        )
+        assert passive.mean_time_polluted < strong.mean_time_polluted
+        assert passive.p_polluted_merge <= strong.p_polluted_merge
+
+    def test_greedy_leave_diverges_from_strong(self):
+        strong = monte_carlo_summary(
+            ATTACK, np.random.default_rng(2), runs=600
+        )
+        greedy = monte_carlo_summary(
+            ATTACK,
+            np.random.default_rng(2),
+            runs=600,
+            adversary="greedy-leave",
+        )
+        assert greedy != strong
+
+    def test_mu_zero_is_policy_independent(self):
+        clean = ModelParameters(core_size=7, spare_max=7, k=1)
+        for name in ("strong", "passive", "greedy-leave"):
+            summary = monte_carlo_summary(
+                clean, np.random.default_rng(3), runs=200, adversary=name
+            )
+            assert summary.mean_time_polluted == 0.0
+
+
+class TestChurnDrivenRuns:
+    def test_exhausted_stream_raises_budget_error(self):
+        rng = np.random.default_rng(4)
+        simulator = ClusterSimulator(ATTACK, rng)
+        empty = iter(())
+        with pytest.raises(SimulationBudgetError, match="exhausted"):
+            simulator.run(events=empty)
+
+    def test_finite_stream_supports_short_runs(self):
+        rng = np.random.default_rng(5)
+        stream = itertools.islice(
+            bernoulli_event_stream(rng, p_join=0.5), 10_000
+        )
+        simulator = ClusterSimulator(ATTACK, rng)
+        trajectory = simulator.run(events=stream)
+        assert trajectory.steps > 0
+
+
+class TestAgentRegistrySelection:
+    def test_adversary_by_name_matches_instance(self):
+        from repro.adversary import StrongAdversary
+        from repro.overlay.overlay import OverlayConfig
+        from repro.simulation.overlay_sim import AgentOverlaySimulation
+
+        def build(adversary):
+            from repro.overlay.peer import PeerFactory
+
+            PeerFactory._instances = 0
+            simulation = AgentOverlaySimulation(
+                OverlayConfig(model=ATTACK, id_bits=16, key_bits=32),
+                np.random.default_rng(6),
+                adversary=adversary,
+            )
+            simulation.bootstrap(40)
+            return simulation.run(30.0, sample_every=10.0)
+
+        by_name = build("strong")
+        by_instance = build(StrongAdversary(ATTACK))
+        assert by_name.operations == by_instance.operations
+        assert (
+            by_name.final_polluted_fraction
+            == by_instance.final_polluted_fraction
+        )
+
+    def test_unknown_churn_name_rejected(self):
+        from repro.overlay.overlay import OverlayConfig
+        from repro.scenario.registry import RegistryError
+        from repro.simulation.overlay_sim import AgentOverlaySimulation
+
+        with pytest.raises(RegistryError, match="churn"):
+            AgentOverlaySimulation(
+                OverlayConfig(model=ATTACK),
+                np.random.default_rng(7),
+                churn="tsunami",
+            )

@@ -11,6 +11,7 @@ from repro.simulation.churn import (
     exponential_sessions,
     pareto_sessions,
     poisson_event_stream,
+    session_event_stream,
 )
 
 
@@ -94,3 +95,187 @@ class TestSessions:
     def test_positive_parameters_validated(self, rng):
         with pytest.raises(ValueError):
             exponential_sessions(rng, -1.0, 1.0, 10.0)
+
+
+class TestEventRates:
+    """Sanity on the arrival intensities the generators promise."""
+
+    def test_poisson_event_count_matches_total_rate(self):
+        # N(t) ~ Poisson(rate * t): count 2000 events and check the
+        # elapsed time against the mean with a generous 5-sigma band.
+        rng = np.random.default_rng(7)
+        total_rate = 4.0
+        events = list(
+            itertools.islice(poisson_event_stream(rng, 3.0, 1.0), 2000)
+        )
+        elapsed = events[-1].time
+        expected = 2000 / total_rate
+        sigma = np.sqrt(2000) / total_rate
+        assert abs(elapsed - expected) < 5 * sigma
+
+    def test_poisson_interarrival_mean(self):
+        rng = np.random.default_rng(8)
+        events = list(
+            itertools.islice(poisson_event_stream(rng, 1.0, 1.0), 4000)
+        )
+        times = np.array([e.time for e in events])
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.5, rel=0.1)
+
+    def test_session_arrival_rate(self):
+        rng = np.random.default_rng(9)
+        plans = exponential_sessions(rng, 3.0, 1.0, horizon=2000.0)
+        rate = len(plans) / 2000.0
+        assert rate == pytest.approx(3.0, rel=0.1)
+
+
+class TestDistributionMoments:
+    """First/second moments of the session-time laws."""
+
+    def test_exponential_session_variance(self):
+        rng = np.random.default_rng(10)
+        plans = exponential_sessions(rng, 5.0, 4.0, horizon=4000.0)
+        durations = np.array([p.duration for p in plans])
+        # Exponential: Var = mean^2.
+        assert durations.mean() == pytest.approx(4.0, rel=0.1)
+        assert durations.std() == pytest.approx(4.0, rel=0.1)
+
+    def test_pareto_session_mean_with_finite_variance_shape(self):
+        rng = np.random.default_rng(11)
+        shape, scale = 2.5, 1.0
+        plans = pareto_sessions(
+            rng, 5.0, shape=shape, scale=scale, horizon=8000.0
+        )
+        durations = np.array([p.duration for p in plans])
+        # Lomax+scale parameterization: E = scale * shape / (shape - 1).
+        expected_mean = scale * shape / (shape - 1)
+        assert durations.mean() == pytest.approx(expected_mean, rel=0.1)
+
+    def test_pareto_tail_heavier_than_exponential(self):
+        rng = np.random.default_rng(12)
+        pareto = pareto_sessions(rng, 5.0, 1.5, 1.0, horizon=4000.0)
+        exponential = exponential_sessions(rng, 5.0, 3.0, horizon=4000.0)
+        pareto_durations = np.array([p.duration for p in pareto])
+        exp_durations = np.array([p.duration for p in exponential])
+        ratio_pareto = pareto_durations.max() / np.median(pareto_durations)
+        ratio_exp = exp_durations.max() / np.median(exp_durations)
+        assert ratio_pareto > ratio_exp
+
+
+class TestDeterminism:
+    """Fixed seeds reproduce every generator bit for bit."""
+
+    def test_bernoulli_stream_reproducible(self):
+        runs = [
+            list(
+                itertools.islice(
+                    bernoulli_event_stream(
+                        np.random.default_rng(21), p_join=0.6
+                    ),
+                    200,
+                )
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_poisson_stream_reproducible(self):
+        runs = [
+            list(
+                itertools.islice(
+                    poisson_event_stream(
+                        np.random.default_rng(22), 2.0, 1.0
+                    ),
+                    200,
+                )
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_sessions_reproducible(self):
+        first = pareto_sessions(
+            np.random.default_rng(23), 2.0, 1.5, 1.0, horizon=100.0
+        )
+        second = pareto_sessions(
+            np.random.default_rng(23), 2.0, 1.5, 1.0, horizon=100.0
+        )
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = exponential_sessions(
+            np.random.default_rng(1), 2.0, 1.0, horizon=100.0
+        )
+        second = exponential_sessions(
+            np.random.default_rng(2), 2.0, 1.0, horizon=100.0
+        )
+        assert first != second
+
+
+class TestSessionEventStream:
+    def test_times_sorted_and_paired(self):
+        rng = np.random.default_rng(30)
+        plans = exponential_sessions(rng, 2.0, 1.0, horizon=50.0)
+        events = list(session_event_stream(plans))
+        assert len(events) == 2 * len(plans)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        joins = sum(e.kind is EventKind.JOIN for e in events)
+        assert joins == len(plans)
+
+    def test_join_precedes_leave_on_time_ties(self):
+        from repro.simulation.churn import SessionPlan
+
+        # Deliberate tie: session 2 arrives exactly when 1 departs.
+        plans = [
+            SessionPlan(arrival=0.0, departure=1.0),
+            SessionPlan(arrival=1.0, departure=2.0),
+        ]
+        events = list(session_event_stream(plans))
+        kinds = [e.kind for e in events]
+        assert kinds == [
+            EventKind.JOIN,
+            EventKind.JOIN,
+            EventKind.LEAVE,
+            EventKind.LEAVE,
+        ]
+
+
+class TestRegistryFactories:
+    """The scenario-facing factories behind CHURN_MODELS."""
+
+    @pytest.fixture
+    def params(self, base_params):
+        return base_params
+
+    def test_all_factories_yield_events(self, params):
+        from repro.scenario.registry import CHURN_MODELS
+
+        for name in CHURN_MODELS.names():
+            factory = CHURN_MODELS.get(name)
+            stream = factory(np.random.default_rng(5), params)
+            events = list(itertools.islice(stream, 10))
+            assert len(events) == 10
+            assert all(
+                e.kind in (EventKind.JOIN, EventKind.LEAVE) for e in events
+            )
+
+    def test_bernoulli_factory_defaults_to_model_p_join(self, params):
+        from repro.scenario.registry import CHURN_MODELS
+
+        factory = CHURN_MODELS.get("bernoulli")
+        events = list(
+            itertools.islice(factory(np.random.default_rng(6), params), 4000)
+        )
+        fraction = sum(e.kind is EventKind.JOIN for e in events) / 4000
+        assert fraction == pytest.approx(params.p_join, abs=0.03)
+
+    def test_poisson_factory_splits_rate_by_p_join(self, params):
+        from repro.scenario.registry import CHURN_MODELS
+
+        factory = CHURN_MODELS.get("poisson")
+        stream = factory(np.random.default_rng(7), params, rate=10.0)
+        events = list(itertools.islice(stream, 3000))
+        fraction = sum(e.kind is EventKind.JOIN for e in events) / 3000
+        assert fraction == pytest.approx(params.p_join, abs=0.03)
+
