@@ -12,7 +12,8 @@ The ``scenario`` subcommand drives the declarative scenario subsystem::
     python -m repro scenario list
     python -m repro scenario run examples/scenarios/strong_batch.json
     python -m repro scenario sweep examples/scenarios/cross_product.toml \
-        --workers 4
+        --workers 4 --stream results/grid.jsonl
+    python -m repro scenario report --name cross_product
 """
 
 from __future__ import annotations
@@ -238,6 +239,77 @@ def _metrics_line(metrics: dict[str, float], limit: int = 6) -> str:
     return " ".join(parts)
 
 
+def _run_scenario_report(arguments) -> int:
+    """Render cached sweep results as one aligned text table."""
+    import json
+
+    rows_in: list[dict] = []
+    if getattr(arguments, "stream", None):
+        for line in pathlib.Path(arguments.stream).read_text().splitlines():
+            if line.strip():
+                rows_in.append(json.loads(line))
+    else:
+        # One read + parse per cache file (list_cached would parse each
+        # file a second time just to summarize it).
+        cache_dir = pathlib.Path(arguments.cache_dir)
+        if cache_dir.is_dir():
+            for path in sorted(cache_dir.glob("*.json")):
+                try:
+                    rows_in.append(json.loads(path.read_text()))
+                except json.JSONDecodeError:
+                    continue
+    needle = getattr(arguments, "name", None)
+    records = []
+    for payload in rows_in:
+        spec = payload.get("spec", {})
+        result = payload.get("result", {})
+        name = result.get("name", spec.get("name", "?"))
+        if needle and needle not in name:
+            continue
+        records.append((name, spec, result))
+    if not records:
+        print("no cached results match")
+        return 1
+    records.sort(key=lambda record: record[0])
+    wanted = getattr(arguments, "metrics", None)
+    if wanted:
+        metric_keys = [key.strip() for key in wanted.split(",") if key.strip()]
+    else:
+        # Stable union across points, first-seen order, capped for width.
+        metric_keys = []
+        for _, _, result in records:
+            for key in result.get("metrics", {}):
+                if key not in metric_keys and not key.startswith("op:"):
+                    metric_keys.append(key)
+        metric_keys = metric_keys[:6]
+    rows = []
+    for name, spec, result in records:
+        metrics = result.get("metrics", {})
+        cells = [
+            name,
+            result.get("engine", "?"),
+            spec.get("adversary", "?"),
+            spec.get("churn", "?"),
+        ]
+        for key in metric_keys:
+            value = metrics.get(key)
+            cells.append(f"{value:.6g}" if value is not None else "-")
+        rows.append(cells)
+    source = (
+        arguments.stream
+        if getattr(arguments, "stream", None)
+        else arguments.cache_dir
+    )
+    print(
+        render_table(
+            ["scenario", "engine", "adversary", "churn", *metric_keys],
+            rows,
+            title=f"{len(rows)} scenario results under {source}",
+        )
+    )
+    return 0
+
+
 def _run_scenario(arguments) -> int:
     from repro.scenario import backends  # noqa: F401 -- populate ENGINES
     from repro.scenario import (
@@ -249,6 +321,8 @@ def _run_scenario(arguments) -> int:
     )
     from repro.scenario.runner import SweepRunner, list_cached
 
+    if arguments.action == "report":
+        return _run_scenario_report(arguments)
     cache_dir = None if arguments.no_cache else arguments.cache_dir
     if arguments.action == "list":
         print("engines:     " + ", ".join(ENGINES.names()))
@@ -304,7 +378,9 @@ def _run_scenario(arguments) -> int:
         if isinstance(document, SweepSpec)
         else [document]
     )
-    results = runner.sweep(specs)
+    results = runner.sweep(
+        specs, stream_path=getattr(arguments, "stream", None)
+    )
     rows = [
         [
             result.name,
@@ -370,9 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
     actions = scenario.add_subparsers(
         dest="action", required=True, metavar="action"
     )
-    for action in ("run", "sweep", "list"):
+    for action in ("run", "sweep", "list", "report"):
         sub = actions.add_parser(action)
-        if action != "list":
+        if action in ("run", "sweep"):
             sub.add_argument(
                 "spec_file",
                 type=pathlib.Path,
@@ -397,6 +473,33 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=0,
                 help="worker processes for grid fan-out (0 = in-process)",
+            )
+            sub.add_argument(
+                "--stream",
+                type=pathlib.Path,
+                default=None,
+                help=(
+                    "append every result to this JSONL file as it "
+                    "completes (for grids too large to buffer)"
+                ),
+            )
+        if action == "report":
+            sub.add_argument(
+                "--name",
+                default=None,
+                help="only report scenarios whose name contains this",
+            )
+            sub.add_argument(
+                "--metrics",
+                default=None,
+                help="comma-separated metric columns (default: first 6)",
+            )
+            sub.add_argument(
+                "--stream",
+                type=pathlib.Path,
+                default=None,
+                help="read results from a sweep JSONL file instead of "
+                "the cache directory",
             )
     return parser
 

@@ -55,15 +55,25 @@ from repro.core.sojourn import (
     expected_sojourn_safe,
     sojourn_profile,
 )
+from repro.core.policies import (
+    COUNT_POLICIES,
+    GREEDY_LEAVE_POLICY,
+    PASSIVE_POLICY,
+    STRONG_POLICY,
+    CountAdversaryPolicy,
+    resolve_count_policy,
+)
 from repro.core.statespace import Category, State, StateSpace, make_state
 from repro.core.transitions import (
     TransitionRows,
     clear_transition_caches,
+    policy_transition_distribution,
     transition_distribution,
     transition_rows,
 )
 from repro.core.variants import (
     JoinPolicy,
+    build_policy_chain,
     build_variant_chain,
     variant_transition_distribution,
 )
@@ -83,6 +93,14 @@ __all__ = [
     "ClusterFate",
     "SojournProfile",
     "transition_distribution",
+    "policy_transition_distribution",
+    "CountAdversaryPolicy",
+    "COUNT_POLICIES",
+    "STRONG_POLICY",
+    "PASSIVE_POLICY",
+    "GREEDY_LEAVE_POLICY",
+    "resolve_count_policy",
+    "build_policy_chain",
     "transition_rows",
     "TransitionRows",
     "clear_transition_caches",

@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.core.distributions import maintenance_kernel
 from repro.core.parameters import ModelParameters
+from repro.core.policies import STRONG_POLICY, CountAdversaryPolicy
 from repro.core.rules import property1_survival, rule1_triggers
 from repro.core.statespace import Category, State, StateSpace, StateSpaceError
 
@@ -101,6 +102,7 @@ def transition_distribution(
 def clear_transition_caches() -> None:
     """Drop the memoized distributions and precomputed row tables."""
     _transition_items.cache_clear()
+    _policy_items.cache_clear()
     _ROW_CACHE.clear()
 
 
@@ -288,6 +290,235 @@ def _add_maintenance(
         law[target] += weight * probability
 
 
+# -- policy-conditional laws (variant-aware rows) ---------------------------
+#
+# The derivation below re-reads the Figure-2 tree with the four
+# :class:`~repro.core.policies.CountAdversaryPolicy` switches left free,
+# branch for branch mirroring the scalar member-list oracle
+# (:class:`~repro.simulation.cluster_sim.ClusterSimulator`): any
+# divergence between the two is a bug, and the equivalence suite pits
+# them against each other for every registered policy.  The laws are
+# additionally split by *event kind* -- the conditional one-step law
+# given the event is a join, and given it is a leave -- so any churn
+# process reduces, event-indexed, to a mixture (i.i.d. streams) or a
+# schedule (session streams) over the same two row tables.
+
+#: Event-kind selectors accepted by the policy-law derivation.
+KIND_JOIN = "join"
+KIND_LEAVE = "leave"
+KIND_MIXED = "mixed"
+
+
+def _policy_add_join(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    weight: float,
+) -> None:
+    """Join sub-tree under ``policy`` (total mass ``weight``)."""
+    s, x, y = state
+    p_malicious = params.mu
+    if params.is_polluted(x) and policy.rule2:
+        # Rule 2 filtering by the colluding quorum.
+        if s == params.spare_max - 1:
+            law[state] += weight
+            return
+        law[State(s + 1, x, y + 1)] += weight * p_malicious
+        if s > 1:
+            law[state] += weight * (1.0 - p_malicious)
+        else:
+            law[State(s + 1, x, y)] += weight * (1.0 - p_malicious)
+        return
+    # No filtering: the join operation always runs.
+    law[State(s + 1, x, y + 1)] += weight * p_malicious
+    law[State(s + 1, x, y)] += weight * (1.0 - p_malicious)
+
+
+def _policy_add_spare_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    weight: float,
+) -> None:
+    """Leave event targeting a spare member, under ``policy``."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    p_malicious_spare = y / s
+    honest_weight = weight * (1.0 - p_malicious_spare)
+    if honest_weight > 0.0:
+        law[State(s - 1, x, y)] += honest_weight
+    malicious_weight = weight * p_malicious_spare
+    if malicious_weight == 0.0:
+        return
+    if policy.suppress_leaves:
+        survive = property1_survival(y, params)
+        law[state] += malicious_weight * survive
+        law[State(s - 1, x, y - 1)] += malicious_weight * (1.0 - survive)
+    else:
+        # A protocol-following malicious spare churns like anyone.
+        law[State(s - 1, x, y - 1)] += malicious_weight
+
+
+def _policy_add_departed_core(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    malicious_core_after: int,
+    weight: float,
+) -> None:
+    """Repair after a core departure: biased promotion while the quorum
+    holds (if the policy plays it), randomized maintenance otherwise."""
+    s, _, y = state
+    if (
+        malicious_core_after > params.pollution_quorum
+        and policy.biased_replacement
+    ):
+        if y > 0:
+            law[State(s - 1, malicious_core_after + 1, y - 1)] += weight
+        else:
+            law[State(s - 1, malicious_core_after, y)] += weight
+        return
+    _add_maintenance(
+        law,
+        state,
+        params,
+        malicious_core_after=malicious_core_after,
+        weight=weight,
+    )
+
+
+def _policy_add_core_leave(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    weight: float,
+) -> None:
+    """Leave event targeting a core member, under ``policy``."""
+    if weight == 0.0:
+        return
+    s, x, y = state
+    p_malicious_core = x / params.core_size
+    honest_weight = weight * (1.0 - p_malicious_core)
+    if honest_weight > 0.0:
+        # Honest core member departs with the natural churn.
+        _policy_add_departed_core(
+            law, state, params, policy,
+            malicious_core_after=x, weight=honest_weight,
+        )
+    malicious_weight = weight * p_malicious_core
+    if malicious_weight == 0.0:
+        return
+    if policy.suppress_leaves:
+        survive = property1_survival(x, params)
+        stay_weight = malicious_weight * survive
+        if stay_weight > 0.0:
+            _policy_add_voluntary(law, state, params, policy, stay_weight)
+        forced_weight = malicious_weight * (1.0 - survive)
+    else:
+        forced_weight = malicious_weight
+    if forced_weight > 0.0:
+        _policy_add_departed_core(
+            law, state, params, policy,
+            malicious_core_after=x - 1, weight=forced_weight,
+        )
+
+
+def _policy_add_voluntary(
+    law: dict[State, float],
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    weight: float,
+) -> None:
+    """Identifiers valid: only a Rule 1 voluntary leave applies."""
+    s, x, y = state
+    if params.is_polluted(x) or s <= 1 or policy.rule1 == "never":
+        law[state] += weight
+        return
+    if policy.rule1 == "gated":
+        if not rule1_triggers(state, params):
+            law[state] += weight
+            return
+    elif y == 0:
+        # "always" still needs a malicious spare to promote.
+        law[state] += weight
+        return
+    _add_maintenance(
+        law, state, params, malicious_core_after=x - 1, weight=weight
+    )
+
+
+@lru_cache(maxsize=None)
+def _policy_items(
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    kind: str,
+) -> tuple[tuple[State, float], ...]:
+    """Memoized kind-conditional policy law (total mass 1)."""
+    s, _, _ = state
+    if not 0 < s < params.spare_max:
+        raise StateSpaceError(
+            f"transitions are defined on transient states only, got s={s}"
+        )
+    law: dict[State, float] = defaultdict(float)
+    if kind == KIND_JOIN:
+        _policy_add_join(law, state, params, policy, weight=1.0)
+    elif kind == KIND_LEAVE:
+        p_core = params.p_core(s)
+        _policy_add_spare_leave(
+            law, state, params, policy, weight=1.0 - p_core
+        )
+        _policy_add_core_leave(law, state, params, policy, weight=p_core)
+    else:
+        raise ValueError(f"kind must be join/leave, got {kind!r}")
+    return tuple((target, p) for target, p in law.items() if p > 0.0)
+
+
+def policy_transition_distribution(
+    state: State,
+    params: ModelParameters,
+    policy: CountAdversaryPolicy | None = None,
+    kind: str = KIND_MIXED,
+    p_join: float | None = None,
+) -> dict[State, float]:
+    """One-step law of the chain under an arbitrary count-level policy.
+
+    ``kind`` selects the conditional law given the event kind
+    (:data:`KIND_JOIN` / :data:`KIND_LEAVE`) or the :data:`KIND_MIXED`
+    unconditional law, in which case the event is a join with
+    probability ``p_join`` (default ``params.p_join``).  For the strong
+    policy at the default mix this agrees with
+    :func:`transition_distribution` (the legacy derivation stays the
+    byte-exact reference; equality of the two is covered by tests).
+    """
+    state = State(*state)
+    if policy is None:
+        policy = STRONG_POLICY
+    if kind in (KIND_JOIN, KIND_LEAVE):
+        return dict(_policy_items(state, params, policy, kind))
+    if kind != KIND_MIXED:
+        raise ValueError(f"kind must be join/leave/mixed, got {kind!r}")
+    p = params.p_join if p_join is None else float(p_join)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p_join must be in [0, 1], got {p}")
+    law: dict[State, float] = defaultdict(float)
+    for target, probability in _policy_items(
+        state, params, policy, KIND_JOIN
+    ):
+        law[target] += p * probability
+    for target, probability in _policy_items(
+        state, params, policy, KIND_LEAVE
+    ):
+        law[target] += (1.0 - p) * probability
+    return {target: p_ for target, p_ in law.items() if p_ > 0.0}
+
+
 # -- precomputed transition rows (shared by matrix assembly and the
 # -- vectorized batch Monte-Carlo engine) ----------------------------------
 
@@ -308,6 +539,7 @@ CODE_POLLUTED = CATEGORY_CODES[Category.POLLUTED]
 CODE_SAFE_MERGE = CATEGORY_CODES[Category.SAFE_MERGE]
 CODE_SAFE_SPLIT = CATEGORY_CODES[Category.SAFE_SPLIT]
 CODE_POLLUTED_MERGE = CATEGORY_CODES[Category.POLLUTED_MERGE]
+CODE_POLLUTED_SPLIT = CATEGORY_CODES[Category.POLLUTED_SPLIT]
 
 
 @dataclass(frozen=True)
@@ -340,6 +572,13 @@ class TransitionRows:
     cum_probs: np.ndarray
     category_codes: np.ndarray
     state_index: np.ndarray
+    #: Count-level policy the rows were derived for (``None`` = the
+    #: legacy strong-adversary derivation, byte-exact with PR 1).
+    policy: CountAdversaryPolicy | None = None
+    #: Event-kind conditioning: ``"mixed"``, ``"join"`` or ``"leave"``.
+    kind: str = KIND_MIXED
+    #: Join probability of a mixed law (``None`` = ``params.p_join``).
+    p_join_mix: float | None = None
 
     @property
     def n_states(self) -> int:
@@ -379,22 +618,25 @@ class TransitionRows:
         return matrix
 
 
-_ROW_CACHE: dict[ModelParameters, TransitionRows] = {}
+_ROW_CACHE: dict[tuple, TransitionRows] = {}
 
 
-def transition_rows(params: ModelParameters) -> TransitionRows:
-    """Memoized :class:`TransitionRows` for one parameter set.
+def _assemble_rows(
+    params: ModelParameters,
+    space: StateSpace,
+    items_fn,
+    *,
+    policy: CountAdversaryPolicy | None,
+    kind: str,
+    p_join_mix: float | None,
+) -> TransitionRows:
+    """Pad one-step laws of every model state into dense sampled rows.
 
-    Built once per :class:`ModelParameters`; chain assembly
-    (:class:`~repro.core.matrix.ClusterChain`) scatters the rows into
-    its dense matrix and the batch Monte-Carlo engine samples them
-    directly, so the Figure-2 tree is derived exactly once per
-    parameter point across the whole process.
+    ``items_fn(state) -> iterable[(State, prob)]`` supplies the law of
+    each transient state; closed states carry probability-one self
+    loops.  Shared by the legacy strong-adversary rows and every
+    policy/kind variant.
     """
-    cached = _ROW_CACHE.get(params)
-    if cached is not None:
-        return cached
-    space = StateSpace(params)
     states = space.model_states
     n_transient = len(space.transient)
     per_row: list[list[tuple[int, float]]] = []
@@ -402,7 +644,7 @@ def transition_rows(params: ModelParameters) -> TransitionRows:
         if i < n_transient:
             items = sorted(
                 (space.index_of(target), p)
-                for target, p in _transition_items(state, params)
+                for target, p in items_fn(state)
             )
         else:
             items = [(i, 1.0)]
@@ -432,13 +674,75 @@ def transition_rows(params: ModelParameters) -> TransitionRows:
         state_index[s, x, y] = i
     for array in (targets, probs, cum_probs, category_codes, state_index):
         array.setflags(write=False)
-    rows = TransitionRows(
+    return TransitionRows(
         params=params,
         targets=targets,
         probs=probs,
         cum_probs=cum_probs,
         category_codes=category_codes,
         state_index=state_index,
+        policy=policy,
+        kind=kind,
+        p_join_mix=p_join_mix,
     )
-    _ROW_CACHE[params] = rows
+
+
+def transition_rows(
+    params: ModelParameters,
+    *,
+    policy: CountAdversaryPolicy | None = None,
+    kind: str = KIND_MIXED,
+    p_join: float | None = None,
+) -> TransitionRows:
+    """Memoized :class:`TransitionRows` for one parameter set.
+
+    With the default arguments this is the paper's exact chain, built
+    once per :class:`ModelParameters` through the legacy (byte-exact)
+    derivation; chain assembly (:class:`~repro.core.matrix.ClusterChain`)
+    scatters the rows into its dense matrix and the batch Monte-Carlo
+    engine samples them directly, so the Figure-2 tree is derived
+    exactly once per parameter point across the whole process.
+
+    Passing a :class:`~repro.core.policies.CountAdversaryPolicy`, an
+    event-kind conditioning (:data:`KIND_JOIN` / :data:`KIND_LEAVE`) or
+    a non-default join mix assembles *variant rows* through
+    :func:`policy_transition_distribution` instead.  Variant rows are
+    enumerated over the full space including the polluted-split closed
+    class (policies that drop Rule 2 can reach it), so their state
+    indexing is a superset of -- but not interchangeable with -- the
+    legacy rows; each variant is cached under its own key.
+    """
+    legacy = policy is None and kind == KIND_MIXED and p_join is None
+    key = (
+        params
+        if legacy
+        else (params, policy or STRONG_POLICY, kind, p_join)
+    )
+    cached = _ROW_CACHE.get(key)
+    if cached is not None:
+        return cached
+    if legacy:
+        space = StateSpace(params)
+        rows = _assemble_rows(
+            params,
+            space,
+            lambda state: _transition_items(state, params),
+            policy=None,
+            kind=KIND_MIXED,
+            p_join_mix=None,
+        )
+    else:
+        resolved = policy or STRONG_POLICY
+        space = StateSpace(params, include_polluted_split=True)
+        rows = _assemble_rows(
+            params,
+            space,
+            lambda state: policy_transition_distribution(
+                state, params, resolved, kind=kind, p_join=p_join
+            ).items(),
+            policy=resolved,
+            kind=kind,
+            p_join_mix=p_join,
+        )
+    _ROW_CACHE[key] = rows
     return rows

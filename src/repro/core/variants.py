@@ -37,9 +37,11 @@ from collections import defaultdict
 
 from repro.core.matrix import ClusterChain
 from repro.core.parameters import ModelParameters
+from repro.core.policies import STRONG_POLICY, CountAdversaryPolicy
 from repro.core.statespace import State, StateSpaceError
 from repro.core.transitions import (
     _add_leave_branch,
+    policy_transition_distribution,
     transition_distribution,
 )
 
@@ -118,6 +120,32 @@ def _add_direct_core_join(
 
     seat(malicious_weight, joiner_malicious=True)
     seat(honest_weight, joiner_malicious=False)
+
+
+def build_policy_chain(
+    params: ModelParameters,
+    policy: CountAdversaryPolicy,
+    p_join: float | None = None,
+) -> ClusterChain:
+    """Assemble the chain played by a count-level adversary policy.
+
+    The closed-form twin of the variant transition rows: the same
+    :func:`~repro.core.transitions.policy_transition_distribution`
+    derivation scattered into a dense matrix, so expected times and
+    absorption probabilities of *any* registered adversary are
+    available analytically (the batch-vs-scalar equivalence suite uses
+    them as a third, noise-free referee).  The polluted-split closed
+    class is always included -- policies without Rule 2 can reach it.
+    """
+    if policy is STRONG_POLICY and p_join is None:
+        return ClusterChain(params)
+    return ClusterChain(
+        params,
+        transition_fn=lambda state, p: policy_transition_distribution(
+            state, p, policy, p_join=p_join
+        ),
+        include_polluted_split=True,
+    )
 
 
 def build_variant_chain(

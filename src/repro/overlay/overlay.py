@@ -97,6 +97,12 @@ class ClusterOverlay:
             self._topology, config.model, rng, adversary
         )
         self._records: dict[str, PeerRecord] = {}
+        # Incremental malicious membership counter, updated at every
+        # record insertion/removal: the simulation driver polls the
+        # malicious fraction once per join event to enforce the
+        # Section III-B universe bound, and a full peer scan there
+        # turns the churn loop quadratic in the population.
+        self._n_malicious = 0
         # Splits partition members by the identifier they joined with.
         self._operations.identifier_source = self._registered_identifier
 
@@ -194,6 +200,8 @@ class ClusterOverlay:
             registered_identifier=identifier,
             registered_incarnation=peer.incarnation_at(self._time),
         )
+        if peer.malicious:
+            self._n_malicious += 1
         self._reindex(report.touched)
         return peer
 
@@ -207,6 +215,8 @@ class ClusterOverlay:
         if report.kind == "leave-suppressed":
             return False
         del self._records[peer.name]
+        if peer.malicious:
+            self._n_malicious -= 1
         self._reindex(report.touched)
         return True
 
@@ -265,6 +275,8 @@ class ClusterOverlay:
                     )
                 except StopIteration:
                     del self._records[name]
+                    if record.peer.malicious:
+                        self._n_malicious -= 1
         return count
 
     # -- metrics -------------------------------------------------------------------------
@@ -272,6 +284,22 @@ class ClusterOverlay:
     def cluster_states(self) -> list[tuple[int, int, int]]:
         """The ``(s, x, y)`` coordinates of every cluster."""
         return [c.model_state() for c in self._topology.clusters()]
+
+    @property
+    def n_malicious(self) -> int:
+        """Number of malicious peers currently in the overlay."""
+        return self._n_malicious
+
+    def malicious_fraction(self) -> float:
+        """Malicious share of the current membership, O(1).
+
+        Maintained incrementally at every join/leave/expiry, so the
+        churn driver can poll the Section III-B universe bound per
+        event without rescanning the peer index.
+        """
+        if not self._records:
+            return 0.0
+        return self._n_malicious / len(self._records)
 
     def polluted_fraction(self) -> float:
         """Fraction of clusters currently polluted."""
@@ -295,4 +323,12 @@ class ClusterOverlay:
             raise MembershipError(
                 f"peer index out of sync: {len(indexed)} indexed vs "
                 f"{len(held)} held"
+            )
+        counted = sum(
+            1 for record in self._records.values() if record.peer.malicious
+        )
+        if counted != self._n_malicious:
+            raise MembershipError(
+                f"malicious counter out of sync: {self._n_malicious} "
+                f"tracked vs {counted} present"
             )

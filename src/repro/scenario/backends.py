@@ -9,22 +9,30 @@ repo's four tiers of fidelity:
                     :class:`~repro.core.cluster_model.ClusterModel`
 ``overlay-analytic``Theorem-2 expected proportions
                     (:class:`~repro.core.overlay_model.OverlayModel`)
-``batch``           vectorized count-state Monte-Carlo trajectories
+``batch``           vectorized count-state Monte-Carlo trajectories --
+                    honours the adversary axis through variant
+                    transition rows and the churn axis through
+                    event-kind laws (i.i.d. mixes and session
+                    schedules): the universal fast path
 ``scalar``          member-list oracle trajectories -- honours the
                     adversary and churn axes through
-                    :class:`~repro.simulation.cluster_sim.CountAdversaryPolicy`
+                    :class:`~repro.core.policies.CountAdversaryPolicy`
                     and the churn registry
 ``competing-batch`` / ``competing-scalar``
                     ``n`` competing clusters under uniform dispatch,
-                    replication-averaged
+                    replication-averaged -- honours the adversary axis
+                    and i.i.d.-kind churn
 ``agent``           the full operational overlay
                     (:class:`~repro.simulation.overlay_sim.AgentOverlaySimulation`)
                     -- honours the adversary and churn axes
 ==================  ======================================================
 
-Analytic and competing engines embed the paper's strong adversary and
-Bernoulli churn in their transition law, so they *reject* specs that
-ask for anything else instead of silently ignoring the axis.
+The analytic engines embed the paper's strong adversary and Bernoulli
+churn in their closed forms, so they *reject* specs that ask for
+anything else instead of silently ignoring the axis; the Monte-Carlo
+engines honour both axes (a combination an engine cannot play is a
+loud :class:`~repro.scenario.spec.SpecError`, never a silent fallback
+to a slower tier).
 
 Seed discipline: a spec expanded from a sweep carries a ``seed_index``
 and draws from ``SeedSequence(seed, spawn_key=(seed_index, ...))``
@@ -44,11 +52,12 @@ import numpy as np
 from repro.core.cluster_model import ClusterModel
 from repro.core.overlay_model import OverlayModel
 from repro.core.parameters import ModelParameters
+from repro.core.policies import CountAdversaryPolicy
 from repro.overlay.overlay import OverlayConfig
-from repro.scenario.registry import CHURN_MODELS, ENGINES
+from repro.scenario.registry import CHURN_KIND_LAWS, CHURN_MODELS, ENGINES
 from repro.scenario.spec import ScenarioSpec, SpecError
 from repro.simulation.batch import batch_monte_carlo_summary
-from repro.simulation.churn import ChurnEvent
+from repro.simulation.churn import ChurnEvent, IIDKinds, ScheduledKinds
 from repro.simulation.cluster_sim import (
     COUNT_POLICIES,
     MonteCarloSummary,
@@ -169,18 +178,82 @@ def _result(
 
 
 def _require_strong_bernoulli(spec: ScenarioSpec, engine: str) -> None:
-    """Analytic/competing chains embed Rule 1/2 and Bernoulli churn."""
+    """Analytic chains embed Rule 1/2 and Bernoulli churn."""
     if spec.adversary != "strong":
         raise SpecError(
             f"engine {engine!r} embeds the strong adversary in its "
             f"transition law; got adversary={spec.adversary!r} "
-            "(use the 'scalar' or 'agent' engine for other strategies)"
+            "(use the 'batch', 'scalar' or 'agent' engine for other "
+            "strategies)"
         )
     if spec.churn != "bernoulli":
         raise SpecError(
             f"engine {engine!r} is event-indexed under Bernoulli churn; "
-            f"got churn={spec.churn!r} (use 'scalar' or 'agent')"
+            f"got churn={spec.churn!r} (use 'batch', 'scalar' or 'agent')"
         )
+
+
+def _count_policy(spec: ScenarioSpec, engine: str) -> CountAdversaryPolicy:
+    """The count-level policy of the spec's adversary, or a loud error."""
+    try:
+        return COUNT_POLICIES[spec.adversary]
+    except KeyError:
+        known = ", ".join(sorted(COUNT_POLICIES))
+        raise SpecError(
+            f"engine {engine!r}: adversary {spec.adversary!r} has no "
+            f"count-level policy; known: {known}"
+        ) from None
+
+
+#: Option keys understood by at least one engine.  A sweep shares one
+#: ``options`` table across heterogeneous engines, so keys another
+#: engine understands are dropped silently -- but a key no engine
+#: accepts is a typo and fails loudly instead of running with defaults
+#: (mirrors the ``churn_options`` policy).
+_KNOWN_ENGINE_OPTIONS = frozenset(
+    {
+        "metrics", "depth",                    # analytic
+        "mode", "chunk_size",                  # batch
+        "event_batching",                      # competing-*
+        "events_per_unit", "sample_every", "honest_only",
+        "min_population", "enforce_universe_bound",
+        "id_bits", "key_bits",                 # agent
+    }
+)
+
+
+def _engine_options(spec: ScenarioSpec) -> dict[str, Any]:
+    """The spec's engine options, with unknown keys rejected loudly."""
+    unknown = [
+        key
+        for key, _ in spec.options
+        if key not in _KNOWN_ENGINE_OPTIONS
+    ]
+    if unknown:
+        raise SpecError(
+            f"options {', '.join(sorted(unknown))} are accepted by no "
+            "registered engine"
+        )
+    return dict(spec.options)
+
+
+def _event_kind_law(spec: ScenarioSpec, rng: np.random.Generator):
+    """The event-indexed kind law of the spec's churn model.
+
+    Every registered churn model must expose its batch-tier reduction
+    in :data:`~repro.scenario.registry.CHURN_KIND_LAWS`; a missing
+    entry is a loud error, never a silent fallback to a slower tier.
+    """
+    if spec.churn not in CHURN_KIND_LAWS:
+        known = ", ".join(CHURN_KIND_LAWS.names())
+        raise SpecError(
+            f"churn {spec.churn!r} has no event-kind law for the batch "
+            f"tier (known: {known}); register one in CHURN_KIND_LAWS or "
+            "use the 'scalar' or 'agent' engine"
+        )
+    return CHURN_KIND_LAWS.get(spec.churn)(
+        rng, spec.params, **_churn_options(spec)
+    )
 
 
 def _analytic_initial(spec: ScenarioSpec, engine: str) -> str:
@@ -342,19 +415,80 @@ class OverlayAnalyticBackend:
 # -- Monte-Carlo tiers -------------------------------------------------------
 
 class BatchBackend:
-    """Vectorized count-state trajectories (tier-2 engine)."""
+    """Vectorized count-state trajectories (tier-2 engine).
+
+    The universal fast path: *every* adversary with a count-level
+    policy and *every* churn model with an event-kind law runs here --
+    variant transition rows fold the policy and the i.i.d. join mix
+    into the sampled law, and session streams play through a
+    materialized kind schedule.  The paper's default point (strong
+    adversary, Bernoulli churn at the model's ``p_join``) keeps the
+    historical per-event path byte for byte; other points default to
+    geometric skip sampling along the event axis.
+
+    Options: ``mode`` (``"skip"``/``"event"``) overrides the advance
+    strategy and ``chunk_size`` streams large ``runs`` through a fixed
+    memory envelope (see
+    :func:`~repro.simulation.batch.batch_monte_carlo_summary`).
+    """
 
     name = "batch"
 
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
-        _require_strong_bernoulli(spec, self.name)
-        summary = batch_monte_carlo_summary(
-            spec.params,
-            _spec_rng(spec),
-            runs=spec.runs,
-            initial=spec.initial,
-            max_steps=spec.max_steps,
+        policy = _count_policy(spec, self.name)
+        options = _engine_options(spec)
+        mode = options.get("mode")
+        if mode not in (None, "event", "skip"):
+            raise SpecError(
+                f"batch mode must be 'event' or 'skip', got {mode!r}"
+            )
+        chunk = options.get("chunk_size")
+        chunk_size = None if chunk is None else int(chunk)
+        rng = _spec_rng(spec)
+        law = _event_kind_law(spec, rng)
+        default_point = (
+            spec.adversary == "strong"
+            and isinstance(law, IIDKinds)
+            and law.p_join == spec.params.p_join
         )
+        if default_point and mode != "skip":
+            # The historical path, byte-identical for a given seed.
+            summary = batch_monte_carlo_summary(
+                spec.params,
+                rng,
+                runs=spec.runs,
+                initial=spec.initial,
+                max_steps=spec.max_steps,
+                chunk_size=chunk_size,
+            )
+        elif isinstance(law, IIDKinds):
+            summary = batch_monte_carlo_summary(
+                spec.params,
+                rng,
+                runs=spec.runs,
+                initial=spec.initial,
+                max_steps=spec.max_steps,
+                adversary=policy,
+                p_join=law.p_join,
+                mode=mode or "skip",
+                chunk_size=chunk_size,
+            )
+        else:
+            if mode == "skip":
+                raise SpecError(
+                    "skip mode cannot follow a scheduled (session) kind "
+                    "sequence; drop the mode option or use i.i.d. churn"
+                )
+            summary = batch_monte_carlo_summary(
+                spec.params,
+                rng,
+                runs=spec.runs,
+                initial=spec.initial,
+                max_steps=spec.max_steps,
+                adversary=policy,
+                kind_schedule=law.schedule,
+                chunk_size=chunk_size,
+            )
         return _result(spec, self.name, _summary_metrics(summary))
 
 
@@ -386,25 +520,66 @@ class ScalarBackend:
 
 class CompetingBackend:
     """``n`` clusters competing for uniformly dispatched events,
-    averaged over ``replications`` independently seeded runs."""
+    averaged over ``replications`` independently seeded runs.
+
+    Any adversary with a count-level policy and any i.i.d.-kind churn
+    (its effective join probability folds into the transition law)
+    runs on both engines; session churn has no per-cluster event-kind
+    reduction under uniform dispatch and is refused loudly.  The
+    ``event_batching`` option switches the batch engine to event-axis
+    skip sampling; the default point stays byte-identical to PR 2.
+    """
 
     def __init__(self, engine: str) -> None:
         self.name = f"competing-{engine}"
         self._engine = engine
 
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
-        _require_strong_bernoulli(spec, self.name)
+        policy = _count_policy(spec, self.name)
+        law = _event_kind_law(spec, _spec_rng(spec, 0))
+        if isinstance(law, ScheduledKinds):
+            raise SpecError(
+                f"engine {self.name!r} dispatches events uniformly over "
+                "clusters; a session-based stream has no per-cluster "
+                "event-kind law -- use the 'scalar' or 'agent' engine"
+            )
+        event_batching = bool(
+            _engine_options(spec).get("event_batching")
+        )
+        if event_batching and self._engine != "batch":
+            raise SpecError(
+                f"engine {self.name!r} has no event-axis dispatch; "
+                "event_batching applies to 'competing-batch' only"
+            )
+        default_point = (
+            spec.adversary == "strong"
+            and law.p_join == spec.params.p_join
+            and not event_batching
+        )
         safe_total: np.ndarray | None = None
         polluted_total: np.ndarray | None = None
         events: np.ndarray | None = None
         for replication in range(spec.replications):
-            simulation = CompetingClustersSimulation(
-                spec.params,
-                spec.n,
-                _spec_rng(spec, replication),
-                initial=spec.initial,
-                engine=self._engine,
-            )
+            if default_point:
+                # The historical path, byte-identical for a given seed.
+                simulation = CompetingClustersSimulation(
+                    spec.params,
+                    spec.n,
+                    _spec_rng(spec, replication),
+                    initial=spec.initial,
+                    engine=self._engine,
+                )
+            else:
+                simulation = CompetingClustersSimulation(
+                    spec.params,
+                    spec.n,
+                    _spec_rng(spec, replication),
+                    initial=spec.initial,
+                    engine=self._engine,
+                    adversary=policy,
+                    p_join=law.p_join,
+                    event_batching=event_batching,
+                )
             series = simulation.run(
                 spec.events, record_every=spec.record_every
             )

@@ -86,5 +86,13 @@ ADVERSARIES: Registry[Callable] = Registry("adversary strategy")
 #: ``name -> factory(rng, params, **options) -> Iterator[ChurnEvent]``.
 CHURN_MODELS: Registry[Callable] = Registry("churn model")
 
+#: ``name -> factory(rng, params, **options) -> IIDKinds | ScheduledKinds``
+#: -- the *event-indexed* reduction of a churn process: either the join
+#: probability of its i.i.d. kind sequence or a materialized kind
+#: schedule.  The batch tier consumes these instead of event iterators;
+#: a churn model without an entry here cannot run vectorized and the
+#: backends refuse it loudly (never a silent scalar fallback).
+CHURN_KIND_LAWS: Registry[Callable] = Registry("churn kind law")
+
 #: ``name -> SimulationBackend`` (see :mod:`repro.scenario.backends`).
 ENGINES: Registry = Registry("simulation backend")

@@ -126,43 +126,89 @@ class SweepRunner:
         return result
 
     def sweep(
-        self, points: SweepSpec | Iterable[ScenarioSpec]
+        self,
+        points: SweepSpec | Iterable[ScenarioSpec],
+        stream_path: str | pathlib.Path | None = None,
+        collect: bool = True,
     ) -> list:
         """All points of a grid, in expansion order.
 
         Cached points load instantly; the misses run in-process (serial
         runner) or across the worker pool, then persist to the cache.
+
+        ``stream_path`` additionally appends every result to a JSONL
+        file *as it completes* -- one ``{"spec": ..., "result": ...}``
+        object per line, cached points first, then fresh points in
+        execution order -- so a million-point grid can be consumed
+        incrementally instead of buffered.  With ``collect=False`` the
+        returned list is empty (results live only in the stream and the
+        cache), keeping the runner's own memory flat.
         """
         specs = (
             points.expand() if isinstance(points, SweepSpec) else list(points)
         )
-        results: list = [None] * len(specs)
-        pending: list[int] = []
-        for index, spec in enumerate(specs):
-            cached = self.cached(spec)
-            if cached is not None:
-                self.cache_hits += 1
-                results[index] = cached
-            else:
-                self.cache_misses += 1
-                pending.append(index)
-        if pending:
-            fresh = self._execute_many([specs[i] for i in pending])
-            for index, result in zip(pending, fresh):
-                self._store(specs[index], result)
-                results[index] = result
-        return results
+        stream = None
+        if stream_path is not None:
+            stream_path = pathlib.Path(stream_path)
+            stream_path.parent.mkdir(parents=True, exist_ok=True)
+            # Append, so successive sweeps can pour into one combined
+            # JSONL file (matching the CLI's --stream contract).
+            stream = stream_path.open("a")
 
-    def _execute_many(self, specs: list[ScenarioSpec]) -> list:
+        def emit(spec: ScenarioSpec, result) -> None:
+            if stream is not None:
+                line = {"spec": spec.to_dict(), "result": result.to_dict()}
+                stream.write(json.dumps(line, sort_keys=True) + "\n")
+                stream.flush()
+
+        try:
+            results: list = [None] * len(specs) if collect else []
+            pending: list[int] = []
+            for index, spec in enumerate(specs):
+                cached = self.cached(spec)
+                if cached is not None:
+                    self.cache_hits += 1
+                    emit(spec, cached)
+                    if collect:
+                        results[index] = cached
+                else:
+                    self.cache_misses += 1
+                    pending.append(index)
+            if pending:
+
+                def on_result(position: int, result) -> None:
+                    index = pending[position]
+                    self._store(specs[index], result)
+                    emit(specs[index], result)
+                    if collect:
+                        results[index] = result
+
+                self._execute_many(
+                    [specs[i] for i in pending], on_result
+                )
+            return results
+        finally:
+            if stream is not None:
+                stream.close()
+
+    def _execute_many(
+        self, specs: list[ScenarioSpec], on_result
+    ) -> None:
+        """Run ``specs``, invoking ``on_result(position, result)`` as
+        each one completes (in order, so streaming output is stable)."""
         if self._workers <= 1 or len(specs) <= 1:
-            return [execute_spec(spec) for spec in specs]
+            for position, spec in enumerate(specs):
+                on_result(position, execute_spec(spec))
+            return
         from repro.scenario.backends import ScenarioResult
 
         payloads = [spec.to_dict() for spec in specs]
         processes = min(self._workers, len(specs))
         with multiprocessing.Pool(processes=processes) as pool:
-            dicts = pool.map(_run_point, payloads)
-        return [ScenarioResult.from_dict(payload) for payload in dicts]
+            for position, payload in enumerate(
+                pool.imap(_run_point, payloads)
+            ):
+                on_result(position, ScenarioResult.from_dict(payload))
 
 
 def list_cached(

@@ -21,12 +21,15 @@ from repro.simulation.batch import (
     BatchCompetingClustersSimulation,
     BatchTrajectories,
     CompetingSeries,
+    TrajectorySummaryAccumulator,
     batch_monte_carlo_summary,
     run_batch_trajectories,
 )
 from repro.simulation.churn import (
     ChurnEvent,
     EventKind,
+    IIDKinds,
+    ScheduledKinds,
     SessionPlan,
     bernoulli_event_stream,
     exponential_sessions,
@@ -86,8 +89,11 @@ __all__ = [
     "BatchClusterEngine",
     "BatchCompetingClustersSimulation",
     "BatchTrajectories",
+    "TrajectorySummaryAccumulator",
     "batch_monte_carlo_summary",
     "run_batch_trajectories",
+    "IIDKinds",
+    "ScheduledKinds",
     "CompetingClustersSimulation",
     "CompetingSeries",
     "AgentOverlaySimulation",

@@ -211,8 +211,123 @@ def _pareto_session_churn(
     )
 
 
+# -- event-indexed kind laws (batch-tier reduction) --------------------------
+#
+# The cluster chain is event-indexed: a churn process influences it only
+# through the *kind sequence* (join or leave) of its events.  Each churn
+# model therefore also registers its kind-law reduction, which is what
+# the vectorized batch tier consumes:
+#
+# * :class:`IIDKinds` -- the process's kinds are i.i.d. (Bernoulli and
+#   Poisson-superposition streams): the whole axis folds into a single
+#   effective join probability mixed straight into the transition rows;
+# * :class:`ScheduledKinds` -- the kinds are correlated (session-based
+#   streams pair every join with a later leave): the sequence is
+#   materialized once as a boolean schedule that lockstep trajectories
+#   read from independent random offsets.
+#
+# Kind-law factories share the churn factories' signatures so one
+# ``churn_options`` table drives both representations.
+
+@dataclass(frozen=True)
+class IIDKinds:
+    """Event-indexed kind law of an i.i.d. churn process."""
+
+    p_join: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_join < 1.0:
+            raise ValueError(
+                f"p_join must be in (0, 1), got {self.p_join}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledKinds:
+    """Materialized kind sequence of a correlated churn process.
+
+    ``schedule[k]`` is True when the stream's ``k``-th event is a join.
+    Consumers read the (finite) schedule cyclically from per-trajectory
+    offsets, which matches the per-trajectory law of a stationary
+    stream segment.
+    """
+
+    schedule: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.schedule.size == 0:
+            raise ValueError("kind schedule must be non-empty")
+
+
+def _kinds_of(plans: list[SessionPlan]) -> np.ndarray:
+    """Time-ordered join/leave flags of session plans (vectorized)."""
+    arrivals = np.array([plan.arrival for plan in plans])
+    departures = np.array([plan.departure for plan in plans])
+    times = np.concatenate([arrivals, departures])
+    # Joins sort before leaves on ties, matching session_event_stream.
+    tiebreak = np.concatenate(
+        [np.zeros(arrivals.size), np.ones(departures.size)]
+    )
+    order = np.lexsort((tiebreak, times))
+    return order < arrivals.size
+
+
+def _bernoulli_kinds(
+    rng: np.random.Generator,
+    params,
+    p_join: float | None = None,
+    time_step: float = 1.0,
+) -> IIDKinds:
+    return IIDKinds(params.p_join if p_join is None else p_join)
+
+
+def _poisson_kinds(
+    rng: np.random.Generator,
+    params,
+    rate: float = 2.0,
+    join_rate: float | None = None,
+    leave_rate: float | None = None,
+) -> IIDKinds:
+    if join_rate is None:
+        join_rate = rate * params.p_join
+    if leave_rate is None:
+        leave_rate = rate * params.p_leave
+    if join_rate <= 0 or leave_rate <= 0:
+        raise ValueError(
+            f"rates must be positive, got {join_rate}, {leave_rate}"
+        )
+    return IIDKinds(join_rate / (join_rate + leave_rate))
+
+
+def _exponential_session_kinds(
+    rng: np.random.Generator,
+    params,
+    arrival_rate: float = 1.0,
+    mean_session: float = 10.0,
+    horizon: float = 10_000.0,
+) -> ScheduledKinds:
+    return ScheduledKinds(
+        _kinds_of(
+            exponential_sessions(rng, arrival_rate, mean_session, horizon)
+        )
+    )
+
+
+def _pareto_session_kinds(
+    rng: np.random.Generator,
+    params,
+    arrival_rate: float = 1.0,
+    shape: float = 1.5,
+    scale: float = 1.0,
+    horizon: float = 10_000.0,
+) -> ScheduledKinds:
+    return ScheduledKinds(
+        _kinds_of(pareto_sessions(rng, arrival_rate, shape, scale, horizon))
+    )
+
+
 def _register_defaults() -> None:
-    from repro.scenario.registry import CHURN_MODELS
+    from repro.scenario.registry import CHURN_KIND_LAWS, CHURN_MODELS
 
     CHURN_MODELS.register("bernoulli", _bernoulli_churn)
     CHURN_MODELS.register("poisson", _poisson_churn)
@@ -220,6 +335,12 @@ def _register_defaults() -> None:
         "exponential-sessions", _exponential_session_churn
     )
     CHURN_MODELS.register("pareto-sessions", _pareto_session_churn)
+    CHURN_KIND_LAWS.register("bernoulli", _bernoulli_kinds)
+    CHURN_KIND_LAWS.register("poisson", _poisson_kinds)
+    CHURN_KIND_LAWS.register(
+        "exponential-sessions", _exponential_session_kinds
+    )
+    CHURN_KIND_LAWS.register("pareto-sessions", _pareto_session_kinds)
 
 
 _register_defaults()

@@ -29,72 +29,39 @@ from typing import Iterator
 import numpy as np
 
 from repro.core.parameters import ModelParameters
+from repro.core.policies import (
+    COUNT_POLICIES,
+    GREEDY_LEAVE_POLICY,
+    PASSIVE_POLICY,
+    STRONG_POLICY,
+    CountAdversaryPolicy,
+    resolve_count_policy,
+)
 from repro.core.rules import rule1_triggers
 from repro.core.statespace import State
 from repro.simulation.churn import ChurnEvent, EventKind
+
+__all__ = [
+    "COUNT_POLICIES",
+    "GREEDY_LEAVE_POLICY",
+    "PASSIVE_POLICY",
+    "STRONG_POLICY",
+    "CountAdversaryPolicy",
+    "ClusterSimulator",
+    "ClusterTrajectory",
+    "MonteCarloSummary",
+    "SimulationBudgetError",
+    "monte_carlo_summary",
+    "sample_initial_state",
+    "SAFE_MERGE",
+    "SAFE_SPLIT",
+    "POLLUTED_MERGE",
+]
 
 #: Absorption classes reported by the simulator.
 SAFE_MERGE = "safe-merge"
 SAFE_SPLIT = "safe-split"
 POLLUTED_MERGE = "polluted-merge"
-
-
-@dataclass(frozen=True)
-class CountAdversaryPolicy:
-    """Count-level rendition of an adversary strategy.
-
-    The scalar simulator plays the adversary through four switches that
-    mirror the agent-tier :class:`~repro.adversary.base.AdversaryStrategy`
-    hooks on anonymous member lists:
-
-    * ``rule2`` -- filter joins in polluted clusters (Rule 2);
-    * ``suppress_leaves`` -- malicious members resist natural churn and
-      depart only under Property 1;
-    * ``biased_replacement`` -- promote malicious spares while the
-      quorum holds;
-    * ``rule1`` -- voluntary core leaves: ``"gated"`` (Relation (2)),
-      ``"always"`` (whenever a malicious spare exists) or ``"never"``.
-
-    The default :data:`STRONG_POLICY` reproduces the paper's adversary
-    with the exact event semantics (and RNG draw order) the simulator
-    always had.
-    """
-
-    name: str
-    rule2: bool = True
-    suppress_leaves: bool = True
-    biased_replacement: bool = True
-    rule1: str = "gated"
-
-    def __post_init__(self) -> None:
-        if self.rule1 not in ("gated", "always", "never"):
-            raise ValueError(
-                f"rule1 must be gated/always/never, got {self.rule1!r}"
-            )
-
-
-#: The paper's Section-V adversary (Rules 1+2, biased maintenance).
-STRONG_POLICY = CountAdversaryPolicy("strong")
-
-#: Malicious peers exist but follow the protocol.
-PASSIVE_POLICY = CountAdversaryPolicy(
-    "passive",
-    rule2=False,
-    suppress_leaves=False,
-    biased_replacement=False,
-    rule1="never",
-)
-
-#: Rule 1 without Relation (2)'s probability gate (ablation).
-GREEDY_LEAVE_POLICY = CountAdversaryPolicy("greedy-leave", rule1="always")
-
-#: Count-level policies by adversary registry name.
-COUNT_POLICIES: dict[str, CountAdversaryPolicy] = {
-    "strong": STRONG_POLICY,
-    "passive": PASSIVE_POLICY,
-    "greedy-leave": GREEDY_LEAVE_POLICY,
-    "none": PASSIVE_POLICY,
-}
 
 
 class SimulationBudgetError(RuntimeError):
@@ -162,18 +129,7 @@ class ClusterSimulator:
     ) -> None:
         self._params = params
         self._rng = rng
-        if adversary is None:
-            adversary = STRONG_POLICY
-        elif isinstance(adversary, str):
-            try:
-                adversary = COUNT_POLICIES[adversary]
-            except KeyError:
-                known = ", ".join(sorted(COUNT_POLICIES))
-                raise ValueError(
-                    f"unknown count-level adversary {adversary!r}; "
-                    f"known: {known}"
-                ) from None
-        self._policy = adversary
+        self._policy = resolve_count_policy(adversary)
 
     @property
     def policy(self) -> CountAdversaryPolicy:

@@ -55,11 +55,14 @@ class _ScalarCompetingClusters:
         n_clusters: int,
         rng: np.random.Generator,
         initial: str | State = "delta",
+        adversary=None,
+        p_join: float | None = None,
     ) -> None:
         self._params = params
         self._rng = rng
         self._n = n_clusters
-        simulator = ClusterSimulator(params, rng)
+        self._p_join = params.p_join if p_join is None else float(p_join)
+        simulator = ClusterSimulator(params, rng, adversary=adversary)
         self._cores: list[list[bool]] = []
         self._spares: list[list[bool]] = []
         for _ in range(n_clusters):
@@ -94,7 +97,7 @@ class _ScalarCompetingClusters:
         core = self._cores[index]
         spare = self._spares[index]
         was_polluted = self._is_polluted(index)
-        if self._rng.random() < params.p_join:
+        if self._rng.random() < self._p_join:
             simulator._join_event(core, spare)
         else:
             simulator._leave_event(core, spare)
@@ -145,6 +148,13 @@ class CompetingClustersSimulation:
     identical event axes, and both are deterministic for a seeded
     generator (the two engines consume the stream differently, so their
     draws are equal in distribution, not bitwise).
+
+    ``adversary`` selects a count-level policy (name or record) played
+    by both engines; ``p_join`` overrides the per-event join probability
+    (the event-indexed reduction of any i.i.d.-kind churn process); and
+    ``event_batching=True`` switches the batch engine to geometric
+    skip-sampling dispatch along the event axis (equal in law, faster
+    for long horizons).
     """
 
     def __init__(
@@ -154,16 +164,30 @@ class CompetingClustersSimulation:
         rng: np.random.Generator,
         initial: str | State = "delta",
         engine: str = "batch",
+        adversary=None,
+        p_join: float | None = None,
+        event_batching: bool = False,
     ) -> None:
         if n_clusters < 1:
             raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
         if engine == "batch":
             self._impl = BatchCompetingClustersSimulation(
-                params, n_clusters, rng, initial=initial
+                params,
+                n_clusters,
+                rng,
+                initial=initial,
+                policy=adversary,
+                p_join=p_join,
+                event_batching=event_batching,
             )
         elif engine == "scalar":
             self._impl = _ScalarCompetingClusters(
-                params, n_clusters, rng, initial=initial
+                params,
+                n_clusters,
+                rng,
+                initial=initial,
+                adversary=adversary,
+                p_join=p_join,
             )
         else:
             raise ValueError(
@@ -277,10 +301,9 @@ class AgentOverlaySimulation:
             )
 
     def _malicious_fraction(self) -> float:
-        peers = self._overlay.peers
-        if not peers:
-            return 0.0
-        return sum(1 for p in peers if p.malicious) / len(peers)
+        # Maintained incrementally by the overlay: O(1) per query
+        # instead of a full peer scan on every join event.
+        return self._overlay.malicious_fraction()
 
     def _next_is_join(self) -> bool:
         if self._churn_stream is None:
@@ -293,10 +316,29 @@ class AgentOverlaySimulation:
                 "generator's horizon (churn_options) or shorten the run"
             ) from None
 
+    def _tick_kinds(self) -> np.ndarray:
+        """Join/leave decisions of one tick, drawn as a batch.
+
+        The count-state engines taught us to hoist per-event draws out
+        of the hot loop: under the default Bernoulli churn the tick's
+        ``events_per_unit`` kinds are independent, so one vectorized
+        draw replaces that many scalar RNG round trips.  A churn stream
+        stays sequential (its events are consumed one by one).
+        """
+        if self._churn_stream is None:
+            return (
+                self._rng.random(self._events_per_unit)
+                < self._overlay.params.p_join
+            )
+        return np.fromiter(
+            (self._next_is_join() for _ in range(self._events_per_unit)),
+            dtype=bool,
+            count=self._events_per_unit,
+        )
+
     def _churn_tick(self) -> None:
         overlay = self._overlay
-        for _ in range(self._events_per_unit):
-            join = self._next_is_join()
+        for join in self._tick_kinds():
             if join or overlay.n_peers <= self._min_population:
                 malicious = None
                 if (

@@ -195,3 +195,155 @@ class TestEngineRegistryDispatch:
 
         for name in ENGINES.names():
             assert callable(ENGINES.get(name).run)
+
+
+class TestBatchBackendAxes:
+    """The batch tier is the universal fast path: every registered
+    adversary and churn model runs on it, never a silent fallback."""
+
+    def test_adversary_axis_changes_outcome(self):
+        strong = execute_spec(spec(engine="batch", runs=4000))
+        passive = execute_spec(
+            spec(engine="batch", runs=4000, adversary="passive")
+        )
+        assert (
+            passive.metrics["p(polluted-merge)"]
+            < strong.metrics["p(polluted-merge)"]
+        )
+
+    def test_poisson_default_rates_equal_bernoulli(self):
+        """Event-indexed, the default Poisson superposition is the
+        Bernoulli stream: identical engine path, identical result."""
+        bernoulli = execute_spec(spec(engine="batch", runs=1500, seed=5))
+        poisson = execute_spec(
+            spec(engine="batch", runs=1500, seed=5, churn="poisson")
+        )
+        assert bernoulli.metrics == poisson.metrics
+
+    def test_session_churn_accepted(self):
+        result = execute_spec(
+            spec(
+                engine="batch",
+                runs=800,
+                churn="pareto-sessions",
+                churn_options={"horizon": 100000.0},
+            )
+        )
+        assert result.metrics["runs"] == 800.0
+
+    def test_default_point_is_byte_identical_to_legacy(self):
+        from repro.simulation.batch import batch_monte_carlo_summary
+
+        result = execute_spec(spec(engine="batch", runs=1200, seed=17))
+        direct = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(17), runs=1200
+        )
+        assert result.metrics["E(T_S)"] == direct.mean_time_safe
+
+    def test_unknown_adversary_rejected(self):
+        with pytest.raises(SpecError, match="count-level"):
+            execute_spec(spec(engine="batch", adversary="martian"))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SpecError, match="mode"):
+            execute_spec(
+                spec(engine="batch", runs=10, options={"mode": "warp"})
+            )
+
+    def test_skip_mode_on_session_churn_rejected(self):
+        with pytest.raises(SpecError, match="skip"):
+            execute_spec(
+                spec(
+                    engine="batch",
+                    runs=10,
+                    churn="exponential-sessions",
+                    churn_options={"horizon": 5000.0},
+                    options={"mode": "skip"},
+                )
+            )
+
+    def test_chunk_size_option_streams(self):
+        chunked = execute_spec(
+            spec(
+                engine="batch",
+                runs=3000,
+                seed=8,
+                adversary="passive",
+                options={"chunk_size": 1000},
+            )
+        )
+        assert chunked.metrics["runs"] == 3000.0
+
+
+class TestCompetingBackendAxes:
+    def test_adversary_axis_accepted(self):
+        result = execute_spec(
+            spec(
+                engine="competing-batch",
+                n=100,
+                events=500,
+                record_every=250,
+                adversary="passive",
+            )
+        )
+        assert result.metrics["final_safe_fraction"] >= 0.0
+
+    def test_event_batching_option(self):
+        result = execute_spec(
+            spec(
+                engine="competing-batch",
+                n=100,
+                events=500,
+                record_every=250,
+                options={"event_batching": True},
+            )
+        )
+        assert len(result.series["events"]) == 3
+
+    def test_session_churn_rejected_loudly(self):
+        with pytest.raises(SpecError, match="session"):
+            execute_spec(
+                spec(
+                    engine="competing-batch",
+                    n=20,
+                    events=100,
+                    churn="pareto-sessions",
+                )
+            )
+
+    def test_scalar_engine_honours_adversary(self):
+        result = execute_spec(
+            spec(
+                engine="competing-scalar",
+                n=30,
+                events=200,
+                record_every=100,
+                adversary="greedy-leave",
+            )
+        )
+        assert result.meta["adversary"] == "greedy-leave"
+
+    def test_event_batching_on_scalar_engine_rejected(self):
+        with pytest.raises(SpecError, match="event-axis"):
+            execute_spec(
+                spec(
+                    engine="competing-scalar",
+                    n=20,
+                    events=100,
+                    options={"event_batching": True},
+                )
+            )
+
+    def test_unknown_engine_option_rejected(self):
+        with pytest.raises(SpecError, match="chunksize"):
+            execute_spec(
+                spec(engine="batch", runs=10, options={"chunksize": 100})
+            )
+
+    def test_foreign_but_valid_engine_option_dropped(self):
+        # 'sample_every' belongs to the agent engine; a batch point in
+        # the same sweep simply ignores it.
+        result = execute_spec(
+            spec(engine="batch", runs=50, options={"sample_every": 5.0})
+        )
+        assert result.metrics["runs"] == 50.0

@@ -127,3 +127,90 @@ class TestScenarioExecution:
         ]
         assert main(argv) == 0
         assert not cache.exists()
+
+
+class TestScenarioReport:
+    def test_report_renders_cached_results(self, spec_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    str(spec_file),
+                    "--cache-dir",
+                    str(cache),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["scenario", "report", "--cache-dir", str(cache)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "cli-point" in output
+        assert "E(T_S)" in output
+
+    def test_report_filters_by_name(self, spec_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        main(["scenario", "run", str(spec_file), "--cache-dir", str(cache)])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "scenario",
+                    "report",
+                    "--cache-dir",
+                    str(cache),
+                    "--name",
+                    "no-such-scenario",
+                ]
+            )
+            == 1
+        )
+        assert "no cached results" in capsys.readouterr().out
+
+    def test_report_selects_metric_columns(
+        self, spec_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        main(["scenario", "run", str(spec_file), "--cache-dir", str(cache)])
+        capsys.readouterr()
+        main(
+            [
+                "scenario",
+                "report",
+                "--cache-dir",
+                str(cache),
+                "--metrics",
+                "E(T_P)",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "E(T_P)" in output
+        assert "E(T_S)" not in output
+
+    def test_report_reads_sweep_stream(
+        self, sweep_file, tmp_path, capsys
+    ):
+        cache = tmp_path / "cache"
+        stream = tmp_path / "sweep.jsonl"
+        main(
+            [
+                "scenario",
+                "sweep",
+                str(sweep_file),
+                "--cache-dir",
+                str(cache),
+                "--stream",
+                str(stream),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(["scenario", "report", "--stream", str(stream)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "cli-grid[mu=0.0]" in output
+        assert "cli-grid[mu=0.2]" in output

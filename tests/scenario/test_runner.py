@@ -130,3 +130,66 @@ class TestSeeding:
         second = SweepRunner().sweep(points)
         for one, two in zip(first, second):
             assert one.metrics == two.metrics
+
+
+class TestStreaming:
+    def test_sweep_streams_jsonl(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path / "cache")
+        specs = expand_grid(
+            batch_spec(runs=300), {"params.mu": [0.0, 0.1, 0.2]}
+        )
+        stream = tmp_path / "out" / "sweep.jsonl"
+        results = runner.sweep(specs, stream_path=stream)
+        lines = [
+            json.loads(line)
+            for line in stream.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == len(specs) == len(results)
+        keys = {line["result"]["key"] for line in lines}
+        assert keys == {result.key for result in results}
+        for line in lines:
+            assert set(line) == {"spec", "result"}
+            assert "metrics" in line["result"]
+
+    def test_stream_includes_cached_points(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path / "cache")
+        specs = expand_grid(
+            batch_spec(runs=300), {"params.mu": [0.0, 0.1]}
+        )
+        runner.sweep(specs)
+        stream = tmp_path / "rerun.jsonl"
+        rerun = SweepRunner(cache_dir=tmp_path / "cache")
+        rerun.sweep(specs, stream_path=stream)
+        assert rerun.cache_hits == len(specs)
+        lines = stream.read_text().splitlines()
+        assert len(lines) == len(specs)
+
+    def test_collect_false_keeps_memory_flat(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path / "cache")
+        specs = expand_grid(
+            batch_spec(runs=200), {"params.mu": [0.0, 0.1]}
+        )
+        stream = tmp_path / "sweep.jsonl"
+        results = runner.sweep(specs, stream_path=stream, collect=False)
+        assert results == []
+        assert len(stream.read_text().splitlines()) == len(specs)
+        # Every point still landed in the content-addressed cache.
+        assert runner.cache_misses == len(specs)
+        rerun = SweepRunner(cache_dir=tmp_path / "cache")
+        rerun.sweep(specs)
+        assert rerun.cache_hits == len(specs)
+
+    def test_parallel_sweep_streams_in_order(self, tmp_path):
+        runner = SweepRunner(workers=2, cache_dir=tmp_path / "cache")
+        specs = expand_grid(
+            batch_spec(runs=200), {"params.mu": [0.0, 0.1, 0.2, 0.3]}
+        )
+        stream = tmp_path / "parallel.jsonl"
+        results = runner.sweep(specs, stream_path=stream)
+        lines = [
+            json.loads(line) for line in stream.read_text().splitlines()
+        ]
+        assert [line["result"]["key"] for line in lines] == [
+            result.key for result in results
+        ]

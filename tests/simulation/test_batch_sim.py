@@ -1,6 +1,6 @@
 """Batch Monte-Carlo engine: equivalence with the scalar oracle.
 
-Two families of checks:
+Three families of checks:
 
 * statistical -- seeded batch runs must match the scalar member-list
   simulator (and the closed forms both are validated against) within
@@ -8,7 +8,11 @@ Two families of checks:
   expected times and first sojourns;
 * exact -- the batch ``CompetingSeries`` must reproduce the scalar
   recording semantics bit for bit (event axis, shapes, bounds) and be
-  deterministic under a fixed seed.
+  deterministic under a fixed seed;
+* variant -- every registered adversary x churn combination must run
+  on the batch tier (skip sampling for i.i.d. kinds, lane-tiled
+  schedules for sessions) and agree with both the policy chain's
+  closed forms and the scalar oracle.
 """
 
 import numpy as np
@@ -16,10 +20,13 @@ import pytest
 
 from repro.core.cluster_model import ClusterModel
 from repro.core.parameters import ModelParameters
+from repro.core.policies import COUNT_POLICIES
 from repro.core.statespace import State
+from repro.core.variants import build_policy_chain
 from repro.simulation.batch import (
     BatchClusterEngine,
     BatchCompetingClustersSimulation,
+    TrajectorySummaryAccumulator,
     batch_monte_carlo_summary,
     run_batch_trajectories,
 )
@@ -315,3 +322,350 @@ class TestBatchCompetingSeries:
             CompetingClustersSimulation(ATTACK, 5, rng, engine="scalar").engine
             == "scalar"
         )
+
+
+class TestSkipMode:
+    """Event-axis geometric skip sampling: exact in law, fewer draws."""
+
+    def test_matches_closed_form(self):
+        fate = ClusterModel(ATTACK).cluster_fate("delta")
+        summary = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(31), runs=30_000, mode="skip"
+        )
+        assert summary.mean_time_safe == pytest.approx(
+            fate.expected_time_safe, rel=0.03
+        )
+        assert summary.mean_time_polluted == pytest.approx(
+            fate.expected_time_polluted, rel=0.15, abs=0.05
+        )
+        assert summary.p_polluted_merge == pytest.approx(
+            fate.p_polluted_merge, abs=0.01
+        )
+
+    def test_matches_event_mode_statistics(self):
+        skip = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(5), runs=20_000, mode="skip"
+        )
+        event = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(5), runs=20_000, mode="event"
+        )
+        assert skip.mean_time_safe == pytest.approx(
+            event.mean_time_safe, rel=0.05
+        )
+        assert skip.p_safe_split == pytest.approx(
+            event.p_safe_split, abs=0.02
+        )
+        assert skip.mean_first_safe_sojourn == pytest.approx(
+            event.mean_first_safe_sojourn, rel=0.05
+        )
+
+    def test_deterministic_under_seed(self):
+        runs = [
+            batch_monte_carlo_summary(
+                ATTACK, np.random.default_rng(8), runs=400, mode="skip"
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_budget_error_raised(self):
+        params = ModelParameters(mu=0.0, d=0.0)
+        engine = BatchClusterEngine(params, np.random.default_rng(0))
+        with pytest.raises(SimulationBudgetError):
+            run_batch_trajectories(engine, 50, max_steps=2, mode="skip")
+
+    def test_unknown_mode_rejected(self):
+        engine = BatchClusterEngine(ATTACK, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="mode"):
+            run_batch_trajectories(engine, 5, mode="warp")
+
+    def test_dwell_is_geometric(self):
+        """The dwell law of a self-looping state is Geometric(1-p_stay)."""
+        engine = BatchClusterEngine(ATTACK, np.random.default_rng(17))
+        rows = engine.rows
+        own = rows.targets == np.arange(rows.n_states)[:, None]
+        stay = np.where(own, rows.probs, 0.0).sum(axis=1)
+        transient = np.flatnonzero(
+            engine.is_transient(np.arange(rows.n_states)) & (stay > 0.2)
+        )
+        index = int(transient[0])
+        draws = engine.skip_dwell(
+            np.full(50_000, index, dtype=np.intp), cap=10**6
+        )
+        expected = 1.0 / (1.0 - stay[index])
+        assert draws.min() >= 1
+        assert draws.mean() == pytest.approx(expected, rel=0.05)
+
+
+class TestChunkedSummary:
+    def test_chunked_matches_unchunked_statistics(self):
+        whole = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(3), runs=24_000, mode="skip"
+        )
+        chunked = batch_monte_carlo_summary(
+            ATTACK,
+            np.random.default_rng(3),
+            runs=24_000,
+            mode="skip",
+            chunk_size=5_000,
+        )
+        assert chunked.runs == 24_000
+        assert chunked.mean_time_safe == pytest.approx(
+            whole.mean_time_safe, rel=0.04
+        )
+        assert chunked.p_polluted_merge == pytest.approx(
+            whole.p_polluted_merge, abs=0.01
+        )
+        assert (
+            chunked.p_safe_merge
+            + chunked.p_safe_split
+            + chunked.p_polluted_merge
+        ) == pytest.approx(1.0, abs=1e-12)
+
+    def test_chunked_deterministic(self):
+        runs = [
+            batch_monte_carlo_summary(
+                ATTACK,
+                np.random.default_rng(3),
+                runs=3_000,
+                chunk_size=1_000,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_accumulator_matches_direct_formulas(self):
+        engine = BatchClusterEngine(ATTACK, np.random.default_rng(12))
+        batch = run_batch_trajectories(engine, 4_000)
+        accumulator = TrajectorySummaryAccumulator()
+        accumulator.update(batch)
+        summary = accumulator.summary()
+        direct = batch_monte_carlo_summary(
+            ATTACK, np.random.default_rng(12), runs=4_000
+        )
+        assert summary.runs == direct.runs
+        assert summary.mean_time_safe == pytest.approx(
+            direct.mean_time_safe, rel=1e-12
+        )
+        assert summary.sem_time_safe == pytest.approx(
+            direct.sem_time_safe, rel=1e-9
+        )
+        assert summary.p_safe_split == direct.p_safe_split
+
+    def test_memory_lean_dtypes(self):
+        engine = BatchClusterEngine(ATTACK, np.random.default_rng(1))
+        batch = run_batch_trajectories(engine, 500, mode="skip")
+        assert batch.steps.dtype == np.int32
+        assert batch.time_safe.dtype == np.int32
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            batch_monte_carlo_summary(
+                ATTACK, np.random.default_rng(0), runs=10, chunk_size=0
+            )
+
+
+class TestEventAxisCompeting:
+    def test_event_axis_matches_recording_semantics(self):
+        for n_events, record_every in [(100, 30), (100, 100), (7, 10)]:
+            per_event = BatchCompetingClustersSimulation(
+                ATTACK, 20, np.random.default_rng(1)
+            ).run(n_events, record_every=record_every)
+            event_axis = BatchCompetingClustersSimulation(
+                ATTACK, 20, np.random.default_rng(1), event_batching=True
+            ).run(n_events, record_every=record_every)
+            assert per_event.events.tolist() == event_axis.events.tolist()
+            assert (
+                per_event.safe_fraction.shape
+                == event_axis.safe_fraction.shape
+            )
+
+    def test_occupancy_tracks_per_event_engine(self):
+        """Replication-averaged curves of the two dispatchers agree."""
+        params = ModelParameters(
+            core_size=7, spare_max=7, k=1, mu=0.25, d=0.9
+        )
+        curves = {}
+        for event_batching in (False, True):
+            safe = []
+            for replication in range(10):
+                series = BatchCompetingClustersSimulation(
+                    params,
+                    400,
+                    np.random.default_rng(700 + replication),
+                    event_batching=event_batching,
+                ).run(6_000, record_every=1_000)
+                safe.append(series.safe_fraction)
+            curves[event_batching] = np.mean(safe, axis=0)
+        gap = np.max(np.abs(curves[True] - curves[False]))
+        assert gap < 0.04
+
+    def test_deterministic_under_seed(self):
+        runs = [
+            BatchCompetingClustersSimulation(
+                ATTACK, 100, np.random.default_rng(11), event_batching=True
+            ).run(500, record_every=100)
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].safe_fraction, runs[1].safe_fraction)
+
+    def test_absorbing_initial_stays_flat(self):
+        series = BatchCompetingClustersSimulation(
+            ATTACK,
+            8,
+            np.random.default_rng(2),
+            initial=State(0, 0, 0),
+            event_batching=True,
+        ).run(50, record_every=10)
+        assert np.all(series.safe_fraction == 0.0)
+        assert np.all(series.polluted_fraction == 0.0)
+
+    def test_all_clusters_eventually_absorb(self):
+        series = BatchCompetingClustersSimulation(
+            ModelParameters(mu=0.1, d=0.5),
+            50,
+            np.random.default_rng(9),
+            event_batching=True,
+        ).run(30_000, record_every=10_000)
+        assert (
+            series.safe_fraction[-1] + series.polluted_fraction[-1] < 0.05
+        )
+
+
+VARIANT_PARAMS = ModelParameters(
+    core_size=7, spare_max=7, k=3, mu=0.2, d=0.85
+)
+
+ADVERSARY_NAMES = ("strong", "passive", "greedy-leave")
+
+
+class TestVariantEquivalence:
+    """Property-style matrix: every adversary x churn kind on the batch
+    tier agrees with the policy chain's closed forms and the scalar
+    member-list oracle (seeded, tolerant)."""
+
+    @pytest.fixture(scope="class")
+    def chains(self):
+        return {
+            name: build_policy_chain(
+                VARIANT_PARAMS, COUNT_POLICIES[name]
+            )
+            for name in ADVERSARY_NAMES
+        }
+
+    @staticmethod
+    def _closed_forms(chain):
+        """Expected phase times and absorption mass from the chain's
+        fundamental matrix (works for any policy chain, polluted-split
+        class included)."""
+        from repro.core.statespace import Category
+
+        transient = chain.transient_matrix
+        size = transient.shape[0]
+        start = chain.transient_index_of(
+            State(VARIANT_PARAMS.spare_max // 2, 0, 0)
+        )
+        alpha = np.zeros(size)
+        alpha[start] = 1.0
+        occupancy = np.linalg.solve(
+            (np.eye(size) - transient).T, alpha
+        )
+        absorption = {
+            category: float(
+                occupancy @ chain.absorbing_block(category).sum(axis=1)
+            )
+            for category in chain.closed_categories
+        }
+        return (
+            float(occupancy @ chain.safe_indicator()),
+            absorption.get(Category.POLLUTED_MERGE, 0.0),
+        )
+
+    @pytest.mark.parametrize("adversary", ADVERSARY_NAMES)
+    def test_iid_kinds_match_policy_chain(self, adversary, chains):
+        """Bernoulli/Poisson churn reduce to the mixed policy rows; the
+        skip-mode batch run must sit on the chain's closed forms."""
+        expected_safe, p_polluted_merge = self._closed_forms(
+            chains[adversary]
+        )
+        summary = batch_monte_carlo_summary(
+            VARIANT_PARAMS,
+            np.random.default_rng(41),
+            runs=20_000,
+            adversary=adversary,
+            mode="skip",
+        )
+        assert summary.mean_time_safe == pytest.approx(
+            expected_safe, rel=0.04
+        )
+        assert summary.p_polluted_merge == pytest.approx(
+            p_polluted_merge, abs=0.01
+        )
+
+    @pytest.mark.parametrize("adversary", ADVERSARY_NAMES)
+    def test_iid_kinds_match_scalar_oracle(self, adversary):
+        batch = batch_monte_carlo_summary(
+            VARIANT_PARAMS,
+            np.random.default_rng(43),
+            runs=12_000,
+            adversary=adversary,
+            mode="skip",
+        )
+        scalar = monte_carlo_summary(
+            VARIANT_PARAMS,
+            np.random.default_rng(43),
+            runs=1_500,
+            adversary=adversary,
+        )
+        assert batch.mean_time_safe == pytest.approx(
+            scalar.mean_time_safe, rel=0.08
+        )
+        assert batch.p_polluted_merge == pytest.approx(
+            scalar.p_polluted_merge, abs=0.02
+        )
+
+    @pytest.mark.parametrize("adversary", ADVERSARY_NAMES)
+    @pytest.mark.parametrize(
+        "churn", ("exponential-sessions", "pareto-sessions")
+    )
+    def test_session_schedules_match_scalar_oracle(self, adversary, churn):
+        """Lane-tiled schedule consumption reproduces the oracle's
+        sequential stream design within statistical tolerance."""
+        from repro.scenario.registry import CHURN_KIND_LAWS, CHURN_MODELS
+
+        options = {"horizon": 150_000.0}
+        law = CHURN_KIND_LAWS.get(churn)(
+            np.random.default_rng(7), VARIANT_PARAMS, **options
+        )
+        batch = batch_monte_carlo_summary(
+            VARIANT_PARAMS,
+            np.random.default_rng(47),
+            runs=8_000,
+            adversary=adversary,
+            kind_schedule=law.schedule,
+        )
+        stream = CHURN_MODELS.get(churn)(
+            np.random.default_rng(7), VARIANT_PARAMS, **options
+        )
+        scalar = monte_carlo_summary(
+            VARIANT_PARAMS,
+            np.random.default_rng(47),
+            runs=1_200,
+            adversary=adversary,
+            events=stream,
+        )
+        assert batch.mean_time_safe == pytest.approx(
+            scalar.mean_time_safe, rel=0.12
+        )
+        assert batch.p_polluted_merge == pytest.approx(
+            scalar.p_polluted_merge, abs=0.025
+        )
+
+    def test_variant_rows_reject_unknown_adversary(self):
+        with pytest.raises(ValueError, match="unknown count-level"):
+            batch_monte_carlo_summary(
+                VARIANT_PARAMS,
+                np.random.default_rng(0),
+                runs=10,
+                adversary="martian",
+            )

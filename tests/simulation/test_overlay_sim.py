@@ -121,3 +121,37 @@ class TestAgentOverlay:
     def test_events_per_unit_validated(self):
         with pytest.raises(ValueError):
             self.build(events_per_unit=0)
+
+
+class TestIncrementalMaliciousCounter:
+    def build(self, seed=13, mu=0.3):
+        params = ModelParameters(core_size=4, spare_max=4, k=1, mu=mu, d=0.8)
+        return AgentOverlaySimulation(
+            OverlayConfig(model=params, id_bits=14, key_bits=32),
+            np.random.default_rng(seed),
+            adversary=StrongAdversary(params),
+        )
+
+    def test_counter_tracks_membership_through_churn(self):
+        """The O(1) malicious fraction stays in sync with a full scan
+        across joins, leaves, Property-1 expiries and Rule-1 sweeps."""
+        simulation = self.build()
+        simulation.bootstrap(30, honest_only=False)
+        overlay = simulation.overlay
+        for _ in range(25):
+            simulation._churn_tick()
+            scanned = sum(1 for p in overlay.peers if p.malicious)
+            assert overlay.n_malicious == scanned
+            expected = scanned / overlay.n_peers if overlay.n_peers else 0.0
+            assert overlay.malicious_fraction() == pytest.approx(expected)
+        overlay.check_invariants()
+
+    def test_fraction_empty_overlay(self):
+        simulation = self.build()
+        assert simulation.overlay.malicious_fraction() == 0.0
+
+    def test_universe_bound_still_enforced(self):
+        simulation = self.build(mu=0.25)
+        simulation.bootstrap(40)
+        simulation.run(60.0, sample_every=30.0)
+        assert simulation.overlay.malicious_fraction() <= 0.45
