@@ -14,6 +14,15 @@ The ``scenario`` subcommand drives the declarative scenario subsystem::
     python -m repro scenario sweep examples/scenarios/cross_product.toml \
         --workers 4 --stream results/grid.jsonl
     python -m repro scenario report --name cross_product
+
+The distributed fabric spans hosts: a coordinator owns the durable job
+queue, any number of workers (anywhere) execute points, and an HTTP
+service reads the shared result store::
+
+    python -m repro sweep-coordinator examples/scenarios/cross_product.toml \
+        --port 7641
+    python -m repro worker --host coordinator.example --port 7641   # xN
+    python -m repro serve --port 8080
 """
 
 from __future__ import annotations
@@ -241,72 +250,23 @@ def _metrics_line(metrics: dict[str, float], limit: int = 6) -> str:
 
 def _run_scenario_report(arguments) -> int:
     """Render cached sweep results as one aligned text table."""
-    import json
+    from repro.scenario.report import collect_records, sweep_report
 
-    rows_in: list[dict] = []
-    if getattr(arguments, "stream", None):
-        for line in pathlib.Path(arguments.stream).read_text().splitlines():
-            if line.strip():
-                rows_in.append(json.loads(line))
-    else:
-        # One read + parse per cache file (list_cached would parse each
-        # file a second time just to summarize it).
-        cache_dir = pathlib.Path(arguments.cache_dir)
-        if cache_dir.is_dir():
-            for path in sorted(cache_dir.glob("*.json")):
-                try:
-                    rows_in.append(json.loads(path.read_text()))
-                except json.JSONDecodeError:
-                    continue
-    needle = getattr(arguments, "name", None)
-    records = []
-    for payload in rows_in:
-        spec = payload.get("spec", {})
-        result = payload.get("result", {})
-        name = result.get("name", spec.get("name", "?"))
-        if needle and needle not in name:
-            continue
-        records.append((name, spec, result))
-    if not records:
+    stream = getattr(arguments, "stream", None)
+    records = collect_records(
+        cache_dir=arguments.cache_dir, stream_path=stream
+    )
+    source = stream if stream else arguments.cache_dir
+    text = sweep_report(
+        records,
+        name=getattr(arguments, "name", None),
+        metrics=getattr(arguments, "metrics", None),
+        source=str(source),
+    )
+    if text is None:
         print("no cached results match")
         return 1
-    records.sort(key=lambda record: record[0])
-    wanted = getattr(arguments, "metrics", None)
-    if wanted:
-        metric_keys = [key.strip() for key in wanted.split(",") if key.strip()]
-    else:
-        # Stable union across points, first-seen order, capped for width.
-        metric_keys = []
-        for _, _, result in records:
-            for key in result.get("metrics", {}):
-                if key not in metric_keys and not key.startswith("op:"):
-                    metric_keys.append(key)
-        metric_keys = metric_keys[:6]
-    rows = []
-    for name, spec, result in records:
-        metrics = result.get("metrics", {})
-        cells = [
-            name,
-            result.get("engine", "?"),
-            spec.get("adversary", "?"),
-            spec.get("churn", "?"),
-        ]
-        for key in metric_keys:
-            value = metrics.get(key)
-            cells.append(f"{value:.6g}" if value is not None else "-")
-        rows.append(cells)
-    source = (
-        arguments.stream
-        if getattr(arguments, "stream", None)
-        else arguments.cache_dir
-    )
-    print(
-        render_table(
-            ["scenario", "engine", "adversary", "churn", *metric_keys],
-            rows,
-            title=f"{len(rows)} scenario results under {source}",
-        )
-    )
+    print(text)
     return 0
 
 
@@ -401,6 +361,114 @@ def _run_scenario(arguments) -> int:
             ),
         )
     )
+    return 0
+
+
+# -- distributed fabric ------------------------------------------------------
+
+def _run_coordinator(arguments) -> int:
+    """``repro sweep-coordinator``: serve a sweep's durable job queue."""
+    from repro.distributed.coordinator import SweepCoordinator
+    from repro.scenario.spec import SweepSpec, load_scenario
+
+    document = load_scenario(arguments.spec_file)
+    specs = (
+        document.expand()
+        if isinstance(document, SweepSpec)
+        else [document]
+    )
+    coordinator = SweepCoordinator(
+        specs,
+        cache_dir=arguments.cache_dir,
+        ledger_path=arguments.ledger,
+        host=arguments.host,
+        port=arguments.port,
+    )
+
+    def announce() -> None:
+        coordinator.ready.wait()
+        print(
+            f"coordinator: {len(specs)} points on "
+            f"{arguments.host}:{coordinator.port} "
+            f"(ledger: {arguments.ledger}, cache: {arguments.cache_dir})",
+            flush=True,
+        )
+
+    import threading
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        summary = coordinator.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted; pending points remain in the ledger")
+        return 130
+    print(
+        f"sweep complete: {summary['done']}/{summary['total']} done "
+        f"({summary['computed']} computed, "
+        f"{summary['from_cache']} from cache, "
+        f"{summary['resumed_from_ledger']} resumed, "
+        f"{len(summary['failed'])} failed) "
+        f"in {summary['elapsed_seconds']:.2f}s"
+    )
+    for worker, count in sorted(summary["workers"].items()):
+        print(f"  {worker}: {count} points")
+    for key, error in sorted(summary["failed"].items()):
+        print(f"  FAILED {key[:12]}: {error}")
+    return 1 if summary["failed"] or summary["pending"] else 0
+
+
+def _run_worker_command(arguments) -> int:
+    """``repro worker``: claim and execute points from a coordinator."""
+    from repro.distributed.protocol import ProtocolError
+    from repro.distributed.worker import run_worker
+
+    try:
+        stats = run_worker(
+            arguments.host,
+            arguments.port,
+            worker_id=arguments.id,
+            max_points=arguments.max_points,
+            connect_timeout=arguments.connect_timeout,
+            heartbeat_every=(
+                arguments.heartbeat_every
+                if arguments.heartbeat_every > 0
+                else None
+            ),
+        )
+    except ProtocolError as error:
+        print(f"worker error: {error}")
+        return 1
+    print(
+        f"worker {stats['worker']}: {stats['executed']} points executed, "
+        f"{stats['failed']} failed"
+    )
+    # A supervisor must see point failures: healthy exit means every
+    # executed point was stored.
+    return 1 if stats["failed"] else 0
+
+
+def _run_serve(arguments) -> int:
+    """``repro serve``: HTTP service over the result store + ledger."""
+    from repro.distributed.service import ResultsService
+
+    service = ResultsService(
+        arguments.cache_dir,
+        ledger_path=arguments.ledger,
+        host=arguments.host,
+        port=arguments.port,
+    )
+    print(
+        f"serving {arguments.cache_dir} on "
+        f"http://{arguments.host}:{service.port} "
+        "(/healthz /progress /results /results/<key> /report)",
+        flush=True,
+    )
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        service.close()
     return 0
 
 
@@ -501,6 +569,97 @@ def build_parser() -> argparse.ArgumentParser:
                 help="read results from a sweep JSONL file instead of "
                 "the cache directory",
             )
+
+    # -- distributed fabric --------------------------------------------------
+    default_ledger = DEFAULT_CACHE_DIR / "sweep-ledger.jsonl"
+
+    coordinator = subparsers.add_parser(
+        "sweep-coordinator",
+        help="serve a sweep's durable job queue to repro workers",
+    )
+    coordinator.add_argument(
+        "spec_file",
+        type=pathlib.Path,
+        help="scenario or sweep spec (.json or .toml)",
+    )
+    coordinator.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    coordinator.add_argument(
+        "--port",
+        type=int,
+        default=7641,
+        help="bind port (0 = pick a free port)",
+    )
+    coordinator.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        default=default_ledger,
+        help=f"durable JSONL job ledger (default: {default_ledger})",
+    )
+    coordinator.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=DEFAULT_CACHE_DIR,
+        help=f"shared result store (default: {DEFAULT_CACHE_DIR})",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="claim and execute sweep points from a coordinator"
+    )
+    worker.add_argument(
+        "--host", default="127.0.0.1", help="coordinator address"
+    )
+    worker.add_argument(
+        "--port", type=int, default=7641, help="coordinator port"
+    )
+    worker.add_argument(
+        "--id", default=None, help="worker id (default: <hostname>-<pid>)"
+    )
+    worker.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="disconnect after this many points (default: until shutdown)",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to retry the initial connection",
+    )
+    worker.add_argument(
+        "--heartbeat-every",
+        type=float,
+        default=15.0,
+        help="seconds between mid-point heartbeats (0 disables)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="HTTP service over cached sweep results"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port (0 = pick a free port)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=DEFAULT_CACHE_DIR,
+        help=f"result store to serve (default: {DEFAULT_CACHE_DIR})",
+    )
+    serve.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        default=default_ledger,
+        help="job ledger backing /progress "
+        f"(default: {default_ledger})",
+    )
     return parser
 
 
@@ -509,6 +668,12 @@ def main(argv: list[str] | None = None) -> int:
     arguments = build_parser().parse_args(argv)
     if arguments.experiment == "scenario":
         return _run_scenario(arguments)
+    if arguments.experiment == "sweep-coordinator":
+        return _run_coordinator(arguments)
+    if arguments.experiment == "worker":
+        return _run_worker_command(arguments)
+    if arguments.experiment == "serve":
+        return _run_serve(arguments)
     names = EXPERIMENTS if arguments.experiment == "all" else (arguments.experiment,)
     for name in names:
         print(f"=== {name} ===")

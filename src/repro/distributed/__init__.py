@@ -1,0 +1,50 @@
+"""Distributed sweep fabric: coordinator/worker execution + serving.
+
+The single-host :class:`~repro.scenario.runner.SweepRunner` fans a grid
+over local processes; this package fans it over *hosts*:
+
+* :mod:`~repro.distributed.protocol` -- length-prefixed JSON frames
+  (CLAIM / ASSIGN / RESULT / HEARTBEAT / SHUTDOWN) over TCP;
+* :mod:`~repro.distributed.ledger` -- a durable, replayable JSONL job
+  queue keyed by each point's sha256 content address;
+* :mod:`~repro.distributed.coordinator` -- expands a sweep, hands
+  points to any number of workers, folds results into the shared
+  content-addressed store, and resumes after a crash from the ledger;
+* :mod:`~repro.distributed.worker` -- claims points and executes them
+  through the registered ``ENGINES`` backends (byte-identical to the
+  in-process runner: seeds come from the spec, not the host);
+* :mod:`~repro.distributed.service` -- a stdlib-only HTTP service over
+  the store and ledger (results, reports, progress) for many
+  concurrent clients.
+
+CLI entry points: ``repro sweep-coordinator``, ``repro worker``,
+``repro serve``.
+"""
+
+from repro.distributed.coordinator import SweepCoordinator
+from repro.distributed.ledger import LedgerState, SweepLedger
+from repro.distributed.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.distributed.service import ResultsService
+from repro.distributed.worker import run_worker, worker_loop
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "LedgerState",
+    "ProtocolError",
+    "ResultsService",
+    "SweepCoordinator",
+    "SweepLedger",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "run_worker",
+    "worker_loop",
+    "write_frame",
+]

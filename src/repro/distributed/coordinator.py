@@ -1,0 +1,505 @@
+"""The coordinator: durable job queue + TCP assignment of sweep points.
+
+One :class:`SweepCoordinator` owns a sweep: it expands the grid,
+records every point into the JSONL job ledger, serves CLAIM requests
+from any number of ``repro worker`` processes (local or remote) over
+the length-prefixed JSON protocol, and folds each RESULT back into the
+shared content-addressed store -- atomically, then ledgered as done --
+until every point is terminal.
+
+Failure semantics (the contract the tests pin down):
+
+* **worker killed mid-point** -- its TCP connection drops; every point
+  assigned on that connection and not yet resulted is requeued
+  immediately.  No lease clock is needed for crash recovery because
+  the claim dies with the connection.
+* **coordinator killed mid-sweep** -- restart it with the same ledger
+  and cache: ledger replay marks the finished points ``done`` (their
+  results are in the store -- ``done`` is only ever appended *after*
+  the atomic store publish), and only unfinished points are handed out
+  again.  A torn final ledger line is skipped by replay.
+* **point raises** -- the worker reports FAILED; the failure is
+  terminal (deterministic errors must not ping-pong between workers)
+  and surfaces in the summary and the ledger.
+* **duplicate results** -- two workers racing on a requeued point both
+  store byte-identical content-addressed files; the second RESULT is
+  acked as a no-op.
+
+Results are validated before being trusted: the coordinator recomputes
+nothing, but it requires the returned key to match the assignment's
+spec address (the wire round trip of
+:meth:`~repro.scenario.spec.ScenarioSpec.to_json` preserves content
+addresses, so a mismatch means a corrupt or confused worker).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import pathlib
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.distributed.ledger import SweepLedger
+from repro.distributed.protocol import (
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+from repro.scenario.spec import ScenarioSpec, SweepSpec
+from repro.scenario.store import result_path, store_result
+
+__all__ = ["SweepCoordinator"]
+
+#: Seconds a worker is told to sleep when every point is in flight.
+WAIT_DELAY = 0.2
+
+#: Publish attempts per point before a store failure becomes terminal.
+#: Covers a transient hiccup (flaky NFS, momentary disk pressure)
+#: without letting a deterministic one (unwritable cache dir, a
+#: version-skewed worker whose payload shape cannot rebuild) requeue
+#: and recompute the same point forever.
+PUBLISH_RETRY_LIMIT = 3
+
+
+class SweepCoordinator:
+    """Coordinates one sweep across any number of connected workers.
+
+    ``points`` is a :class:`~repro.scenario.spec.SweepSpec` or an
+    iterable of expanded specs; ``cache_dir`` is the shared
+    content-addressed store every result lands in; ``ledger_path``
+    (optional but recommended) makes the queue durable and the sweep
+    crash-resumable.  ``host``/``port`` bind the TCP endpoint
+    (``port=0`` picks a free port, published as :attr:`port` once
+    :attr:`ready` is set -- a ``threading.Event``, so a driver thread
+    can wait for the bind without touching the event loop).
+
+    Run with ``await serve()`` inside an event loop or the blocking
+    :meth:`run`; :meth:`request_stop` (thread-safe) ends the serve loop
+    early, leaving pending points for a resumed coordinator.
+    """
+
+    def __init__(
+        self,
+        points: SweepSpec | Iterable[ScenarioSpec],
+        *,
+        cache_dir: str | pathlib.Path,
+        ledger_path: str | pathlib.Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        await_workers: int = 0,
+    ) -> None:
+        self._specs = (
+            points.expand() if isinstance(points, SweepSpec) else list(points)
+        )
+        self._by_key: dict[str, ScenarioSpec] = {
+            spec.key(): spec for spec in self._specs
+        }
+        self._cache_dir = pathlib.Path(cache_dir)
+        self._ledger_path = (
+            pathlib.Path(ledger_path) if ledger_path is not None else None
+        )
+        self._host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.ready = threading.Event()
+        self._pending: collections.deque[str] = collections.deque()
+        self._done: set[str] = set()
+        self._failed: dict[str, str] = {}
+        self._in_flight: dict[str, str] = {}
+        self._resumed = 0
+        self._from_cache = 0
+        self._computed_by: collections.Counter[str] = collections.Counter()
+        self._publish_retries: collections.Counter[str] = (
+            collections.Counter()
+        )
+        self._ledger: SweepLedger | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._complete: asyncio.Event | None = None
+        self._stopped = False
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        # Gang start: hold assignments until this many distinct workers
+        # have connected (0 = assign immediately).  Benchmarks use it so
+        # the measured window is pure N-worker compute, not process boot.
+        self._await_workers = int(await_workers)
+        self._helloed: set[str] = set()
+        self._first_assign_time: float | None = None
+        self._complete_time: float | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> dict[str, Any]:
+        """Blocking entry point: ``asyncio.run(self.serve())``."""
+        return asyncio.run(self.serve())
+
+    def request_stop(self) -> None:
+        """Thread-safe early stop (pending points stay in the ledger)."""
+        self._stopped = True
+        if self._loop is not None and self._complete is not None:
+            self._loop.call_soon_threadsafe(self._complete.set)
+
+    async def serve(self) -> dict[str, Any]:
+        """Serve workers until every point is terminal; return a summary."""
+        started = time.perf_counter()
+        self._loop = asyncio.get_running_loop()
+        self._complete = asyncio.Event()
+        if self._ledger_path is not None:
+            self._ledger = SweepLedger(self._ledger_path)
+        try:
+            self._build_queue()
+            if self._outstanding() == 0:
+                self._complete.set()
+            server = await asyncio.start_server(
+                self._handle_worker, self._host, self._requested_port
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self.ready.set()
+            try:
+                await self._complete.wait()
+            finally:
+                server.close()
+                await server.wait_closed()
+                # Drain handlers gracefully: closing each connection
+                # lands its reader on EOF, so no task dies mid-frame.
+                for writer in list(self._connections):
+                    writer.close()
+                if self._handlers:
+                    await asyncio.gather(
+                        *self._handlers, return_exceptions=True
+                    )
+        finally:
+            if self._ledger is not None:
+                self._ledger.close()
+        return self._summary(time.perf_counter() - started)
+
+    # -- queue construction -------------------------------------------------
+
+    def _build_queue(self) -> None:
+        """Fold the ledger and the store into the initial queue.
+
+        Order of trust: a ledgered ``done`` is authoritative (the store
+        publish precedes it); a cache file for a never-ledgered point
+        (e.g. from an earlier serial run) is equally final -- the
+        content address *is* the result identity.  Everything else is
+        pending, ledger claims included (stale by construction).
+        """
+        previously_done: set[str] = set()
+        if self._ledger is not None:
+            state = self._ledger.replay()
+            previously_done = state.done
+            # Ledgered failures are terminal across restarts too: a
+            # resumed coordinator must not re-queue a deterministic
+            # failure (or hang waiting on it when no workers attach).
+            self._failed.update(
+                {
+                    key: error
+                    for key, error in state.failed.items()
+                    if key in self._by_key
+                }
+            )
+            self._ledger.record_scheduled(
+                self._specs, already_scheduled=set(state.scheduled)
+            )
+        queued: set[str] = set()
+        for spec in self._specs:
+            key = spec.key()
+            if key in self._done or key in queued:
+                continue  # duplicate grid point
+            # Existence is completion: the store only ever publishes
+            # whole files (atomic os.replace), so no payload parsing is
+            # needed to build the queue -- and a readable result always
+            # outranks a ledgered failure (the content address *is* the
+            # result identity, however it got computed).  The check
+            # also guards the one crash window the ledger cannot see:
+            # a power loss after the fsynced "done" line but before the
+            # renamed store file's directory entry reached disk.
+            have_result = result_path(self._cache_dir, spec).exists()
+            if key in previously_done and have_result:
+                self._done.add(key)
+                self._resumed += 1
+            elif have_result:
+                self._failed.pop(key, None)
+                self._done.add(key)
+                self._from_cache += 1
+                if self._ledger is not None:
+                    self._ledger.record_done(key, worker="cache")
+            elif key in self._failed:
+                continue  # terminal failure with no result to trust
+            else:
+                queued.add(key)
+                self._pending.append(key)
+
+    def _outstanding(self) -> int:
+        return len(self._by_key) - len(self._done) - len(self._failed)
+
+    # -- per-connection protocol loop ---------------------------------------
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        worker = "<anonymous>"
+        assigned: set[str] = set()
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError:
+                    break  # torn connection: requeue via finally
+                if message is None:
+                    break
+                kind = message.get("type")
+                try:
+                    if kind == "hello":
+                        worker = str(message.get("worker", worker))
+                        self._helloed.add(worker)
+                    elif kind == "claim":
+                        await self._assign(writer, worker, assigned)
+                    elif kind == "result":
+                        await self._accept_result(
+                            writer, worker, assigned, message
+                        )
+                    elif kind == "failed":
+                        self._accept_failure(worker, assigned, message)
+                    elif kind == "heartbeat":
+                        # Keeps the TCP connection observably alive
+                        # through NATs/idle timeouts during a long
+                        # point; lease bookkeeping is future work.
+                        pass
+                    else:
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "error",
+                                "error": f"unknown type {kind!r}",
+                            },
+                        )
+                except (ConnectionError, OSError):
+                    raise
+                except Exception as error:  # noqa: BLE001 -- hostile input
+                    # A malformed message must not take the handler (and
+                    # with it this worker's claims) down silently.
+                    await write_frame(
+                        writer,
+                        {
+                            "type": "error",
+                            "error": f"{type(error).__name__}: {error}",
+                        },
+                    )
+        except (ConnectionError, OSError):
+            pass  # torn transport: identical to EOF, claims requeue below
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            # A dropped connection releases its claims instantly.
+            for key in assigned:
+                self._in_flight.pop(key, None)
+                if key not in self._done and key not in self._failed:
+                    self._pending.append(key)
+            if self._complete is not None and self._outstanding() == 0:
+                self._complete.set()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _assign(
+        self,
+        writer: asyncio.StreamWriter,
+        worker: str,
+        assigned: set[str],
+    ) -> None:
+        if len(self._helloed) < self._await_workers:
+            await write_frame(writer, {"type": "wait", "delay": WAIT_DELAY})
+            return
+        while self._pending:
+            key = self._pending.popleft()
+            if key in self._done or key in self._failed:
+                continue  # satisfied while queued (duplicate result)
+            if self._first_assign_time is None:
+                self._first_assign_time = time.perf_counter()
+            self._in_flight[key] = worker
+            assigned.add(key)
+            if self._ledger is not None:
+                self._ledger.record_claimed(key, worker)
+            await write_frame(
+                writer,
+                {
+                    "type": "assign",
+                    "key": key,
+                    "spec": self._by_key[key].to_dict(),
+                },
+            )
+            return
+        if self._outstanding() > 0 and not self._stopped:
+            await write_frame(writer, {"type": "wait", "delay": WAIT_DELAY})
+        else:
+            await write_frame(writer, {"type": "shutdown"})
+
+    async def _accept_result(
+        self,
+        writer: asyncio.StreamWriter,
+        worker: str,
+        assigned: set[str],
+        message: dict[str, Any],
+    ) -> None:
+        from repro.scenario.backends import ScenarioResult
+
+        key = message.get("key")
+        spec = self._by_key.get(key)
+        payload = message.get("result")
+        if spec is None or not isinstance(payload, dict):
+            await write_frame(
+                writer,
+                {"type": "error", "error": f"result for unknown key {key!r}"},
+            )
+            return
+        if payload.get("key") != key:
+            await write_frame(
+                writer,
+                {
+                    "type": "error",
+                    "error": (
+                        f"result key {payload.get('key')!r} does not match "
+                        f"assignment {key!r}"
+                    ),
+                },
+            )
+            return
+        if key not in self._done:
+            elapsed = message.get("elapsed")
+
+            def publish() -> None:
+                # Publish first, ledger second: "done" implies readable.
+                store_result(
+                    self._cache_dir, spec, ScenarioResult.from_dict(payload)
+                )
+                if self._ledger is not None:
+                    self._ledger.record_done(key, worker, elapsed=elapsed)
+
+            try:
+                # Off the event loop: the store publish and the ledger
+                # append both fsync, and other workers' claims must not
+                # queue behind disk flushes.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, publish
+                )
+            except Exception as error:  # noqa: BLE001 -- bad payload/disk
+                # The point must stay claimable -- dropping it from
+                # every queue here would hang the sweep forever.  Only
+                # the assignee's claim is released: a non-assignee's
+                # broken payload must not requeue (and double-run) a
+                # point that its real owner is still computing.
+                if key in assigned:
+                    assigned.discard(key)
+                    self._in_flight.pop(key, None)
+                    self._publish_retries[key] += 1
+                    if self._publish_retries[key] >= PUBLISH_RETRY_LIMIT:
+                        # Persistent: recompute/republish cycles would
+                        # livelock the fleet.  Terminal failure.
+                        detail = (
+                            f"result not storable after "
+                            f"{PUBLISH_RETRY_LIMIT} attempts "
+                            f"({type(error).__name__}: {error})"
+                        )
+                        self._failed[key] = detail
+                        if self._ledger is not None:
+                            self._ledger.record_failed(key, worker, detail)
+                        if self._outstanding() == 0:
+                            self._complete_time = time.perf_counter()
+                            self._complete.set()
+                        await write_frame(
+                            writer,
+                            {"type": "ack", "key": key, "stored": False},
+                        )
+                        return
+                    self._pending.append(key)
+                await write_frame(
+                    writer,
+                    {
+                        "type": "error",
+                        # Retryable: the worker did nothing wrong (e.g.
+                        # transient disk pressure) and must keep
+                        # claiming rather than die -- the point is back
+                        # in the queue precisely so someone retries it.
+                        "retryable": True,
+                        "error": (
+                            f"result for {key[:12]} not stored "
+                            f"({type(error).__name__}: {error}); requeued"
+                        ),
+                    },
+                )
+                return
+            # A real result supersedes a racing worker's failure report
+            # (and keeps done/failed disjoint, the _outstanding
+            # invariant).
+            self._failed.pop(key, None)
+            self._done.add(key)
+            self._computed_by[worker] += 1
+        if key in assigned:
+            assigned.discard(key)
+            self._in_flight.pop(key, None)
+        if self._outstanding() == 0:
+            self._complete_time = time.perf_counter()
+            self._complete.set()
+        await write_frame(writer, {"type": "ack", "key": key})
+
+    def _accept_failure(
+        self, worker: str, assigned: set[str], message: dict[str, Any]
+    ) -> None:
+        key = message.get("key")
+        if (
+            not isinstance(key, str)
+            or key not in assigned  # only the assignee may fail a point
+            or key in self._done
+            or key in self._failed
+        ):
+            return
+        assigned.discard(key)
+        self._in_flight.pop(key, None)
+        error = str(message.get("error", "unknown error"))
+        self._failed[key] = error
+        if self._ledger is not None:
+            self._ledger.record_failed(key, worker, error)
+        if self._outstanding() == 0:
+            # The compute window closes on the last *terminal* event,
+            # successful or not.
+            self._complete_time = time.perf_counter()
+            self._complete.set()
+
+    # -- reporting ----------------------------------------------------------
+
+    def _summary(self, elapsed: float) -> dict[str, Any]:
+        compute_elapsed = None
+        if (
+            self._first_assign_time is not None
+            and self._complete_time is not None
+        ):
+            compute_elapsed = self._complete_time - self._first_assign_time
+        return {
+            # Wall time from the first assignment to the last result:
+            # the pure N-worker compute window (None if nothing ran).
+            "compute_elapsed_seconds": compute_elapsed,
+            "total": len(self._by_key),
+            "done": len(self._done),
+            "failed": dict(self._failed),
+            "pending": self._outstanding(),
+            "computed": sum(self._computed_by.values()),
+            "resumed_from_ledger": self._resumed,
+            "from_cache": self._from_cache,
+            "workers": dict(self._computed_by),
+            "elapsed_seconds": elapsed,
+            "cache_dir": str(self._cache_dir),
+            "ledger": (
+                str(self._ledger_path)
+                if self._ledger_path is not None
+                else None
+            ),
+        }

@@ -1,0 +1,191 @@
+"""Durable, replayable job state for distributed sweeps.
+
+The ledger is an append-only JSONL file recording the lifecycle of
+every grid point, keyed by the point's sha256 content address (the
+same key that names its cache file)::
+
+    {"event": "scheduled", "key": "<sha256>", "spec": {...}}
+    {"event": "claimed",   "key": "<sha256>", "worker": "w-1"}
+    {"event": "done",      "key": "<sha256>", "worker": "w-1",
+     "elapsed": 0.41}
+    {"event": "failed",    "key": "<sha256>", "worker": "w-1",
+     "error": "..."}
+
+Appends go through :class:`~repro.scenario.store.JsonlAppender` (one
+``O_APPEND`` write per record, fsynced), so a crashed coordinator loses
+at most its final, torn line -- which :meth:`SweepLedger.replay`
+skips.  Replay folds the event stream into per-key terminal state:
+``done`` and ``failed`` are absorbing; a ``claimed`` without a
+subsequent terminal event is *stale* after a crash (the claiming
+connection no longer exists) and its point is simply pending again.
+The ``done`` record is appended only *after* the result has been
+atomically published to the content-addressed store, so "ledgered done"
+implies "readable result".
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.store import JsonlAppender, read_jsonl
+
+__all__ = ["LedgerState", "SweepLedger"]
+
+EVENT_SCHEDULED = "scheduled"
+EVENT_CLAIMED = "claimed"
+EVENT_DONE = "done"
+EVENT_FAILED = "failed"
+
+_EVENTS = {EVENT_SCHEDULED, EVENT_CLAIMED, EVENT_DONE, EVENT_FAILED}
+
+
+@dataclass
+class LedgerState:
+    """Folded view of one ledger replay.
+
+    ``scheduled`` maps every key ever scheduled to its wire-form spec;
+    ``done``/``failed`` are the terminal keys; ``claims`` maps each
+    non-terminal claimed key to the last worker that claimed it (purely
+    diagnostic after a crash -- the claim is stale by construction).
+    """
+
+    scheduled: dict[str, dict[str, Any]] = field(default_factory=dict)
+    done: set[str] = field(default_factory=set)
+    failed: dict[str, str] = field(default_factory=dict)
+    claims: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def pending(self) -> set[str]:
+        """Scheduled keys with no terminal event (stale claims included)."""
+        return set(self.scheduled) - self.done - set(self.failed)
+
+
+class SweepLedger:
+    """Append-side API over one ledger file.
+
+    The coordinator is the only writer; readers (progress endpoints,
+    a resumed coordinator) use :meth:`replay` or the classmethod
+    :meth:`replay_path` on the file directly.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self._path = pathlib.Path(path)
+        # Terminal events ("done"/"failed") fsync per record -- they
+        # must survive a crash, or a resumed coordinator would re-run
+        # points whose results it already has.  "scheduled"/"claimed"
+        # records skip the flush: losing one only costs a reschedule or
+        # a stale-claim diagnostic, and per-assignment fsyncs would
+        # serialize the whole fabric on disk latency.
+        self._appender = JsonlAppender(self._path, fsync=False)
+
+    @property
+    def path(self) -> pathlib.Path:
+        """The ledger file."""
+        return self._path
+
+    # -- append side --------------------------------------------------------
+
+    def record_scheduled(
+        self,
+        specs: Iterable[ScenarioSpec],
+        already_scheduled: set[str] | None = None,
+    ) -> None:
+        """Schedule points (skipping keys this ledger already holds).
+
+        ``already_scheduled`` lets a caller that just replayed the
+        ledger pass the known keys instead of paying a second full
+        replay here.
+        """
+        if already_scheduled is None:
+            already_scheduled = set(self.replay().scheduled)
+        for spec in specs:
+            key = spec.key()
+            if key in already_scheduled:
+                continue
+            self._appender.append(
+                {
+                    "event": EVENT_SCHEDULED,
+                    "key": key,
+                    "spec": spec.to_dict(),
+                }
+            )
+
+    def record_claimed(self, key: str, worker: str) -> None:
+        """A worker claimed ``key``."""
+        self._appender.append(
+            {"event": EVENT_CLAIMED, "key": key, "worker": worker}
+        )
+
+    def record_done(
+        self, key: str, worker: str, elapsed: float | None = None
+    ) -> None:
+        """``key`` finished and its result is durably stored."""
+        record = {"event": EVENT_DONE, "key": key, "worker": worker}
+        if elapsed is not None:
+            record["elapsed"] = float(elapsed)
+        self._appender.append(record, fsync=True)
+
+    def record_failed(self, key: str, worker: str, error: str) -> None:
+        """``key`` raised while executing (terminal: not requeued)."""
+        self._appender.append(
+            {
+                "event": EVENT_FAILED,
+                "key": key,
+                "worker": worker,
+                "error": str(error),
+            },
+            fsync=True,
+        )
+
+    def close(self) -> None:
+        """Release the append descriptor."""
+        self._appender.close()
+
+    def __enter__(self) -> "SweepLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- replay side --------------------------------------------------------
+
+    def replay(self) -> LedgerState:
+        """Fold this ledger's event stream (see :meth:`replay_path`)."""
+        return self.replay_path(self._path)
+
+    @classmethod
+    def replay_path(cls, path: str | pathlib.Path) -> LedgerState:
+        """Fold a ledger file into per-key terminal state.
+
+        Tolerates unparseable fragment lines (crash-mid-append
+        artifacts, isolated by the appender's boundary repair; losing
+        one only re-runs idempotent work), but raises on records that
+        parse yet carry a malformed event -- a ledger that lies about
+        ``done`` points must fail loudly, not resume quietly.
+        """
+        state = LedgerState()
+        for record in read_jsonl(path, strict=False):
+            event = record.get("event")
+            key = record.get("key")
+            if event not in _EVENTS or not isinstance(key, str):
+                raise ValueError(
+                    f"{path}: malformed ledger record {record!r}"
+                )
+            if event == EVENT_SCHEDULED:
+                state.scheduled.setdefault(key, record.get("spec", {}))
+            elif event == EVENT_CLAIMED:
+                state.claims[key] = record.get("worker", "?")
+            elif event == EVENT_DONE:
+                state.done.add(key)
+                state.claims.pop(key, None)
+                # Mirrors the coordinator: a stored result supersedes a
+                # racing worker's earlier failure report.
+                state.failed.pop(key, None)
+            elif event == EVENT_FAILED:
+                if key not in state.done:
+                    state.failed[key] = record.get("error", "")
+                state.claims.pop(key, None)
+        return state

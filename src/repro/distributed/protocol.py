@@ -1,0 +1,145 @@
+"""Wire protocol of the distributed sweep fabric.
+
+Messages are *frames*: a 4-byte big-endian unsigned length followed by
+that many bytes of UTF-8 JSON.  Length prefixing makes the stream
+self-delimiting over TCP (no sentinel bytes to escape inside payloads),
+and JSON keeps the fabric debuggable -- a frame captured off the wire
+is readable as-is.
+
+Message vocabulary (the ``type`` field):
+
+==============  =============================================================
+``hello``       worker -> coordinator: introduce ``worker`` id
+``claim``       worker -> coordinator: request one scenario point
+``assign``      coordinator -> worker: ``spec`` (wire dict) to execute
+``wait``        coordinator -> worker: nothing pending, retry in ``delay`` s
+``result``      worker -> coordinator: ``key``, ``result`` dict, ``elapsed``
+``ack``         coordinator -> worker: result durably stored and ledgered
+``failed``      worker -> coordinator: ``key``, ``error`` (spec ran and
+                raised; deterministic failures are not requeued)
+``heartbeat``   worker -> coordinator: liveness while computing a long point
+``shutdown``    coordinator -> worker: sweep complete, disconnect
+==============  =============================================================
+
+Framing is symmetric: both ends speak :func:`read_frame` /
+:func:`write_frame` (asyncio) or :func:`encode_frame` /
+:func:`decode_frame` (sans-io, used by the tests and any synchronous
+client).  Frames above :data:`MAX_FRAME_BYTES` are refused on both
+send and receive -- a corrupt or hostile length prefix must not make
+the receiver allocate gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Hard ceiling on one frame's JSON payload.  Generous for results
+#: (a dense series at record_every=1 over 10^5 events is ~3 MB) while
+#: still bounding what a bad length prefix can demand.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """Raised on malformed frames (bad length, bad JSON, bad type)."""
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """Serialize one message to its length-prefixed wire bytes."""
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(
+            f"message must be a dict with a 'type' field, got {message!r}"
+        )
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[dict[str, Any] | None, bytes]:
+    """Parse one frame off the front of ``data`` (sans-io).
+
+    Returns ``(message, remainder)``; ``(None, data)`` when the buffer
+    does not yet hold a complete frame.  Raises :class:`ProtocolError`
+    on an oversized length prefix or an undecodable payload.
+    """
+    if len(data) < _HEADER.size:
+        return None, data
+    (length,) = _HEADER.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    end = _HEADER.size + length
+    if len(data) < end:
+        return None, data
+    return _parse(data[_HEADER.size:end]), data[end:]
+
+
+def _parse(payload: bytes) -> dict[str, Any]:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame payload: {error}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(
+            f"frame payload must be an object with a 'type' field, "
+            f"got {type(message).__name__}"
+        )
+    return message
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> dict[str, Any] | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary.
+
+    EOF in the middle of a frame (a peer killed mid-send) raises
+    :class:`ProtocolError` so the caller can distinguish a torn
+    connection from an orderly close.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(error.partial)} bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(error.partial)} of "
+            f"{length} bytes)"
+        ) from None
+    return _parse(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, message: dict[str, Any]
+) -> None:
+    """Send one frame and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,241 @@
+"""``repro serve``: a stdlib HTTP service over sweep state.
+
+Serves the two durable artifacts of the fabric -- the content-addressed
+result store and the job ledger -- to many concurrent clients, with no
+dependency on a live coordinator (the store and ledger are files, so
+the service can run on any host that sees them, during or after a
+sweep).
+
+Routes:
+
+==========================  =================================================
+``GET /healthz``            liveness: ``{"status": "ok", "results": N}``
+``GET /progress``           ledger-derived sweep progress (scheduled /
+                            done / failed / claimed / pending) plus the
+                            store's result count
+``GET /results``            JSON index of every cached result (key, name,
+                            engine, adversary, churn)
+``GET /results/<key>``      one full ``{"spec": ..., "result": ...}``
+                            payload by content address
+``GET /report``             the aligned sweep table as ``text/plain``
+                            (query: ``name=`` substring filter,
+                            ``metrics=`` comma-separated columns)
+==========================  =================================================
+
+Concurrency: :class:`~http.server.ThreadingHTTPServer` dispatches one
+thread per connection; handlers only read immutable content-addressed
+files (atomically published, so a reader never observes a partial
+result) and replay the append-only ledger, so no locking is needed.
+
+The request-routing core (:meth:`ResultsService.respond`) is a pure
+function of the path and query -- the tests exercise it directly and
+through real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.distributed.ledger import SweepLedger
+from repro.scenario.report import collect_records, sweep_report
+from repro.scenario.runner import list_cached
+
+__all__ = ["ResultsService"]
+
+_KEY_PATTERN = re.compile(r"^/results/([0-9a-f]{64})$")
+
+
+class ResultsService:
+    """HTTP frontend over a result store and (optionally) a ledger.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    construction).  :meth:`start` serves in a daemon thread (tests,
+    embedding); :meth:`serve_forever` blocks (the CLI).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | pathlib.Path,
+        ledger_path: str | pathlib.Path | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._cache_dir = pathlib.Path(cache_dir)
+        self._ledger_path = (
+            pathlib.Path(ledger_path) if ledger_path is not None else None
+        )
+        service = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # One connection may pipeline many requests (keep-alive).
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self) -> None:  # noqa: N802 -- stdlib contract
+                try:
+                    status, content_type, body = service.respond(self.path)
+                except Exception as error:  # noqa: BLE001 -- bad disk state
+                    # e.g. a ledger that replays with a malformed
+                    # record: answer 500 instead of dropping the
+                    # connection with no HTTP response at all.
+                    status, content_type, body = service._json(
+                        500, {"error": f"{type(error).__name__}: {error}"}
+                    )
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # noqa: D102
+                pass  # quiet by default; curl/tests see the bodies
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+        # (size, mtime_ns) -> folded state: the ledger is append-only,
+        # so an unchanged stat means an unchanged replay; /progress on
+        # a finished million-line ledger then costs one stat call per
+        # request instead of a full re-parse.
+        self._replay_lock = threading.Lock()
+        self._replay_stamp: tuple[int, int] | None = None
+        self._replay_state = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._server.server_address[1]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ResultsService":
+        """Serve in a background daemon thread; returns ``self``."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ResultsService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing core (pure: path in, response out) -------------------------
+
+    def respond(self, path: str) -> tuple[int, str, bytes]:
+        """Resolve one GET to ``(status, content_type, body)``."""
+        parsed = urllib.parse.urlsplit(path)
+        route = parsed.path.rstrip("/") or "/"
+        query = dict(urllib.parse.parse_qsl(parsed.query))
+        if route == "/healthz":
+            return self._json(
+                200,
+                {"status": "ok", "results": self._result_count()},
+            )
+        if route == "/progress":
+            return self._json(200, self._progress())
+        if route == "/results":
+            return self._json(200, list_cached(self._cache_dir))
+        match = _KEY_PATTERN.match(route)
+        if match:
+            return self._result_payload(match.group(1))
+        if route == "/report":
+            text = sweep_report(
+                collect_records(cache_dir=self._cache_dir),
+                name=query.get("name"),
+                metrics=query.get("metrics"),
+                source=str(self._cache_dir),
+            )
+            if text is None:
+                return self._text(404, "no cached results match\n")
+            return self._text(200, text + "\n")
+        return self._json(
+            404,
+            {
+                "error": f"unknown route {route!r}",
+                "routes": [
+                    "/healthz",
+                    "/progress",
+                    "/results",
+                    "/results/<key>",
+                    "/report",
+                ],
+            },
+        )
+
+    # -- route bodies -------------------------------------------------------
+
+    def _result_count(self) -> int:
+        if not self._cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._cache_dir.glob("*.json"))
+
+    def _progress(self) -> dict[str, Any]:
+        progress: dict[str, Any] = {
+            "cache_dir": str(self._cache_dir),
+            "results": self._result_count(),
+            "ledger": None,
+        }
+        if self._ledger_path is not None and self._ledger_path.exists():
+            state = self._replayed_ledger()
+            pending = state.pending
+            progress["ledger"] = str(self._ledger_path)
+            progress.update(
+                {
+                    "scheduled": len(state.scheduled),
+                    "done": len(state.done),
+                    "failed": len(state.failed),
+                    "claimed": len(
+                        [key for key in state.claims if key in pending]
+                    ),
+                    "pending": len(pending),
+                    "complete": not pending,
+                }
+            )
+        return progress
+
+    def _replayed_ledger(self):
+        """Replay the ledger, memoized on its (size, mtime) stamp."""
+        stat = self._ledger_path.stat()
+        stamp = (stat.st_size, stat.st_mtime_ns)
+        with self._replay_lock:
+            if stamp != self._replay_stamp:
+                self._replay_state = SweepLedger.replay_path(
+                    self._ledger_path
+                )
+                self._replay_stamp = stamp
+            return self._replay_state
+
+    def _result_payload(self, key: str) -> tuple[int, str, bytes]:
+        path = self._cache_dir / f"{key}.json"
+        if not path.exists():
+            return self._json(404, {"error": f"no cached result {key}"})
+        # The file is the canonical JSON payload; serve its bytes.
+        return 200, "application/json", path.read_bytes()
+
+    @staticmethod
+    def _json(status: int, payload: Any) -> tuple[int, str, bytes]:
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        return status, "application/json", body
+
+    @staticmethod
+    def _text(status: int, text: str) -> tuple[int, str, bytes]:
+        return status, "text/plain; charset=utf-8", text.encode()

@@ -1,0 +1,258 @@
+"""The worker: claims sweep points and executes them on this host.
+
+A worker is a thin loop around the existing single-host execution
+path: CLAIM a point from the coordinator, rebuild the
+:class:`~repro.scenario.spec.ScenarioSpec` from its wire form, run it
+through :func:`~repro.scenario.runner.execute_spec` (the registered
+``ENGINES`` backend, exactly what :class:`~repro.scenario.runner
+.SweepRunner` uses in-process -- so a distributed sweep computes
+byte-identical results: every point's seed comes from the spec, never
+from the executing host), and stream the result back as one RESULT
+frame.  Determinism makes workers interchangeable and retries safe.
+
+Workers are stateless: they hold no queue and write no ledger.  Kill
+one mid-point and the coordinator requeues the claim the moment the
+connection drops; start another (on any host that can reach the
+coordinator and import ``repro``) and it joins the sweep mid-flight.
+
+``heartbeat_every`` keeps the connection observably alive while a long
+point computes: the point runs on an executor thread and the loop
+emits a HEARTBEAT frame every interval until it finishes, so NATs and
+idle timeouts never reap the connection mid-point (which would requeue
+work that is still running).  One point still saturates one core --
+parallelism comes from running more workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.distributed.protocol import ProtocolError, read_frame, write_frame
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["run_worker", "worker_loop"]
+
+#: Seconds between connection attempts while the coordinator boots.
+RETRY_DELAY = 0.2
+
+#: Default seconds between HEARTBEAT frames while a point computes.
+DEFAULT_HEARTBEAT = 15.0
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+async def worker_loop(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    max_points: int | None = None,
+    connect_timeout: float = 10.0,
+    heartbeat_every: float | None = DEFAULT_HEARTBEAT,
+) -> dict[str, Any]:
+    """Claim-execute-report until the coordinator says shutdown.
+
+    ``max_points`` caps how many assignments this worker *attempts*
+    before disconnecting (benchmarks and tests use it to stage partial
+    sweeps -- attempts, not acks, so a coordinator-side publish hiccup
+    cannot extend the budget unboundedly); ``connect_timeout`` bounds
+    the initial connection retries (so a worker started moments before
+    its coordinator still joins); ``heartbeat_every`` spaces the
+    mid-point HEARTBEAT frames (``None`` disables them and runs points
+    inline).  Returns ``{"worker": id, "executed": n, "failed": n}``
+    where ``executed`` counts only results the coordinator acked as
+    stored.
+    """
+    from repro.scenario.runner import execute_spec
+
+    # Engine registration is boot cost, not sweep compute: warm it
+    # before the first claim so the coordinator's assignment-to-result
+    # window measures the points, not this interpreter's imports.
+    import repro.scenario.backends  # noqa: F401 -- populate ENGINES
+
+    name = worker_id or _default_worker_id()
+    deadline = time.monotonic() + connect_timeout
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            await asyncio.sleep(RETRY_DELAY)
+    executed = 0
+    failed = 0
+    attempts = 0
+
+    async def execute(spec: ScenarioSpec):
+        """Run one point, heartbeating while it computes.
+
+        The point runs on a *daemon* thread (not the default executor):
+        if the coordinator dies mid-point, the worker must exit
+        promptly instead of blocking interpreter shutdown on a
+        computation whose result nobody will collect.
+        """
+        if heartbeat_every is None:
+            return execute_spec(spec)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        def compute() -> None:
+            try:
+                outcome, error = execute_spec(spec), None
+            except BaseException as exc:  # noqa: BLE001 -- bridged over
+                outcome, error = None, exc
+
+            def deliver() -> None:
+                if future.cancelled():
+                    return
+                if error is not None:
+                    future.set_exception(error)
+                else:
+                    future.set_result(outcome)
+
+            try:
+                loop.call_soon_threadsafe(deliver)
+            except RuntimeError:
+                pass  # loop already closed: the worker has moved on
+
+        threading.Thread(
+            target=compute, name="repro-point", daemon=True
+        ).start()
+        while True:
+            try:
+                return await asyncio.wait_for(
+                    asyncio.shield(future), timeout=heartbeat_every
+                )
+            except asyncio.TimeoutError:
+                await write_frame(writer, {"type": "heartbeat"})
+
+    try:
+        await write_frame(writer, {"type": "hello", "worker": name})
+        while max_points is None or attempts < max_points:
+            await write_frame(writer, {"type": "claim"})
+            try:
+                message = await read_frame(reader)
+            except ProtocolError:
+                break  # coordinator went away mid-frame
+            if message is None:
+                break  # coordinator closed: nothing left for us
+            kind = message.get("type")
+            if kind == "assign":
+                attempts += 1
+                started = time.perf_counter()
+                try:
+                    # Spec parsing sits inside the failure boundary: a
+                    # version-skewed coordinator shipping a field this
+                    # worker's ScenarioSpec rejects must produce a
+                    # terminal FAILED report, not a worker crash that
+                    # requeues the point onto the next victim.
+                    result = await execute(
+                        ScenarioSpec.from_dict(message["spec"])
+                    )
+                except (ConnectionError, OSError):
+                    # A mid-point heartbeat hit a dead socket: the
+                    # coordinator vanished, the point did NOT fail.
+                    # Propagate to the torn-connection handler.
+                    raise
+                except Exception as error:  # noqa: BLE001 -- reported upstream
+                    failed += 1
+                    await write_frame(
+                        writer,
+                        {
+                            "type": "failed",
+                            "key": message["key"],
+                            "error": f"{type(error).__name__}: {error}",
+                        },
+                    )
+                    continue
+                try:
+                    await write_frame(
+                        writer,
+                        {
+                            "type": "result",
+                            "key": message["key"],
+                            "result": result.to_dict(),
+                            "elapsed": time.perf_counter() - started,
+                        },
+                    )
+                except ProtocolError as error:
+                    # Result exceeds the frame bound (encode_frame
+                    # refuses before any bytes hit the wire).  This is
+                    # deterministic for the spec, so report it as a
+                    # terminal failure -- crashing here would make the
+                    # coordinator requeue the point and livelock the
+                    # fleet on recompute/crash cycles.
+                    failed += 1
+                    await write_frame(
+                        writer,
+                        {
+                            "type": "failed",
+                            "key": message["key"],
+                            "error": f"result not sendable: {error}",
+                        },
+                    )
+                    continue
+                try:
+                    reply = await read_frame(reader)
+                except ProtocolError:
+                    break  # coordinator died mid-ack; treat as EOF
+                if reply is None:
+                    break
+                if reply.get("type") == "error":
+                    if reply.get("retryable"):
+                        # Coordinator-side publish hiccup: the point is
+                        # requeued (and NOT counted as executed -- no
+                        # result was stored); back off and keep going.
+                        await asyncio.sleep(RETRY_DELAY)
+                        continue
+                    raise ProtocolError(str(reply.get("error")))
+                if reply.get("stored", True):
+                    executed += 1  # acked: the result is durably stored
+            elif kind == "wait":
+                await asyncio.sleep(float(message.get("delay", 0.2)))
+            elif kind == "shutdown":
+                break
+            elif kind == "error":
+                raise ProtocolError(str(message.get("error")))
+    except (ConnectionError, OSError):
+        # The coordinator vanished between frames (sweep complete and
+        # server closed, or it crashed).  Either way the worker's job
+        # here is over; a resumed coordinator gets fresh workers.
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+    return {"worker": name, "executed": executed, "failed": failed}
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    max_points: int | None = None,
+    connect_timeout: float = 10.0,
+    heartbeat_every: float | None = DEFAULT_HEARTBEAT,
+) -> dict[str, Any]:
+    """Blocking wrapper around :func:`worker_loop` (the CLI entry)."""
+    return asyncio.run(
+        worker_loop(
+            host,
+            port,
+            worker_id=worker_id,
+            max_points=max_points,
+            connect_timeout=connect_timeout,
+            heartbeat_every=heartbeat_every,
+        )
+    )

@@ -1,0 +1,106 @@
+"""Aligned text reports over cached sweep results.
+
+One report pipeline serves three frontends: ``repro scenario report``
+(console), the coordinator CLI's end-of-sweep table, and the
+``/report`` endpoint of ``repro serve``.  Records are the
+``{"spec": ..., "result": ...}`` payloads of the content-addressed
+store (or of a sweep JSONL stream); the table unions the metric
+columns across points in first-seen order.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.analysis.tables import render_table
+from repro.scenario.store import read_jsonl
+
+__all__ = ["collect_records", "sweep_report"]
+
+
+def collect_records(
+    cache_dir: str | pathlib.Path | None = None,
+    stream_path: str | pathlib.Path | None = None,
+) -> list[dict[str, Any]]:
+    """Load result payloads from a cache directory or a JSONL stream.
+
+    Unreadable cache entries are skipped (a concurrently-writing sweep
+    publishes atomically, so a parse failure means foreign junk in the
+    directory, not a torn write).
+    """
+    records: list[dict[str, Any]] = []
+    if stream_path is not None:
+        # Lenient: a stream that survived a crash (torn fragment line,
+        # isolated by the appender's boundary repair) should still
+        # report every intact record rather than fail wholesale.
+        records.extend(read_jsonl(stream_path, strict=False))
+        return records
+    directory = pathlib.Path(cache_dir if cache_dir is not None else ".")
+    if not directory.is_dir():
+        return records
+    for path in sorted(directory.glob("*.json")):
+        try:
+            records.append(json.loads(path.read_text()))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def sweep_report(
+    records: list[dict[str, Any]],
+    name: str | None = None,
+    metrics: str | None = None,
+    source: str | None = None,
+    max_metrics: int = 6,
+) -> str | None:
+    """Render result payloads as one aligned table (``None`` if empty).
+
+    ``name`` filters to scenarios whose name contains the needle;
+    ``metrics`` selects comma-separated metric columns (default: the
+    first ``max_metrics`` non-operational metrics seen); ``source``
+    labels the table title with where the records came from.
+    """
+    rows_in = []
+    for payload in records:
+        spec = payload.get("spec", {})
+        result = payload.get("result", {})
+        label = result.get("name", spec.get("name", "?"))
+        if name and name not in label:
+            continue
+        rows_in.append((label, spec, result))
+    if not rows_in:
+        return None
+    rows_in.sort(key=lambda record: record[0])
+    if metrics:
+        metric_keys = [key.strip() for key in metrics.split(",") if key.strip()]
+    else:
+        # Stable union across points, first-seen order, capped for width.
+        metric_keys = []
+        for _, _, result in rows_in:
+            for key in result.get("metrics", {}):
+                if key not in metric_keys and not key.startswith("op:"):
+                    metric_keys.append(key)
+        metric_keys = metric_keys[:max_metrics]
+    rows = []
+    for label, spec, result in rows_in:
+        values = result.get("metrics", {})
+        cells = [
+            label,
+            result.get("engine", "?"),
+            spec.get("adversary", "?"),
+            spec.get("churn", "?"),
+        ]
+        for key in metric_keys:
+            value = values.get(key)
+            cells.append(f"{value:.6g}" if value is not None else "-")
+        rows.append(cells)
+    title = f"{len(rows)} scenario results"
+    if source is not None:
+        title += f" under {source}"
+    return render_table(
+        ["scenario", "engine", "adversary", "churn", *metric_keys],
+        rows,
+        title=title,
+    )

@@ -18,6 +18,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.scenario.registry import ENGINES
 from repro.scenario.spec import ScenarioSpec, SweepSpec
+from repro.scenario.store import JsonlAppender, load_result, store_result
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = pathlib.Path("results") / "scenarios"
@@ -79,11 +80,6 @@ class SweepRunner:
 
     # -- cache --------------------------------------------------------------
 
-    def _cache_path(self, spec: ScenarioSpec) -> pathlib.Path | None:
-        if self._cache_dir is None:
-            return None
-        return self._cache_dir / f"{spec.key()}.json"
-
     def cached(self, spec: ScenarioSpec):
         """The cached result for ``spec``, or ``None``.
 
@@ -91,26 +87,16 @@ class SweepRunner:
         a rename still hits; the stored result is relabelled with the
         requesting spec's name to avoid surfacing the stale one.
         """
-        import dataclasses
-
-        from repro.scenario.backends import ScenarioResult
-
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
+        if self._cache_dir is None:
             return None
-        payload = json.loads(path.read_text())
-        result = ScenarioResult.from_dict(payload["result"])
-        if result.name != spec.name:
-            result = dataclasses.replace(result, name=spec.name)
-        return result
+        return load_result(self._cache_dir, spec)
 
     def _store(self, spec: ScenarioSpec, result) -> None:
-        path = self._cache_path(spec)
-        if path is None:
+        if self._cache_dir is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        # Temp-file + os.replace publish: a killed worker never leaves
+        # a truncated entry for another host to read.
+        store_result(self._cache_dir, spec, result)
 
     # -- execution ----------------------------------------------------------
 
@@ -149,17 +135,17 @@ class SweepRunner:
         )
         stream = None
         if stream_path is not None:
-            stream_path = pathlib.Path(stream_path)
-            stream_path.parent.mkdir(parents=True, exist_ok=True)
-            # Append, so successive sweeps can pour into one combined
-            # JSONL file (matching the CLI's --stream contract).
-            stream = stream_path.open("a")
+            # Append (successive sweeps pour into one combined JSONL
+            # file, matching the CLI's --stream contract), each line a
+            # single O_APPEND write so a killed run never leaves a
+            # half-written entry mid-file for another reader.
+            stream = JsonlAppender(stream_path)
 
         def emit(spec: ScenarioSpec, result) -> None:
             if stream is not None:
-                line = {"spec": spec.to_dict(), "result": result.to_dict()}
-                stream.write(json.dumps(line, sort_keys=True) + "\n")
-                stream.flush()
+                stream.append(
+                    {"spec": spec.to_dict(), "result": result.to_dict()}
+                )
 
         try:
             results: list = [None] * len(specs) if collect else []

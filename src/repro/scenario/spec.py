@@ -184,6 +184,28 @@ class ScenarioSpec:
             )
         return cls.from_dict(document)
 
+    # -- wire format --------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Compact JSON text form (inverse of :meth:`from_json`).
+
+        Convenience for shipping a single spec as a string.  The
+        distributed protocol embeds :meth:`to_dict` payloads inside
+        its JSON frames rather than calling this, but both paths are
+        the same serialization, and the property that matters to the
+        fabric is proved on this round trip: a spec crossing a JSON
+        boundary keeps its content address
+        (``from_json(s.to_json()).key() == s.key()``), so a
+        coordinator can validate results returned by remote workers
+        against the address it assigned.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from its JSON wire form."""
+        return cls.from_dict(json.loads(text))
+
     # -- identity -----------------------------------------------------------
 
     def canonical(self) -> str:

@@ -1,0 +1,239 @@
+"""Crash-safe, content-addressed persistence for scenario results.
+
+The store layer is what makes sweep results *location independent*:
+every result lives in one JSON file named by the SHA-256 content
+address of its spec (``<key>.json``), so any process -- the in-process
+:class:`~repro.scenario.runner.SweepRunner`, a remote ``repro worker``,
+or the ``repro serve`` HTTP service -- resolves the same point to the
+same file without coordination.
+
+Two write disciplines keep the store safe under concurrent writers and
+mid-write crashes:
+
+* **whole-file results** go through :func:`atomic_write_json`: the
+  payload is written to a unique temp file in the target directory,
+  fsynced, then published with :func:`os.replace` -- readers see either
+  the old file or the complete new one, never a truncated hybrid, and
+  two processes racing on the same key both leave a valid file (the
+  writes are idempotent by content addressing);
+* **append-only logs** (sweep JSONL streams, the distributed job
+  ledger) go through :class:`JsonlAppender`: each record is one
+  ``os.write`` on an ``O_APPEND`` descriptor, so concurrent appenders
+  interleave at line granularity and a crash can only lose the final,
+  partially-written line -- which :func:`read_jsonl` detects and skips
+  on replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Iterator
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "JsonlAppender",
+    "atomic_write_json",
+    "load_result",
+    "read_jsonl",
+    "result_path",
+    "store_result",
+]
+
+
+def atomic_write_json(path: str | pathlib.Path, payload: Any) -> None:
+    """Write ``payload`` as JSON so readers never see a partial file.
+
+    The bytes land in a unique sibling temp file first (so concurrent
+    writers never collide), are flushed and fsynced, then renamed over
+    ``path`` -- on POSIX an atomic publish.  A crash at any point
+    leaves either the previous file or the complete new one.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+class JsonlAppender:
+    """Atomic line appends to a JSONL file.
+
+    Each :meth:`append` serializes one object and hands the whole line
+    (including the newline) to a single ``os.write`` on an ``O_APPEND``
+    descriptor: the kernel serializes concurrent appends, so writers in
+    different processes never interleave within a line, and a killed
+    writer can only truncate its own final line (skipped by
+    :func:`read_jsonl`).  ``fsync=True`` additionally forces each line
+    to disk before returning -- the durability contract of the job
+    ledger (a point is "done" only once its record survives a crash).
+    """
+
+    def __init__(
+        self, path: str | pathlib.Path, fsync: bool = False
+    ) -> None:
+        self._path = pathlib.Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(
+            self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._fsync = fsync
+        self._repair_tail()
+
+    def _repair_tail(self) -> None:
+        """Restore the line boundary after a predecessor's torn write.
+
+        If the file does not end in a newline, a previous writer died
+        mid-line; appending one first keeps the fragment isolated on
+        its own (unparseable, hence skipped) line instead of silently
+        merging with this writer's first record.
+        """
+        try:
+            size = os.fstat(self._fd).st_size
+            if size == 0:
+                return
+            with open(self._path, "rb") as probe:
+                probe.seek(size - 1)
+                last = probe.read(1)
+            if last != b"\n":
+                os.write(self._fd, b"\n")
+        except OSError:  # pragma: no cover - unreadable store media
+            pass
+
+    @property
+    def path(self) -> pathlib.Path:
+        """The file being appended to."""
+        return self._path
+
+    def append(self, record: Any, fsync: bool | None = None) -> None:
+        """Append one record as a single, whole-line write.
+
+        ``fsync`` overrides the appender's default durability for this
+        record (callers mixing must-survive-a-crash records with
+        merely-diagnostic ones pay the flush only where it matters).
+        """
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        written = os.write(self._fd, data)
+        # A short write (ENOSPC mid-line) would tear the record and
+        # make the *next* append merge with the fragment; push the
+        # remainder through (losing single-write atomicity only on a
+        # disk that is already failing) or raise trying.
+        while written < len(data):
+            written += os.write(self._fd, data[written:])
+        if self._fsync if fsync is None else fsync:
+            os.fsync(self._fd)
+
+    def close(self) -> None:
+        """Release the descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(
+    path: str | pathlib.Path, strict: bool = True
+) -> Iterator[Any]:
+    """Yield the records of a JSONL file, tolerating a torn tail.
+
+    A crash mid-append can leave one incomplete final line; it is
+    always skipped (bytes after the last newline were never a complete
+    record).  Interior lines that fail to parse are either torn
+    fragments isolated by a later appender's boundary repair
+    (``strict=False`` skips them -- the ledger's replay semantics:
+    losing an in-flight record only re-runs idempotent work) or real
+    damage (``strict=True``, the default, raises).
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    complete, _, tail = data.rpartition(b"\n")
+    for number, line in enumerate(complete.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError as error:
+            if strict:
+                raise ValueError(
+                    f"{path}:{number}: corrupt JSONL record ({error})"
+                ) from None
+            continue
+    # Bytes after the final newline: a complete record whose newline
+    # was cut (or a file produced by a tool that omits the trailing
+    # newline) still parses and is yielded; a mid-record torn write
+    # does not parse and is skipped in either mode.
+    if tail.strip():
+        try:
+            yield json.loads(tail)
+        except json.JSONDecodeError:
+            pass
+
+
+def result_path(
+    cache_dir: str | pathlib.Path, spec: ScenarioSpec
+) -> pathlib.Path:
+    """The content-addressed file of ``spec`` under ``cache_dir``."""
+    return pathlib.Path(cache_dir) / f"{spec.key()}.json"
+
+
+def store_result(
+    cache_dir: str | pathlib.Path, spec: ScenarioSpec, result
+) -> pathlib.Path:
+    """Persist one ``{"spec": ..., "result": ...}`` payload atomically.
+
+    Safe under concurrent writers (each publishes via its own temp
+    file) and idempotent: the payload is a pure function of the spec,
+    so last-writer-wins races still converge on identical bytes.
+    """
+    path = result_path(cache_dir, spec)
+    atomic_write_json(
+        path, {"spec": spec.to_dict(), "result": result.to_dict()}
+    )
+    return path
+
+
+def load_result(cache_dir: str | pathlib.Path, spec: ScenarioSpec):
+    """The cached :class:`ScenarioResult` for ``spec``, or ``None``.
+
+    The content address ignores the ``name`` label, so a renamed spec
+    still hits; the stored result is relabelled with the requesting
+    spec's name to avoid surfacing the stale one.
+    """
+    from repro.scenario.backends import ScenarioResult
+
+    path = result_path(cache_dir, spec)
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    result = ScenarioResult.from_dict(payload["result"])
+    if result.name != spec.name:
+        result = dataclasses.replace(result, name=spec.name)
+    return result

@@ -1,0 +1,117 @@
+"""CLI glue tests for the distributed subcommands."""
+
+import json
+import threading
+
+from repro.cli import build_parser, main
+from repro.core.parameters import ModelParameters
+from repro.scenario.runner import SweepRunner
+from repro.scenario.spec import ScenarioSpec
+
+PARAMS = ModelParameters(core_size=5, spare_max=5, k=1, mu=0.2, d=0.9)
+
+
+def write_sweep_spec(path) -> list[ScenarioSpec]:
+    document = {
+        "name": "cli-dist",
+        "engine": "batch",
+        "runs": 40,
+        "seed": 12,
+        "params": {
+            "core_size": 5,
+            "spare_max": 5,
+            "k": 1,
+            "mu": 0.2,
+            "d": 0.9,
+        },
+        "sweep": {"params.mu": [0.1, 0.2], "adversary": ["strong"]},
+    }
+    path.write_text(json.dumps(document))
+    from repro.scenario.spec import SweepSpec
+
+    return SweepSpec.from_file(path).expand()
+
+
+class TestParser:
+    def test_subcommands_exist_with_defaults(self):
+        parser = build_parser()
+        coordinator = parser.parse_args(
+            ["sweep-coordinator", "spec.json", "--port", "0"]
+        )
+        assert coordinator.experiment == "sweep-coordinator"
+        assert coordinator.ledger.name == "sweep-ledger.jsonl"
+        worker = parser.parse_args(["worker", "--port", "7641", "--id", "w"])
+        assert worker.experiment == "worker"
+        assert worker.max_points is None
+        serve = parser.parse_args(["serve", "--port", "0"])
+        assert serve.experiment == "serve"
+        assert serve.cache_dir.name == "scenarios"
+
+
+class TestCoordinatorCommand:
+    def test_fully_cached_sweep_completes_without_workers(
+        self, tmp_path, capsys
+    ):
+        spec_file = tmp_path / "sweep.json"
+        specs = write_sweep_spec(spec_file)
+        cache = tmp_path / "cache"
+        SweepRunner(cache_dir=cache).sweep(specs)
+        code = main(
+            [
+                "sweep-coordinator",
+                str(spec_file),
+                "--port",
+                "0",
+                "--cache-dir",
+                str(cache),
+                "--ledger",
+                str(tmp_path / "ledger.jsonl"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep complete: 2/2 done" in out
+        assert "2 from cache" in out
+
+    def test_coordinator_and_worker_commands_run_a_sweep(
+        self, tmp_path, capsys
+    ):
+        import socket
+
+        spec_file = tmp_path / "sweep.json"
+        write_sweep_spec(spec_file)
+        cache = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+        codes = {}
+        # Probe a free ephemeral port (the CLI announces its port only
+        # on stdout, which capsys owns during the test).
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = str(probe.getsockname()[1])
+
+        def coordinate() -> None:
+            codes["coordinator"] = main(
+                [
+                    "sweep-coordinator",
+                    str(spec_file),
+                    "--port",
+                    port,
+                    "--cache-dir",
+                    str(cache),
+                    "--ledger",
+                    str(ledger),
+                ]
+            )
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        codes["worker"] = main(
+            ["worker", "--port", port, "--id", "cli-w0"]
+        )
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        out = capsys.readouterr().out
+        assert codes == {"coordinator": 0, "worker": 0}
+        assert "sweep complete: 2/2 done" in out
+        assert "worker cli-w0: 2 points executed" in out
+        assert len(list(cache.glob("*.json"))) == 2

@@ -1,0 +1,493 @@
+"""End-to-end tests of the coordinator/worker fabric.
+
+The contract under test, in the paper-evaluation setting that motivates
+it (an 18-point adversary x parameter grid):
+
+* a 2-worker distributed sweep produces a result set *identical* to
+  the serial :class:`~repro.scenario.runner.SweepRunner` -- same
+  content-addressed file names, same bytes;
+* killing a worker mid-point requeues its claim (no point is lost, no
+  point is double-counted);
+* killing the coordinator and resuming from its ledger re-runs only
+  the unfinished points;
+* a point that raises is terminal (reported, never requeued).
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.distributed.coordinator import SweepCoordinator
+from repro.distributed.protocol import read_frame, write_frame
+from repro.distributed.worker import worker_loop
+from repro.scenario.runner import SweepRunner
+from repro.scenario.spec import ScenarioSpec, SweepSpec
+
+#: Small state space keeps per-point row assembly cheap.
+PARAMS = ModelParameters(core_size=5, spare_max=5, k=1, mu=0.2, d=0.9)
+
+
+def grid_18() -> list[ScenarioSpec]:
+    """The acceptance grid: 3 mu x 3 d x 2 adversaries = 18 points."""
+    base = ScenarioSpec(
+        name="dist-grid", params=PARAMS, engine="batch", runs=60, seed=19
+    )
+    return SweepSpec(
+        base=base,
+        axes=(
+            ("params.mu", (0.1, 0.2, 0.3)),
+            ("params.d", (0.5, 0.7, 0.9)),
+            ("adversary", ("strong", "passive")),
+        ),
+    ).expand()
+
+
+class CoordinatorThread:
+    """Drives one coordinator on a background thread."""
+
+    def __init__(self, specs, **kwargs):
+        self.coordinator = SweepCoordinator(specs, port=0, **kwargs)
+        self.summary = None
+
+        def run() -> None:
+            self.summary = self.coordinator.run()
+
+        self.thread = threading.Thread(target=run)
+        self.thread.start()
+        assert self.coordinator.ready.wait(timeout=10)
+        self.port = self.coordinator.port
+
+    def join(self, timeout: float = 60.0):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "coordinator did not finish"
+        return self.summary
+
+    def stop(self, timeout: float = 60.0):
+        self.coordinator.request_stop()
+        return self.join(timeout)
+
+
+def run_workers(port: int, count: int, **kwargs) -> list[dict]:
+    """Run ``count`` workers to completion on background threads."""
+    stats: list[dict] = []
+    lock = threading.Lock()
+
+    def drive(index: int) -> None:
+        outcome = asyncio.run(
+            worker_loop(
+                "127.0.0.1", port, worker_id=f"w{index}", **kwargs
+            )
+        )
+        with lock:
+            stats.append(outcome)
+
+    threads = [
+        threading.Thread(target=drive, args=(index,))
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "worker did not finish"
+    return stats
+
+
+class TestTwoWorkerEquivalence:
+    def test_distributed_18_point_sweep_equals_serial(self, tmp_path):
+        specs = grid_18()
+        serial_dir = tmp_path / "serial"
+        SweepRunner(cache_dir=serial_dir).sweep(specs)
+
+        dist_dir = tmp_path / "dist"
+        driver = CoordinatorThread(
+            specs,
+            cache_dir=dist_dir,
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        stats = run_workers(driver.port, 2)
+        summary = driver.join()
+
+        assert summary["done"] == summary["total"] == 18
+        assert summary["computed"] == 18 and not summary["failed"]
+        # Both workers actually participated.
+        executed = {s["worker"]: s["executed"] for s in stats}
+        assert set(executed) == {"w0", "w1"}
+        assert all(count > 0 for count in executed.values())
+        assert sum(executed.values()) == 18
+        # Identical result sets: same content-addressed files, same
+        # bytes (results are pure functions of the spec, wherever
+        # they execute).
+        serial_files = sorted(p.name for p in serial_dir.glob("*.json"))
+        dist_files = sorted(p.name for p in dist_dir.glob("*.json"))
+        assert serial_files == dist_files
+        assert len(serial_files) == 18
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                dist_dir / name
+            ).read_bytes()
+
+    def test_duplicate_grid_points_are_queued_once(self, tmp_path):
+        """A sweep axis listing the same value twice must not assign
+        the point to two workers (or corrupt the completion count)."""
+        specs = grid_18()[:3]
+        duplicated = [*specs, *specs]  # every point appears twice
+        driver = CoordinatorThread(
+            duplicated,
+            cache_dir=tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        run_workers(driver.port, 2)
+        summary = driver.join()
+        assert summary["total"] == 3
+        assert summary["done"] == 3
+        assert summary["computed"] == 3  # each unique point ran once
+        assert summary["pending"] == 0
+
+    def test_prewarmed_cache_is_not_recomputed(self, tmp_path):
+        specs = grid_18()
+        cache = tmp_path / "cache"
+        SweepRunner(cache_dir=cache).sweep(specs[:7])
+        driver = CoordinatorThread(
+            specs, cache_dir=cache, ledger_path=tmp_path / "ledger.jsonl"
+        )
+        run_workers(driver.port, 2)
+        summary = driver.join()
+        assert summary["from_cache"] == 7
+        assert summary["computed"] == 11
+        assert summary["done"] == 18
+
+
+class TestWorkerCrash:
+    def test_killed_worker_claim_is_requeued(self, tmp_path):
+        """Claim a point, drop the connection mid-execution, and check
+        a healthy worker still completes the whole grid."""
+        specs = grid_18()[:6]
+        driver = CoordinatorThread(
+            specs,
+            cache_dir=tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+
+        async def claim_then_die() -> str:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(
+                writer, {"type": "hello", "worker": "doomed"}
+            )
+            await write_frame(writer, {"type": "claim"})
+            message = await read_frame(reader)
+            assert message["type"] == "assign"
+            # Die mid-point: close without sending a result.
+            writer.close()
+            await writer.wait_closed()
+            return message["key"]
+
+        doomed_key = asyncio.run(claim_then_die())
+        stats = run_workers(driver.port, 1)
+        summary = driver.join()
+        assert summary["done"] == 6
+        assert summary["computed"] == 6  # the doomed point re-ran
+        assert stats[0]["executed"] == 6
+        assert "doomed" not in summary["workers"]
+        assert (tmp_path / "cache" / f"{doomed_key}.json").exists()
+
+
+class TestCoordinatorResume:
+    def test_resume_runs_only_unfinished_points(self, tmp_path):
+        specs = grid_18()
+        cache = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+
+        first = CoordinatorThread(specs, cache_dir=cache, ledger_path=ledger)
+        partial = run_workers(first.port, 1, max_points=5)
+        assert partial[0]["executed"] == 5
+        summary = first.stop()  # "crash": pending points stay ledgered
+        assert summary["done"] == 5 and summary["pending"] == 13
+
+        second = CoordinatorThread(specs, cache_dir=cache, ledger_path=ledger)
+        run_workers(second.port, 2)
+        summary = second.join()
+        assert summary["resumed_from_ledger"] == 5
+        assert summary["computed"] == 13  # only the unfinished points
+        assert summary["done"] == 18 and summary["pending"] == 0
+        assert len(list(cache.glob("*.json"))) == 18
+
+    def test_resume_treats_ledgered_failures_as_terminal(self, tmp_path):
+        """A resumed coordinator must not re-queue a deterministic
+        failure (or hang on it when no workers attach)."""
+        good = grid_18()[:2]
+        bad = ScenarioSpec(
+            name="bad",
+            params=PARAMS,
+            engine="analytic",
+            adversary="passive",
+            seed=3,
+        )
+        specs = [*good, bad]
+        cache = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+        first = CoordinatorThread(specs, cache_dir=cache, ledger_path=ledger)
+        run_workers(first.port, 1)
+        summary = first.join()
+        assert list(summary["failed"]) == [bad.key()]
+        # Resume with no workers: completes immediately, failure intact.
+        resumed = SweepCoordinator(
+            specs, cache_dir=cache, ledger_path=ledger
+        )
+        summary = resumed.run()
+        assert summary["done"] == 2 and summary["pending"] == 0
+        assert list(summary["failed"]) == [bad.key()]
+        assert summary["computed"] == 0
+
+    def test_resume_with_nothing_pending_finishes_without_workers(
+        self, tmp_path
+    ):
+        specs = grid_18()[:4]
+        cache = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+        first = CoordinatorThread(specs, cache_dir=cache, ledger_path=ledger)
+        run_workers(first.port, 2)
+        first.join()
+        # No workers at all: the resumed coordinator must complete on
+        # ledger replay alone.
+        resumed = SweepCoordinator(
+            specs, cache_dir=cache, ledger_path=ledger
+        )
+        summary = resumed.run()
+        assert summary["done"] == 4
+        assert summary["computed"] == 0
+        assert summary["resumed_from_ledger"] == 4
+
+
+class TestFailures:
+    def test_failing_point_is_terminal_and_reported(self, tmp_path):
+        good = grid_18()[:2]
+        # The analytic engine embeds the strong adversary; a passive
+        # spec is a deterministic SpecError on every worker.
+        bad = ScenarioSpec(
+            name="bad",
+            params=PARAMS,
+            engine="analytic",
+            adversary="passive",
+            seed=3,
+        )
+        specs = [*good, bad]
+        driver = CoordinatorThread(
+            specs,
+            cache_dir=tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        stats = run_workers(driver.port, 2)
+        summary = driver.join()
+        assert summary["done"] == 2
+        assert list(summary["failed"]) == [bad.key()]
+        assert "SpecError" in summary["failed"][bad.key()]
+        assert sum(s["failed"] for s in stats) == 1
+        # The failure is in the durable ledger too.
+        from repro.distributed.ledger import SweepLedger
+
+        state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+        assert bad.key() in state.failed
+
+
+class TestProtocolHygiene:
+    def test_result_with_mismatched_key_is_rejected(self, tmp_path):
+        specs = grid_18()[:2]
+        driver = CoordinatorThread(
+            specs, cache_dir=tmp_path / "cache"
+        )
+
+        async def lie_about_key() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(writer, {"type": "hello", "worker": "liar"})
+            await write_frame(writer, {"type": "claim"})
+            assignment = await read_frame(reader)
+            forged = dict(assignment["spec"])
+            await write_frame(
+                writer,
+                {
+                    "type": "result",
+                    "key": assignment["key"],
+                    "result": {
+                        "key": "0" * 64,  # wrong content address
+                        "name": forged.get("name", "?"),
+                        "engine": "batch",
+                        "metrics": {},
+                        "series": None,
+                        "meta": {},
+                    },
+                },
+            )
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(lie_about_key())
+        assert reply["type"] == "error"
+        assert "does not match" in reply["error"]
+        # The point went back to the queue and real workers finish it.
+        run_workers(driver.port, 1)
+        summary = driver.join()
+        assert summary["done"] == 2
+        assert "liar" not in summary["workers"]
+
+    def test_unstorable_result_payload_is_requeued_not_orphaned(
+        self, tmp_path
+    ):
+        """A result whose payload cannot rebuild a ScenarioResult must
+        put the point back in the queue (not strand it in no queue at
+        all, which would hang the sweep forever)."""
+        specs = grid_18()[:2]
+        driver = CoordinatorThread(
+            specs, cache_dir=tmp_path / "cache"
+        )
+
+        async def send_garbage_payload() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(writer, {"type": "hello", "worker": "mangler"})
+            await write_frame(writer, {"type": "claim"})
+            assignment = await read_frame(reader)
+            await write_frame(
+                writer,
+                {
+                    "type": "result",
+                    "key": assignment["key"],
+                    # Correct content address, un-rebuildable payload.
+                    "result": {"key": assignment["key"], "bogus": True},
+                },
+            )
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(send_garbage_payload())
+        assert reply["type"] == "error"
+        assert "requeued" in reply["error"]
+        run_workers(driver.port, 1)
+        summary = driver.join()
+        assert summary["done"] == 2 and summary["pending"] == 0
+        assert "mangler" not in summary["workers"]
+
+    def test_unknown_message_type_gets_error_frame(self, tmp_path):
+        driver = CoordinatorThread(
+            grid_18()[:1], cache_dir=tmp_path / "cache"
+        )
+
+        async def probe() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(writer, {"type": "frobnicate"})
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(probe())
+        assert reply["type"] == "error"
+        run_workers(driver.port, 1)
+        assert driver.join()["done"] == 1
+
+    def test_oversized_result_is_a_terminal_failure_not_a_livelock(
+        self, tmp_path, monkeypatch
+    ):
+        """A result too large to frame must be reported as failed --
+        not crash the worker and requeue/recompute forever."""
+        from repro.distributed import protocol
+
+        # Assign/claim/failed frames stay well under 8 KiB; a dense
+        # competing-batch series (3 arrays x 2000 records) does not.
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 8192)
+        big = ScenarioSpec(
+            name="dense-series",
+            params=PARAMS,
+            engine="competing-batch",
+            n=50,
+            events=2000,
+            record_every=1,
+            seed=5,
+        )
+        specs = [*grid_18()[:2], big]
+        driver = CoordinatorThread(
+            specs,
+            cache_dir=tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        stats = run_workers(driver.port, 1)
+        summary = driver.join()
+        assert stats[0]["executed"] == 2
+        assert stats[0]["failed"] == 1  # reported, not crashed
+        assert summary["done"] == 2 and summary["pending"] == 0
+        assert list(summary["failed"]) == [big.key()]
+        assert "not sendable" in summary["failed"][big.key()]
+
+    def test_cached_result_outranks_a_ledgered_failure_on_resume(
+        self, tmp_path
+    ):
+        """If a point failed once but a valid result later landed in
+        the store (serial run, other coordinator), resume must trust
+        the content-addressed result, not the stale failure."""
+        from repro.distributed.ledger import SweepLedger
+
+        specs = grid_18()[:2]
+        cache = tmp_path / "cache"
+        ledger = tmp_path / "ledger.jsonl"
+        with SweepLedger(ledger) as log:
+            log.record_scheduled(specs)
+            log.record_failed(specs[0].key(), "w0", "transient OOM")
+        SweepRunner(cache_dir=cache).sweep(specs)  # both now computed
+        resumed = SweepCoordinator(
+            specs, cache_dir=cache, ledger_path=ledger
+        )
+        summary = resumed.run()
+        assert summary["done"] == 2
+        assert summary["failed"] == {}
+        assert summary["from_cache"] == 2
+
+    def test_publish_failure_retries_then_goes_terminal(self, tmp_path):
+        """A coordinator that cannot store a result requeues the point
+        (keeping the worker alive -- retryable error frame, never a
+        crash) until the retry cap, then fails it terminally instead
+        of livelocking the fleet on recompute/republish cycles."""
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should be")
+        specs = grid_18()[:1]
+        driver = CoordinatorThread(specs, cache_dir=blocked / "cache")
+        stats = run_workers(driver.port, 1)
+        summary = driver.join()  # completes on its own: terminal failure
+        # Nothing was durably stored, so nothing counts as executed,
+        # and the worker reported no spec failure of its own.
+        assert stats[0]["executed"] == 0
+        assert stats[0]["failed"] == 0
+        assert summary["done"] == 0 and summary["pending"] == 0
+        [(key, error)] = summary["failed"].items()
+        assert key == specs[0].key()
+        assert "not storable" in error
+
+    def test_mid_point_heartbeats_do_not_disturb_the_sweep(self, tmp_path):
+        """Workers heartbeating aggressively (every 10 ms, so several
+        frames land mid-execution) still complete a correct sweep."""
+        specs = grid_18()[:4]
+        driver = CoordinatorThread(
+            specs, cache_dir=tmp_path / "cache"
+        )
+        stats = run_workers(driver.port, 2, heartbeat_every=0.01)
+        summary = driver.join()
+        assert summary["done"] == 4
+        assert sum(s["executed"] for s in stats) == 4
+
+    def test_wire_spec_preserves_content_address(self):
+        for spec in grid_18():
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            assert rebuilt.key() == spec.key()

@@ -1,0 +1,133 @@
+"""Ledger tests: replay semantics, torn tails, scheduling idempotence."""
+
+import json
+
+import pytest
+
+from repro.distributed.ledger import SweepLedger
+from repro.scenario.spec import ScenarioSpec
+
+
+def spec(seed: int) -> ScenarioSpec:
+    return ScenarioSpec(name=f"point-{seed}", engine="analytic", seed=seed)
+
+
+class TestReplay:
+    def test_lifecycle_folds_to_terminal_state(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        points = [spec(i) for i in range(4)]
+        keys = [point.key() for point in points]
+        with SweepLedger(path) as ledger:
+            ledger.record_scheduled(points)
+            ledger.record_claimed(keys[0], "w1")
+            ledger.record_done(keys[0], "w1", elapsed=0.1)
+            ledger.record_claimed(keys[1], "w2")  # stale: no terminal event
+            ledger.record_claimed(keys[2], "w1")
+            ledger.record_failed(keys[2], "w1", "boom")
+        state = SweepLedger.replay_path(path)
+        assert set(state.scheduled) == set(keys)
+        assert state.done == {keys[0]}
+        assert state.failed == {keys[2]: "boom"}
+        assert state.claims == {keys[1]: "w2"}
+        assert state.pending == {keys[1], keys[3]}
+
+    def test_scheduled_keeps_wire_spec(self, tmp_path):
+        point = spec(9)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            state = ledger.replay()
+        rebuilt = ScenarioSpec.from_dict(state.scheduled[point.key()])
+        assert rebuilt == point
+
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        state = SweepLedger.replay_path(tmp_path / "absent.jsonl")
+        assert not state.scheduled and not state.done
+
+    def test_rescheduling_is_idempotent(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        points = [spec(i) for i in range(3)]
+        with SweepLedger(path) as ledger:
+            ledger.record_scheduled(points)
+        # A resumed coordinator schedules the same grid again.
+        with SweepLedger(path) as ledger:
+            ledger.record_scheduled(points)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 3  # no duplicate scheduled records
+
+    def test_done_supersedes_an_earlier_failure(self, tmp_path):
+        """Two workers race a requeued point: one reports failed, the
+        other returns a result.  Replay must agree with the
+        coordinator's in-memory supersede (done and failed disjoint)."""
+        point = spec(4)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_failed(point.key(), "w1", "transient")
+            ledger.record_done(point.key(), "w2")
+            state = ledger.replay()
+        assert state.done == {point.key()}
+        assert state.failed == {}
+        # And symmetrically: a failure arriving after done is ignored.
+        with SweepLedger(tmp_path / "l2.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_done(point.key(), "w2")
+            ledger.record_failed(point.key(), "w1", "late")
+            state = ledger.replay()
+        assert state.done == {point.key()}
+        assert state.failed == {}
+
+    def test_done_after_requeue_wins(self, tmp_path):
+        point = spec(1)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_claimed(point.key(), "w1")
+            ledger.record_claimed(point.key(), "w2")  # requeued after crash
+            ledger.record_done(point.key(), "w2")
+            state = ledger.replay()
+        assert state.done == {point.key()}
+        assert state.pending == set()
+        assert state.claims == {}
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        points = [spec(i) for i in range(2)]
+        with SweepLedger(path) as ledger:
+            ledger.record_scheduled(points)
+            ledger.record_done(points[0].key(), "w1")
+        # Simulate a coordinator killed mid-append: a partial record
+        # with no trailing newline.
+        with path.open("a") as handle:
+            handle.write('{"event": "done", "key": "dead')
+        state = SweepLedger.replay_path(path)
+        assert state.done == {points[0].key()}
+        assert state.pending == {points[1].key()}
+        # The ledger stays appendable after the torn line: opening the
+        # appender repairs the line boundary, so the next record lands
+        # on its own line and the fragment stays isolated (skipped).
+        with SweepLedger(path) as ledger:
+            ledger.record_done(points[1].key(), "w2")
+        state = SweepLedger.replay_path(path)
+        assert state.pending == set()
+        assert state.done == {point.key() for point in points}
+
+    def test_unparseable_fragment_lines_are_skipped(self, tmp_path):
+        point = spec(0)
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"event": "done", "key": "dead\n')  # isolated torn
+        with SweepLedger(path) as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_done(point.key(), "w1")
+        state = SweepLedger.replay_path(path)
+        assert state.done == {point.key()}
+        assert state.pending == set()
+
+    def test_malformed_record_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"event": "exploded", "key": "a"}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            SweepLedger.replay_path(path)

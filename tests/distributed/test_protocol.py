@@ -1,0 +1,153 @@
+"""Framing tests: adversarial payloads, partial buffers, bad prefixes."""
+
+import struct
+
+import pytest
+
+from repro.distributed.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+
+ADVERSARIAL_MESSAGES = [
+    {"type": "claim"},
+    {"type": "hello", "worker": ""},
+    {"type": "result", "key": "f" * 64, "result": {"metrics": {}}},
+    {"type": "x", "payload": "snowman ☃ and \U0001f409 dragon"},
+    {"type": "x", "payload": 'quotes " and \\ backslashes \n newlines'},
+    {"type": "x", "payload": "\x00\x01\x02 control chars"},
+    {"type": "x", "nested": {"a": [1, 2.5, None, True, {"b": ["c"]}]}},
+    {"type": "x", "big": "A" * 100_000},
+    {"type": "x", "floats": [1e308, -0.0, 1e-308]},
+    {"type": "123", "456": "789"},
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ADVERSARIAL_MESSAGES)
+    def test_encode_decode_round_trip(self, message):
+        decoded, rest = decode_frame(encode_frame(message))
+        assert decoded == message
+        assert rest == b""
+
+    def test_back_to_back_frames_split_correctly(self):
+        wire = b"".join(encode_frame(m) for m in ADVERSARIAL_MESSAGES)
+        seen = []
+        while wire:
+            message, wire = decode_frame(wire)
+            seen.append(message)
+        assert seen == ADVERSARIAL_MESSAGES
+
+    def test_partial_buffer_returns_none_at_every_cut(self):
+        frame = encode_frame({"type": "x", "payload": "hello"})
+        for cut in range(len(frame)):
+            message, rest = decode_frame(frame[:cut])
+            assert message is None
+            assert rest == frame[:cut]
+
+    def test_trailing_bytes_preserved(self):
+        frame = encode_frame({"type": "a"})
+        message, rest = decode_frame(frame + b"extra")
+        assert message == {"type": "a"}
+        assert rest == b"extra"
+
+
+class TestRejection:
+    def test_oversized_length_prefix_rejected(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(header + b"x")
+
+    def test_oversized_message_refused_on_send(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "x", "blob": "A" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_json_payload_rejected(self):
+        payload = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_frame(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_rejected(self):
+        payload = b"[1, 2, 3]"
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(struct.pack(">I", len(payload)) + payload)
+
+    def test_object_without_type_rejected(self):
+        payload = b'{"no": "type"}'
+        with pytest.raises(ProtocolError, match="type"):
+            decode_frame(struct.pack(">I", len(payload)) + payload)
+
+    def test_typeless_message_refused_on_send(self):
+        with pytest.raises(ProtocolError, match="type"):
+            encode_frame({"not_type": 1})
+
+
+class TestAsyncFraming:
+    def test_stream_round_trip_over_a_real_socket_pair(self):
+        import asyncio
+
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                from repro.distributed.protocol import read_frame
+
+                while True:
+                    message = await read_frame(reader)
+                    if message is None:
+                        break
+                    received.append(message)
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            from repro.distributed.protocol import write_frame
+
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            for message in ADVERSARIAL_MESSAGES:
+                await write_frame(writer, message)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), timeout=5)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(scenario()) == ADVERSARIAL_MESSAGES
+
+    def test_eof_mid_frame_raises_protocol_error(self):
+        import asyncio
+
+        async def scenario():
+            from repro.distributed.protocol import read_frame
+
+            outcome = {}
+
+            async def handler(reader, writer):
+                try:
+                    await read_frame(reader)
+                except ProtocolError as error:
+                    outcome["error"] = str(error)
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            _, writer = await asyncio.open_connection("127.0.0.1", port)
+            frame = encode_frame({"type": "x", "payload": "truncated"})
+            writer.write(frame[: len(frame) // 2])  # torn mid-send
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.1)
+            server.close()
+            await server.wait_closed()
+            return outcome
+
+        outcome = asyncio.run(scenario())
+        assert "mid" in outcome["error"]
+
+

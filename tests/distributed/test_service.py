@@ -1,0 +1,189 @@
+"""Tests for the ``repro serve`` HTTP service."""
+
+import concurrent.futures
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.distributed.ledger import SweepLedger
+from repro.distributed.service import ResultsService
+from repro.scenario.runner import SweepRunner
+from repro.scenario.spec import ScenarioSpec, SweepSpec
+
+PARAMS = ModelParameters(core_size=5, spare_max=5, k=1, mu=0.2, d=0.9)
+
+
+@pytest.fixture(scope="module")
+def populated(tmp_path_factory):
+    """A cache of 6 swept points plus a matching complete ledger."""
+    root = tmp_path_factory.mktemp("served")
+    cache = root / "cache"
+    specs = SweepSpec(
+        base=ScenarioSpec(
+            name="served", params=PARAMS, engine="batch", runs=40, seed=5
+        ),
+        axes=(
+            ("params.mu", (0.1, 0.3)),
+            ("adversary", ("strong", "passive", "greedy-leave")),
+        ),
+    ).expand()
+    SweepRunner(cache_dir=cache).sweep(specs)
+    ledger_path = root / "ledger.jsonl"
+    with SweepLedger(ledger_path) as ledger:
+        ledger.record_scheduled(specs)
+        for spec in specs[:-1]:
+            ledger.record_done(spec.key(), "w0", elapsed=0.1)
+        ledger.record_claimed(specs[-1].key(), "w1")  # still in flight
+    return {"cache": cache, "ledger": ledger_path, "specs": specs}
+
+
+@pytest.fixture(scope="module")
+def service(populated):
+    with ResultsService(
+        populated["cache"], ledger_path=populated["ledger"]
+    ).start() as running:
+        yield running
+
+
+def get(service: ResultsService, path: str) -> tuple[int, str, bytes]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.port}{path}"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type", ""),
+                response.read(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type", ""), error.read()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        status, content_type, body = get(service, "/healthz")
+        assert status == 200 and content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["results"] == 6
+
+    def test_progress_reflects_the_ledger(self, service):
+        status, _, body = get(service, "/progress")
+        assert status == 200
+        progress = json.loads(body)
+        assert progress["scheduled"] == 6
+        assert progress["done"] == 5
+        assert progress["pending"] == 1
+        assert progress["claimed"] == 1
+        assert progress["complete"] is False
+        assert progress["results"] == 6
+
+    def test_results_index(self, service, populated):
+        status, _, body = get(service, "/results")
+        assert status == 200
+        index = json.loads(body)
+        assert len(index) == 6
+        keys = {entry["key"] for entry in index}
+        assert keys == {spec.key() for spec in populated["specs"]}
+
+    def test_result_by_key_serves_the_stored_payload(
+        self, service, populated
+    ):
+        spec = populated["specs"][0]
+        status, content_type, body = get(
+            service, f"/results/{spec.key()}"
+        )
+        assert status == 200
+        assert content_type.startswith("application/json")
+        payload = json.loads(body)
+        assert payload["result"]["key"] == spec.key()
+        assert payload["spec"]["adversary"] == spec.adversary
+
+    def test_result_by_unknown_key_is_404(self, service):
+        status, _, body = get(service, "/results/" + "0" * 64)
+        assert status == 404
+        assert "no cached result" in json.loads(body)["error"]
+
+    def test_malformed_key_is_404_not_path_traversal(self, service):
+        status, _, _ = get(service, "/results/../../etc/passwd")
+        assert status == 404
+
+    def test_report_renders_the_sweep_table(self, service):
+        status, content_type, body = get(service, "/report")
+        assert status == 200 and content_type.startswith("text/plain")
+        text = body.decode()
+        assert "6 scenario results" in text
+        assert "adversary" in text and "strong" in text
+
+    def test_report_filters_by_name_and_metrics(self, service):
+        status, _, body = get(
+            service, "/report?name=passive&metrics=E(T_P)"
+        )
+        assert status == 200
+        text = body.decode()
+        assert "2 scenario results" in text
+        assert "E(T_P)" in text and "greedy" not in text
+
+    def test_report_with_no_match_is_404(self, service):
+        status, _, _ = get(service, "/report?name=nonexistent")
+        assert status == 404
+
+    def test_unknown_route_lists_the_api(self, service):
+        status, _, body = get(service, "/definitely/not/a/route")
+        assert status == 404
+        assert "/progress" in json.loads(body)["routes"]
+
+
+class TestConcurrentClients:
+    def test_many_concurrent_readers_get_complete_payloads(
+        self, service, populated
+    ):
+        keys = [spec.key() for spec in populated["specs"]]
+        paths = [f"/results/{key}" for key in keys] * 10 + [
+            "/progress",
+            "/healthz",
+            "/report",
+        ] * 5
+
+        def fetch(path: str) -> int:
+            status, _, body = get(service, path)
+            assert status == 200
+            if path.startswith("/results/"):
+                assert json.loads(body)["result"]["key"] in keys
+            return status
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
+            statuses = list(pool.map(fetch, paths))
+        assert statuses == [200] * len(paths)
+
+
+class TestBadDiskState:
+    def test_malformed_ledger_yields_500_not_a_dropped_connection(
+        self, populated, tmp_path
+    ):
+        bad_ledger = tmp_path / "bad.jsonl"
+        bad_ledger.write_text('{"event": "exploded", "key": "a"}\n')
+        with ResultsService(
+            populated["cache"], ledger_path=bad_ledger
+        ).start() as service:
+            status, content_type, body = get(service, "/progress")
+            assert status == 500
+            assert content_type.startswith("application/json")
+            assert "ValueError" in json.loads(body)["error"]
+            # Other routes stay healthy on the same service.
+            assert get(service, "/healthz")[0] == 200
+
+
+class TestWithoutLedger:
+    def test_progress_degrades_gracefully(self, populated):
+        with ResultsService(populated["cache"]).start() as service:
+            status, _, body = get(service, "/progress")
+            assert status == 200
+            progress = json.loads(body)
+            assert progress["ledger"] is None
+            assert progress["results"] == 6
+            assert "scheduled" not in progress

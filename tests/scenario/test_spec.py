@@ -38,6 +38,33 @@ class TestScenarioSpec:
         with pytest.raises(SpecError, match="unknown scenario fields"):
             ScenarioSpec.from_dict({"frobnicate": 1})
 
+    def test_json_wire_round_trip_preserves_content_address(self):
+        """The distributed protocol ships specs as JSON text; identity
+        and the cache key must survive the round trip."""
+        awkward = [
+            ScenarioSpec(),
+            ScenarioSpec(
+                name="wire",
+                params=ModelParameters(mu=0.2, d=0.9),
+                initial=(3, 1, 0),  # tuple -> JSON list -> tuple
+                adversary="greedy-leave",
+                churn="pareto-sessions",
+                churn_options={"horizon": 1e4, "label": "x"},
+                engine="scalar",
+                n=17,
+                events=1000,
+                seed=2**31 - 1,
+                seed_index=41,
+                options={"event_batching": True, "chunk_size": 4096},
+            ),
+            ScenarioSpec(params=ModelParameters(d=0.123456789012345)),
+        ]
+        for spec in awkward:
+            rebuilt = ScenarioSpec.from_json(spec.to_json())
+            assert rebuilt == spec
+            assert rebuilt.key() == spec.key()
+            assert rebuilt.canonical() == spec.canonical()
+
     def test_unknown_model_parameter_rejected(self):
         with pytest.raises(SpecError, match="unknown model parameters"):
             ScenarioSpec.from_dict({"params": {"gamma": 0.5}})

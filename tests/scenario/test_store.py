@@ -1,0 +1,198 @@
+"""Crash-safety tests for the content-addressed store layer."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.store import (
+    JsonlAppender,
+    atomic_write_json,
+    load_result,
+    read_jsonl,
+    result_path,
+    store_result,
+)
+
+
+def make_result(spec: ScenarioSpec):
+    from repro.scenario.backends import ScenarioResult
+
+    return ScenarioResult(
+        key=spec.key(),
+        name=spec.name,
+        engine=spec.engine,
+        metrics={"E(T_S)": 1.25, "E(T_P)": 0.5},
+    )
+
+
+class TestAtomicJson:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "deep" / "payload.json"
+        atomic_write_json(path, {"a": [1, 2], "b": "x"})
+        assert json.loads(path.read_text()) == {"a": [1, 2], "b": "x"}
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = tmp_path / "payload.json"
+        atomic_write_json(path, {"version": 1})
+        atomic_write_json(path, {"version": 2})
+        assert json.loads(path.read_text()) == {"version": 2}
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        atomic_write_json(tmp_path / "a.json", {"x": 1})
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.json"]
+
+    def test_failed_write_leaves_no_partial_file(self, tmp_path):
+        class Unserializable:
+            pass
+
+        path = tmp_path / "bad.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": Unserializable()})
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # temp cleaned up too
+
+
+class TestJsonlAppender:
+    def test_appends_accumulate(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlAppender(path) as log:
+            log.append({"n": 1})
+        with JsonlAppender(path) as log:
+            log.append({"n": 2})
+        assert list(read_jsonl(path)) == [{"n": 1}, {"n": 2}]
+
+    def test_read_jsonl_skips_torn_tail_only(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlAppender(path) as log:
+            log.append({"n": 1})
+        with path.open("a") as handle:
+            handle.write('{"n": 2')  # killed mid-write
+        assert list(read_jsonl(path)) == [{"n": 1}]
+
+    def test_read_jsonl_keeps_a_parseable_unterminated_tail(
+        self, tmp_path
+    ):
+        """A final record missing only its newline (external tool, cut
+        exactly between payload and terminator) is a complete record."""
+        path = tmp_path / "log.jsonl"
+        path.write_bytes(b'{"n": 1}\n{"n": 2}')
+        assert list(read_jsonl(path)) == [{"n": 1}, {"n": 2}]
+
+    def test_read_jsonl_raises_on_interior_corruption(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"n": 1}\ngarbage\n{"n": 3}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            list(read_jsonl(path))
+
+
+class TestResultStore:
+    def test_store_load_round_trip(self, tmp_path):
+        spec = ScenarioSpec(name="p", engine="analytic", seed=3)
+        stored = store_result(tmp_path, spec, make_result(spec))
+        assert stored == result_path(tmp_path, spec)
+        loaded = load_result(tmp_path, spec)
+        assert loaded.metrics == {"E(T_S)": 1.25, "E(T_P)": 0.5}
+
+    def test_load_relabels_renamed_spec(self, tmp_path):
+        spec = ScenarioSpec(name="old", engine="analytic", seed=3)
+        store_result(tmp_path, spec, make_result(spec))
+        renamed = spec.with_overrides(name="new")
+        assert renamed.key() == spec.key()
+        assert load_result(tmp_path, renamed).name == "new"
+
+    def test_load_missing_returns_none(self, tmp_path):
+        spec = ScenarioSpec(name="p", engine="analytic", seed=3)
+        assert load_result(tmp_path, spec) is None
+
+
+def _hammer_store(payload) -> None:
+    """Worker process: repeatedly store every spec (racing siblings)."""
+    cache_dir, seeds, repeats = payload
+    for _ in range(repeats):
+        for seed in seeds:
+            spec = ScenarioSpec(name="race", engine="analytic", seed=seed)
+            store_result(cache_dir, spec, make_result(spec))
+
+
+def _hammer_jsonl(payload) -> None:
+    """Worker process: append many records to one shared JSONL file."""
+    path, writer, count = payload
+    with JsonlAppender(path) as log:
+        for n in range(count):
+            log.append({"writer": writer, "n": n})
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_never_corrupt_the_store(self, tmp_path):
+        seeds = list(range(6))
+        with multiprocessing.Pool(4) as pool:
+            pool.map(
+                _hammer_store, [(str(tmp_path), seeds, 25)] * 4
+            )
+        files = sorted(tmp_path.glob("*.json"))
+        assert len(files) == len(seeds)
+        for path in files:
+            payload = json.loads(path.read_text())  # parses => complete
+            assert payload["result"]["key"] == path.stem
+        assert not list(tmp_path.glob(".*tmp"))  # no temp litter
+
+    def test_racing_jsonl_appenders_interleave_at_line_granularity(
+        self, tmp_path
+    ):
+        path = tmp_path / "shared.jsonl"
+        writers, per_writer = 4, 200
+        with multiprocessing.Pool(writers) as pool:
+            pool.map(
+                _hammer_jsonl,
+                [(str(path), w, per_writer) for w in range(writers)],
+            )
+        records = list(read_jsonl(path))
+        assert len(records) == writers * per_writer
+        # Every writer's records arrive complete and in its own order.
+        for writer in range(writers):
+            own = [r["n"] for r in records if r["writer"] == writer]
+            assert own == list(range(per_writer))
+
+    def test_pid_is_not_in_temp_name_collision_domain(self, tmp_path):
+        # Two sequential writes in one process must also not collide.
+        spec = ScenarioSpec(name="p", engine="analytic", seed=1)
+        store_result(tmp_path, spec, make_result(spec))
+        store_result(tmp_path, spec, make_result(spec))
+        assert len(list(tmp_path.iterdir())) == 1
+
+
+class TestRunnerUsesAtomicStore:
+    def test_sweep_runner_cache_files_are_atomic_products(self, tmp_path):
+        from repro.scenario.runner import SweepRunner
+
+        runner = SweepRunner(cache_dir=tmp_path)
+        spec = ScenarioSpec(name="p", engine="analytic", seed=5)
+        result = runner.run(spec)
+        assert load_result(tmp_path, spec).metrics == result.metrics
+        assert not [p for p in tmp_path.iterdir() if "tmp" in p.name]
+
+    def test_stream_lines_are_single_writes(self, tmp_path, monkeypatch):
+        """Each streamed JSONL record reaches the OS as one write."""
+        from repro.scenario.runner import SweepRunner
+
+        writes = []
+        real_write = os.write
+
+        def spy(fd, data):
+            writes.append(data)
+            return real_write(fd, data)
+
+        monkeypatch.setattr(os, "write", spy)
+        runner = SweepRunner(cache_dir=None)
+        specs = [
+            ScenarioSpec(name=f"p{i}", engine="analytic", seed=i)
+            for i in range(3)
+        ]
+        stream = tmp_path / "out.jsonl"
+        runner.sweep(specs, stream_path=stream)
+        lines = stream.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 3
+        assert all(line in writes for line in lines)

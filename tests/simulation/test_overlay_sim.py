@@ -50,6 +50,75 @@ class TestCompetingClusters:
         assert list(series.events) == [0, 30, 60, 90, 100]
 
 
+class TestScalarEventAxisLift:
+    """The scalar engine's record loop walks record intervals (and
+    batches the fully-absorbed tail); the oracle must stay
+    byte-identical to the historical per-event loop."""
+
+    PARAMS = ModelParameters(core_size=7, spare_max=7, k=1, mu=0.25, d=0.9)
+
+    @staticmethod
+    def _reference_run(simulation, n_events: int, record_every: int):
+        """The pre-lift per-event loop, verbatim (the oracle's oracle)."""
+        rng = simulation._rng
+        n = simulation._n
+        events_axis = [0]
+        safe = [simulation._n_safe / n]
+        polluted = [simulation._n_polluted / n]
+        for event in range(1, n_events + 1):
+            index = int(rng.integers(0, n))
+            if not simulation._absorbed[index]:
+                simulation._apply_event(index)
+            if event % record_every == 0 or event == n_events:
+                events_axis.append(event)
+                safe.append(simulation._n_safe / n)
+                polluted.append(simulation._n_polluted / n)
+        return (
+            np.asarray(events_axis),
+            np.asarray(safe),
+            np.asarray(polluted),
+        )
+
+    @pytest.mark.parametrize(
+        ("record_every", "n_events"),
+        [(1, 400), (7, 1000), (100, 20000), (10**9, 777)],
+    )
+    def test_byte_identical_to_per_event_loop(self, record_every, n_events):
+        from repro.simulation.overlay_sim import _ScalarCompetingClusters
+
+        for seed in (0, 7, 123):
+            reference = _ScalarCompetingClusters(
+                self.PARAMS, 30, np.random.default_rng(seed)
+            )
+            lifted = _ScalarCompetingClusters(
+                self.PARAMS, 30, np.random.default_rng(seed)
+            )
+            events, safe, polluted = self._reference_run(
+                reference, n_events, record_every
+            )
+            series = lifted.run(n_events, record_every=record_every)
+            assert np.array_equal(events, series.events)
+            assert np.array_equal(safe, series.safe_fraction)
+            assert np.array_equal(polluted, series.polluted_fraction)
+            # The RNG streams stayed aligned through the batched tail.
+            assert (
+                reference._rng.random() == lifted._rng.random()
+            ), "generator state diverged"
+
+    def test_long_horizon_flatlines_after_full_absorption(self, rng):
+        # n=10 at 20k events absorbs the whole population early; the
+        # tail must keep the recording contract (multiples + final).
+        simulation = CompetingClustersSimulation(
+            ModelParameters(mu=0.1, d=0.5), 10, rng, engine="scalar"
+        )
+        series = simulation.run(20000, record_every=3000)
+        assert list(series.events) == [
+            0, 3000, 6000, 9000, 12000, 15000, 18000, 20000,
+        ]
+        assert series.safe_fraction[-1] == 0.0
+        assert series.polluted_fraction[-1] == 0.0
+
+
 class TestAgentOverlay:
     def build(self, seed=13, mu=0.2, adversarial=True, **kwargs):
         params = ModelParameters(core_size=4, spare_max=4, k=1, mu=mu, d=0.8)
