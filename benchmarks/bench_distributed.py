@@ -1,6 +1,6 @@
 """Benchmark: distributed sweep scaling and result-serving throughput.
 
-One perf gate, one machine-readable record:
+Two perf gates, two machine-readable records:
 
 * ``BENCH_4.json`` -- the distributed-fabric acceptance gate: on a
   compute-bound grid (identical batch Monte-Carlo points differing
@@ -12,6 +12,15 @@ One perf gate, one machine-readable record:
   fabric).  The record also carries ``repro serve`` throughput over
   the swept results (concurrent clients hammering ``/results/<key>``
   and ``/progress``).
+
+* ``BENCH_5.json`` -- the pagination gate: ``/results?offset=&limit=``
+  over a >= 10^4-point store must sustain :data:`MIN_PAGED_RPS` under
+  concurrent clients.  This gates the *index sidecar*: the historical
+  full-scan path re-parsed every stored payload per request, which at
+  10^4 points is under ~2 req/s -- an order of magnitude below the
+  gate -- so a regression back to scanning fails loudly.  The record
+  also keeps the one-off costs honest: building the store and the
+  cold first-request index fold are both timed.
 
 The scaling gate is **hardware-aware**: two processes cannot beat one
 on a single-core host, so when the CPU affinity mask offers < 2 cores
@@ -66,6 +75,16 @@ MAX_SINGLE_CORE_OVERHEAD = 1.30
 SERVE_REQUESTS = 120 if SMOKE else 600
 SERVE_CLIENTS = 8
 MIN_SERVE_RPS = 10.0
+
+#: Pagination gate: a store of this many synthetic points...
+PAGE_STORE_POINTS = 2_000 if SMOKE else 10_000
+#: ...served page by page...
+PAGE_LIMIT = 100
+PAGE_REQUESTS = 200 if SMOKE else 400
+#: ...must sustain this.  The full-scan path this replaced parses
+#: every payload per request (~2 req/s at 10^4 points); the index
+#: sidecar serves a stat + slice (hundreds of req/s).
+MIN_PAGED_RPS = 25.0
 
 
 def grid() -> list[ScenarioSpec]:
@@ -274,8 +293,134 @@ def test_distributed_scaling_and_serving(
     )
 
 
+# -- pagination gate (BENCH_5) -----------------------------------------------
+
+
+def build_synthetic_store(cache_dir: pathlib.Path, points: int) -> float:
+    """Publish ``points`` minimal results through the real store path
+    (atomic file + index sidecar append, exactly what workers do);
+    returns the build seconds."""
+    from repro.scenario.backends import ScenarioResult
+    from repro.scenario.store import store_result
+
+    start = time.perf_counter()
+    for index in range(points):
+        spec = ScenarioSpec(
+            name=f"page-{index}", engine="analytic", seed=index
+        )
+        store_result(
+            cache_dir,
+            spec,
+            ScenarioResult(
+                key=spec.key(),
+                name=spec.name,
+                engine=spec.engine,
+                metrics={"E(T_S)": float(index)},
+            ),
+        )
+    return time.perf_counter() - start
+
+
+def run_pagination_benchmark(tmp: pathlib.Path) -> dict:
+    cache = tmp / "paged"
+    build_seconds = build_synthetic_store(cache, PAGE_STORE_POINTS)
+    with ResultsService(cache).start() as service:
+        base = f"http://127.0.0.1:{service.port}"
+
+        def fetch(path: str) -> dict:
+            with urllib.request.urlopen(base + path, timeout=60) as reply:
+                return json.loads(reply.read())
+
+        # Cold first page: pays the one-off index fold (and, on a
+        # store whose sidecar lags, the reconcile parse).
+        cold_start = time.perf_counter()
+        first = fetch(f"/results?offset=0&limit={PAGE_LIMIT}")
+        cold_seconds = time.perf_counter() - cold_start
+        assert first["total"] == PAGE_STORE_POINTS
+        assert first["count"] == PAGE_LIMIT
+
+        # Warm pages across the whole store, concurrently.
+        pages = PAGE_STORE_POINTS // PAGE_LIMIT
+        paths = [
+            f"/results?offset={(i % pages) * PAGE_LIMIT}&limit={PAGE_LIMIT}"
+            for i in range(PAGE_REQUESTS)
+        ]
+        start = time.perf_counter()
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=SERVE_CLIENTS
+        ) as pool:
+            bodies = list(pool.map(fetch, paths))
+        elapsed = time.perf_counter() - start
+        assert all(
+            body["total"] == PAGE_STORE_POINTS and body["count"] > 0
+            for body in bodies
+        )
+        # Pages tile the key space: walk them once and count.
+        seen = 0
+        offset = 0
+        while offset is not None:
+            page = fetch(f"/results?offset={offset}&limit={PAGE_LIMIT}")
+            seen += page["count"]
+            offset = page["next_offset"]
+        assert seen == PAGE_STORE_POINTS
+    return {
+        "store_points": PAGE_STORE_POINTS,
+        "store_build_seconds": build_seconds,
+        "page_limit": PAGE_LIMIT,
+        "requests": PAGE_REQUESTS,
+        "concurrent_clients": SERVE_CLIENTS,
+        "cold_first_page_seconds": cold_seconds,
+        "seconds": elapsed,
+        "requests_per_second": PAGE_REQUESTS / elapsed,
+    }
+
+
+def test_serve_pagination_gated_on_the_index_sidecar(
+    benchmark, report, json_report, tmp_path
+):
+    measurements = benchmark.pedantic(
+        run_pagination_benchmark, args=(tmp_path,), rounds=1, iterations=1
+    )
+    rps = measurements["requests_per_second"]
+    assert rps >= MIN_PAGED_RPS, (
+        f"paginated /results sustained only {rps:.1f} req/s over a "
+        f"{PAGE_STORE_POINTS}-point store (gate: {MIN_PAGED_RPS}; a "
+        f"regression to the full-scan path lands well below it)"
+    )
+    report(
+        "serve_pagination",
+        render_table(
+            ["path", "store points", "req/s", "cold first page"],
+            [
+                [
+                    f"/results?limit={PAGE_LIMIT} (index sidecar)",
+                    PAGE_STORE_POINTS,
+                    f"{rps:.0f}",
+                    f"{measurements['cold_first_page_seconds'] * 1e3:.0f} ms",
+                ]
+            ],
+            title=(
+                f"Paginated serving over {PAGE_STORE_POINTS} points, "
+                f"{SERVE_CLIENTS} clients"
+            ),
+        ),
+    )
+    json_report(
+        "BENCH_5.json",
+        {
+            "benchmark": "serve_pagination",
+            "smoke": SMOKE,
+            "gate": {"min_requests_per_second": MIN_PAGED_RPS},
+            **measurements,
+        },
+    )
+
+
 if __name__ == "__main__":
     import tempfile
 
     with tempfile.TemporaryDirectory() as tmp:
         print(json.dumps(run_benchmark(pathlib.Path(tmp)), indent=2))
+        print(
+            json.dumps(run_pagination_benchmark(pathlib.Path(tmp)), indent=2)
+        )

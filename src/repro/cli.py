@@ -23,6 +23,15 @@ service reads the shared result store::
         --port 7641
     python -m repro worker --host coordinator.example --port 7641   # xN
     python -m repro serve --port 8080
+
+With ``--watch`` the coordinator becomes a resident service fed by
+``POST /submit`` on ``repro serve`` (both tailing the same ledger)::
+
+    python -m repro sweep-coordinator --watch --port 7641
+    python -m repro serve --port 8080
+    curl -X POST -H 'Content-Type: application/toml' \
+        --data-binary @examples/scenarios/cross_product.toml \
+        http://localhost:8080/submit
 """
 
 from __future__ import annotations
@@ -371,25 +380,38 @@ def _run_coordinator(arguments) -> int:
     from repro.distributed.coordinator import SweepCoordinator
     from repro.scenario.spec import SweepSpec, load_scenario
 
-    document = load_scenario(arguments.spec_file)
-    specs = (
-        document.expand()
-        if isinstance(document, SweepSpec)
-        else [document]
-    )
+    if arguments.spec_file is None and not arguments.watch:
+        print(
+            "sweep-coordinator needs a spec file "
+            "(or --watch to serve submitted sweeps from the ledger)"
+        )
+        return 2
+    specs = []
+    if arguments.spec_file is not None:
+        document = load_scenario(arguments.spec_file)
+        specs = (
+            document.expand()
+            if isinstance(document, SweepSpec)
+            else [document]
+        )
     coordinator = SweepCoordinator(
         specs,
         cache_dir=arguments.cache_dir,
         ledger_path=arguments.ledger,
         host=arguments.host,
         port=arguments.port,
+        lease_timeout=(
+            arguments.lease_timeout if arguments.lease_timeout > 0 else None
+        ),
+        watch=arguments.watch,
     )
 
     def announce() -> None:
         coordinator.ready.wait()
+        mode = " (watching for submissions)" if arguments.watch else ""
         print(
             f"coordinator: {len(specs)} points on "
-            f"{arguments.host}:{coordinator.port} "
+            f"{arguments.host}:{coordinator.port}{mode} "
             f"(ledger: {arguments.ledger}, cache: {arguments.cache_dir})",
             flush=True,
         )
@@ -434,6 +456,7 @@ def _run_worker_command(arguments) -> int:
                 if arguments.heartbeat_every > 0
                 else None
             ),
+            store_dir=arguments.store_dir,
         )
     except ProtocolError as error:
         print(f"worker error: {error}")
@@ -460,7 +483,8 @@ def _run_serve(arguments) -> int:
     print(
         f"serving {arguments.cache_dir} on "
         f"http://{arguments.host}:{service.port} "
-        "(/healthz /progress /results /results/<key> /report)",
+        "(/healthz /progress /results /results/<key> /report; "
+        "POST /submit)",
         flush=True,
     )
     try:
@@ -580,7 +604,12 @@ def build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument(
         "spec_file",
         type=pathlib.Path,
-        help="scenario or sweep spec (.json or .toml)",
+        nargs="?",
+        default=None,
+        help=(
+            "scenario or sweep spec (.json or .toml); optional with "
+            "--watch, where submitted sweeps arrive via the ledger"
+        ),
     )
     coordinator.add_argument(
         "--host", default="127.0.0.1", help="bind address"
@@ -602,6 +631,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=DEFAULT_CACHE_DIR,
         help=f"shared result store (default: {DEFAULT_CACHE_DIR})",
+    )
+    coordinator.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=600.0,
+        help=(
+            "seconds a claimed point may go without a heartbeat before "
+            "it is requeued (0 disables lease timeouts; default: 600)"
+        ),
+    )
+    coordinator.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "stay resident after the queue drains and execute sweeps "
+            "submitted via 'repro serve' POST /submit on the same ledger"
+        ),
     )
 
     worker = subparsers.add_parser(
@@ -633,6 +679,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=15.0,
         help="seconds between mid-point heartbeats (0 disables)",
+    )
+    worker.add_argument(
+        "--store-dir",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "shared result store this worker can write directly "
+            "(publish results itself and send slim RESULT-REF frames "
+            "instead of shipping payloads; default: off)"
+        ),
     )
 
     serve = subparsers.add_parser(

@@ -13,11 +13,23 @@ Failure semantics (the contract the tests pin down):
   assigned on that connection and not yet resulted is requeued
   immediately.  No lease clock is needed for crash recovery because
   the claim dies with the connection.
+* **worker hung but connected** -- a worker whose process wedges (or
+  whose compute thread deadlocks) keeps its TCP connection alive, so
+  connection-drop requeue never fires.  With ``lease_timeout`` set,
+  every assignment carries a deadline that HEARTBEAT frames refresh;
+  a lease that expires is requeued (ledgered as ``requeued``) and the
+  point is handed to the next claimant.  A slow worker that still
+  heartbeats is never preempted, and terminality is preserved: if the
+  ghost's result eventually arrives it is accepted idempotently (the
+  content address is the identity), while its late FAILED report is
+  ignored (only the current assignee may fail a point).
 * **coordinator killed mid-sweep** -- restart it with the same ledger
   and cache: ledger replay marks the finished points ``done`` (their
   results are in the store -- ``done`` is only ever appended *after*
   the atomic store publish), and only unfinished points are handed out
-  again.  A torn final ledger line is skipped by replay.
+  again -- including points that were ``scheduled`` into the ledger by
+  a ``POST /submit`` rather than by this coordinator's own spec file.
+  A torn final ledger line is skipped by replay.
 * **point raises** -- the worker reports FAILED; the failure is
   terminal (deterministic errors must not ping-pong between workers)
   and surfaces in the summary and the ledger.
@@ -29,19 +41,32 @@ Results are validated before being trusted: the coordinator recomputes
 nothing, but it requires the returned key to match the assignment's
 spec address (the wire round trip of
 :meth:`~repro.scenario.spec.ScenarioSpec.to_json` preserves content
-addresses, so a mismatch means a corrupt or confused worker).
+addresses, so a mismatch means a corrupt or confused worker).  A
+RESULT-REF frame (the worker published the store file itself on a
+shared filesystem) is validated harder: the coordinator re-reads the
+file and checks that the stored spec's recomputed content address and
+the stored result's key both match the assignment before ledgering
+``done``.
+
+``watch=True`` turns the coordinator from a one-sweep process into a
+resident service: it tails the ledger for ``scheduled`` records
+appended by ``repro serve``'s ``POST /submit`` endpoint, enqueues the
+new points as they land, and keeps serving workers (WAIT frames while
+idle) until :meth:`~SweepCoordinator.request_stop`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import collections
+import json
 import pathlib
 import threading
 import time
+from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.distributed.ledger import SweepLedger
+from repro.distributed.ledger import EVENT_SCHEDULED, SweepLedger
 from repro.distributed.protocol import (
     ProtocolError,
     read_frame,
@@ -55,12 +80,24 @@ __all__ = ["SweepCoordinator"]
 #: Seconds a worker is told to sleep when every point is in flight.
 WAIT_DELAY = 0.2
 
+#: Seconds between ledger-tail polls in ``watch`` mode.
+WATCH_POLL_INTERVAL = 0.25
+
 #: Publish attempts per point before a store failure becomes terminal.
 #: Covers a transient hiccup (flaky NFS, momentary disk pressure)
 #: without letting a deterministic one (unwritable cache dir, a
 #: version-skewed worker whose payload shape cannot rebuild) requeue
 #: and recompute the same point forever.
 PUBLISH_RETRY_LIMIT = 3
+
+
+@dataclass
+class _Connection:
+    """Live per-connection state shared with the lease sweeper."""
+
+    writer: asyncio.StreamWriter
+    worker: str = "<anonymous>"
+    assigned: set[str] = field(default_factory=set)
 
 
 class SweepCoordinator:
@@ -74,6 +111,12 @@ class SweepCoordinator:
     (``port=0`` picks a free port, published as :attr:`port` once
     :attr:`ready` is set -- a ``threading.Event``, so a driver thread
     can wait for the bind without touching the event loop).
+
+    ``lease_timeout`` (seconds, ``None`` = disabled) bounds how long an
+    assignment may go without a HEARTBEAT or terminal frame before it
+    is requeued; ``watch=True`` keeps the coordinator alive after the
+    queue drains, tailing the ledger for points scheduled by ``POST
+    /submit`` (requires ``ledger_path``).
 
     Run with ``await serve()`` inside an event loop or the blocking
     :meth:`run`; :meth:`request_stop` (thread-safe) ends the serve loop
@@ -89,6 +132,9 @@ class SweepCoordinator:
         host: str = "127.0.0.1",
         port: int = 0,
         await_workers: int = 0,
+        lease_timeout: float | None = None,
+        watch: bool = False,
+        poll_interval: float = WATCH_POLL_INTERVAL,
     ) -> None:
         self._specs = (
             points.expand() if isinstance(points, SweepSpec) else list(points)
@@ -120,6 +166,26 @@ class SweepCoordinator:
         self._stopped = False
         self._connections: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
+        if lease_timeout is not None and lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be positive, got {lease_timeout}"
+            )
+        if watch and ledger_path is None:
+            raise ValueError("watch mode requires a ledger_path")
+        self._lease_timeout = lease_timeout
+        self._watch = bool(watch)
+        self._poll_interval = float(poll_interval)
+        # Per-key lease bookkeeping (only populated when leases are on):
+        # the deadline clock plus the connection holding the assignment,
+        # so the sweeper can strip an expired key from the right set.
+        self._lease_deadline: dict[str, float] = {}
+        self._assigned_conn: dict[str, _Connection] = {}
+        self._lease_requeued: collections.Counter[str] = (
+            collections.Counter()
+        )
+        # Byte offset up to which the watch tail has consumed the
+        # ledger (complete lines only; a torn tail stays unconsumed).
+        self._tail_offset = 0
         # Gang start: hold assignments until this many distinct workers
         # have connected (0 = assign immediately).  Benchmarks use it so
         # the measured window is pure N-worker compute, not process boot.
@@ -147,18 +213,32 @@ class SweepCoordinator:
         self._complete = asyncio.Event()
         if self._ledger_path is not None:
             self._ledger = SweepLedger(self._ledger_path)
+        background: list[asyncio.Task] = []
         try:
             self._build_queue()
-            if self._outstanding() == 0:
-                self._complete.set()
+            self._maybe_complete()
             server = await asyncio.start_server(
                 self._handle_worker, self._host, self._requested_port
             )
             self.port = server.sockets[0].getsockname()[1]
+            if self._watch:
+                background.append(
+                    self._loop.create_task(self._tail_ledger_task())
+                )
+            if self._lease_timeout is not None:
+                background.append(
+                    self._loop.create_task(self._lease_sweeper())
+                )
             self.ready.set()
             try:
                 await self._complete.wait()
             finally:
+                for task in background:
+                    task.cancel()
+                if background:
+                    await asyncio.gather(
+                        *background, return_exceptions=True
+                    )
                 server.close()
                 await server.wait_closed()
                 # Drain handlers gracefully: closing each connection
@@ -173,6 +253,16 @@ class SweepCoordinator:
             if self._ledger is not None:
                 self._ledger.close()
         return self._summary(time.perf_counter() - started)
+
+    def _maybe_complete(self) -> None:
+        """End the serve loop when the queue drains (never in watch
+        mode -- a resident coordinator waits for the next submit)."""
+        if self._complete is None:
+            return
+        if self._stopped or (
+            not self._watch and self._outstanding() == 0
+        ):
+            self._complete.set()
 
     # -- queue construction -------------------------------------------------
 
@@ -189,6 +279,21 @@ class SweepCoordinator:
         if self._ledger is not None:
             state = self._ledger.replay()
             previously_done = state.done
+            # The ledger is the durable queue, not a mirror of this
+            # coordinator's spec file: points scheduled into it by a
+            # ``POST /submit`` (or a predecessor run over a different
+            # grid) are adopted here, so a killed coordinator resumes
+            # mid-submitted-sweep with nothing but the ledger.  Keys
+            # already terminal in the ledger are left alone -- in
+            # particular a spec a previous resume ledgered as
+            # unresolvable must not be re-adopted (and re-ledgered as
+            # failed) on every restart.
+            for key, wire in state.scheduled.items():
+                if key in self._by_key or not wire:
+                    continue
+                if key in state.failed:
+                    continue
+                self._adopt_spec(key, wire)
             # Ledgered failures are terminal across restarts too: a
             # resumed coordinator must not re-queue a deterministic
             # failure (or hang waiting on it when no workers attach).
@@ -239,8 +344,7 @@ class SweepCoordinator:
     async def _handle_worker(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        worker = "<anonymous>"
-        assigned: set[str] = set()
+        conn = _Connection(writer=writer)
         task = asyncio.current_task()
         if task is not None:
             self._handlers.add(task)
@@ -256,21 +360,24 @@ class SweepCoordinator:
                 kind = message.get("type")
                 try:
                     if kind == "hello":
-                        worker = str(message.get("worker", worker))
-                        self._helloed.add(worker)
+                        conn.worker = str(message.get("worker", conn.worker))
+                        self._helloed.add(conn.worker)
                     elif kind == "claim":
-                        await self._assign(writer, worker, assigned)
+                        await self._assign(conn)
                     elif kind == "result":
-                        await self._accept_result(
-                            writer, worker, assigned, message
-                        )
+                        await self._accept_result(conn, message)
+                    elif kind == "result-ref":
+                        await self._accept_result(conn, message, by_ref=True)
                     elif kind == "failed":
-                        self._accept_failure(worker, assigned, message)
+                        self._accept_failure(conn, message)
                     elif kind == "heartbeat":
                         # Keeps the TCP connection observably alive
                         # through NATs/idle timeouts during a long
-                        # point; lease bookkeeping is future work.
-                        pass
+                        # point -- and, with leases on, proves the
+                        # worker is still computing: every point
+                        # assigned over this connection gets a fresh
+                        # deadline.
+                        self._refresh_leases(conn)
                     else:
                         await write_frame(
                             writer,
@@ -298,39 +405,43 @@ class SweepCoordinator:
             if task is not None:
                 self._handlers.discard(task)
             # A dropped connection releases its claims instantly.
-            for key in assigned:
+            for key in conn.assigned:
+                self._release_lease(key)
                 self._in_flight.pop(key, None)
                 if key not in self._done and key not in self._failed:
                     self._pending.append(key)
-            if self._complete is not None and self._outstanding() == 0:
-                self._complete.set()
+            self._maybe_complete()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
 
-    async def _assign(
-        self,
-        writer: asyncio.StreamWriter,
-        worker: str,
-        assigned: set[str],
-    ) -> None:
+    async def _assign(self, conn: _Connection) -> None:
         if len(self._helloed) < self._await_workers:
-            await write_frame(writer, {"type": "wait", "delay": WAIT_DELAY})
+            await write_frame(
+                conn.writer, {"type": "wait", "delay": WAIT_DELAY}
+            )
             return
         while self._pending:
             key = self._pending.popleft()
             if key in self._done or key in self._failed:
                 continue  # satisfied while queued (duplicate result)
+            if key in self._in_flight:
+                continue  # requeued twice (drop + lease race)
             if self._first_assign_time is None:
                 self._first_assign_time = time.perf_counter()
-            self._in_flight[key] = worker
-            assigned.add(key)
+            self._in_flight[key] = conn.worker
+            conn.assigned.add(key)
+            if self._lease_timeout is not None:
+                self._lease_deadline[key] = (
+                    time.monotonic() + self._lease_timeout
+                )
+                self._assigned_conn[key] = conn
             if self._ledger is not None:
-                self._ledger.record_claimed(key, worker)
+                self._ledger.record_claimed(key, conn.worker)
             await write_frame(
-                writer,
+                conn.writer,
                 {
                     "type": "assign",
                     "key": key,
@@ -338,30 +449,171 @@ class SweepCoordinator:
                 },
             )
             return
-        if self._outstanding() > 0 and not self._stopped:
-            await write_frame(writer, {"type": "wait", "delay": WAIT_DELAY})
+        if not self._stopped and (self._outstanding() > 0 or self._watch):
+            await write_frame(
+                conn.writer, {"type": "wait", "delay": WAIT_DELAY}
+            )
         else:
-            await write_frame(writer, {"type": "shutdown"})
+            await write_frame(conn.writer, {"type": "shutdown"})
+
+    # -- leases --------------------------------------------------------------
+
+    def _refresh_leases(self, conn: _Connection) -> None:
+        """A heartbeat proves the whole connection's work is alive."""
+        if self._lease_timeout is None:
+            return
+        deadline = time.monotonic() + self._lease_timeout
+        for key in conn.assigned:
+            if key in self._lease_deadline:
+                self._lease_deadline[key] = deadline
+
+    def _release_lease(self, key: str) -> None:
+        self._lease_deadline.pop(key, None)
+        self._assigned_conn.pop(key, None)
+
+    async def _lease_sweeper(self) -> None:
+        """Requeue assignments whose deadline passed unheartbeaten.
+
+        Runs well inside the timeout (quarter-period ticks) so an
+        expiry is noticed within ~1.25 leases worst case.  The expired
+        key is stripped from its connection's assignment set *before*
+        it re-enters the queue -- the ghost worker's late FAILED frame
+        then misses the only-the-assignee-may-fail gate, while its
+        late RESULT (content-addressed, byte-identical) is still
+        welcome.
+        """
+        interval = max(self._lease_timeout / 4.0, 0.01)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for key, deadline in list(self._lease_deadline.items()):
+                if deadline > now:
+                    continue
+                conn = self._assigned_conn.get(key)
+                self._release_lease(key)
+                worker = self._in_flight.pop(key, "?")
+                if conn is not None:
+                    conn.assigned.discard(key)
+                if key in self._done or key in self._failed:
+                    continue
+                self._lease_requeued[key] += 1
+                self._pending.append(key)
+                if self._ledger is not None:
+                    self._ledger.record_requeued(
+                        key, worker, reason="lease-expired"
+                    )
+
+    # -- watch mode: the ledger is the inbox ---------------------------------
+
+    async def _tail_ledger_task(self) -> None:
+        while True:
+            await asyncio.sleep(self._poll_interval)
+            self._ingest_ledger_tail()
+
+    def _ingest_ledger_tail(self) -> None:
+        """Adopt ``scheduled`` records appended since the last poll.
+
+        The submit service appends whole lines (``O_APPEND``), so the
+        tail reads complete lines only and leaves a torn final line
+        for the next poll.  Events this coordinator wrote itself come
+        back through here too; they are skipped by key (already
+        known), which is also what makes the first poll -- reading
+        from offset zero, i.e. re-skimming what ``_build_queue``
+        replayed -- a cheap no-op.
+        """
+        assert self._ledger_path is not None
+        try:
+            with open(self._ledger_path, "rb") as handle:
+                handle.seek(self._tail_offset)
+                data = handle.read()
+        except OSError:
+            return
+        complete, newline, _ = data.rpartition(b"\n")
+        if not newline:
+            return
+        self._tail_offset += len(complete) + 1
+        for line in complete.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn fragment isolated by boundary repair
+            if (
+                not isinstance(record, dict)
+                or record.get("event") != EVENT_SCHEDULED
+            ):
+                continue
+            wire = record.get("spec")
+            key = record.get("key")
+            if (
+                not isinstance(wire, dict)
+                or not wire
+                or not isinstance(key, str)
+                or key in self._by_key
+            ):
+                continue
+            spec = self._adopt_spec(key, wire)
+            if spec is None:
+                continue
+            if result_path(self._cache_dir, spec).exists():
+                # Someone already computed this point (a serial run, a
+                # previous sweep): existence is completion.
+                self._done.add(spec.key())
+                self._from_cache += 1
+                if self._ledger is not None:
+                    self._ledger.record_done(spec.key(), worker="cache")
+            else:
+                self._pending.append(spec.key())
+
+    def _adopt_spec(
+        self, key: str, wire: dict[str, Any]
+    ) -> ScenarioSpec | None:
+        """Register a ledger-scheduled spec this coordinator was not
+        constructed with.
+
+        A wire spec this build cannot rebuild (version skew between
+        the submitting service and this coordinator) is ledgered as a
+        terminal failure -- visible in ``/progress`` -- instead of
+        crashing the queue or silently stranding the point as
+        forever-pending.
+        """
+        try:
+            spec = ScenarioSpec.from_dict(wire)
+        except Exception as error:  # noqa: BLE001 -- foreign input
+            if self._ledger is not None:
+                self._ledger.record_failed(
+                    key,
+                    "coordinator",
+                    f"unresolvable scheduled spec "
+                    f"({type(error).__name__}: {error})",
+                )
+            return None
+        self._specs.append(spec)
+        self._by_key[spec.key()] = spec
+        return spec
 
     async def _accept_result(
         self,
-        writer: asyncio.StreamWriter,
-        worker: str,
-        assigned: set[str],
+        conn: _Connection,
         message: dict[str, Any],
+        by_ref: bool = False,
     ) -> None:
         from repro.scenario.backends import ScenarioResult
 
+        writer = conn.writer
+        worker = conn.worker
+        assigned = conn.assigned
         key = message.get("key")
         spec = self._by_key.get(key)
         payload = message.get("result")
-        if spec is None or not isinstance(payload, dict):
+        if spec is None or (not by_ref and not isinstance(payload, dict)):
             await write_frame(
                 writer,
                 {"type": "error", "error": f"result for unknown key {key!r}"},
             )
             return
-        if payload.get("key") != key:
+        if not by_ref and payload.get("key") != key:
             await write_frame(
                 writer,
                 {
@@ -384,12 +636,32 @@ class SweepCoordinator:
                 if self._ledger is not None:
                     self._ledger.record_done(key, worker, elapsed=elapsed)
 
+            def validate_ref() -> None:
+                # The worker claims it already published the store
+                # file (shared filesystem).  Trust nothing: re-read
+                # the file and require both the stored spec's
+                # recomputed content address and the stored result's
+                # key to equal the assignment, then ledger done.  A
+                # missing or mismatched file lands in the retry path
+                # exactly like a failed coordinator-side publish.
+                path = result_path(self._cache_dir, spec)
+                stored = json.loads(path.read_text())
+                stored_spec = ScenarioSpec.from_dict(stored["spec"])
+                stored_key = stored.get("result", {}).get("key")
+                if stored_spec.key() != key or stored_key != key:
+                    raise ValueError(
+                        f"store file {path.name} does not hold the "
+                        f"result of {key[:12]}"
+                    )
+                if self._ledger is not None:
+                    self._ledger.record_done(key, worker, elapsed=elapsed)
+
             try:
                 # Off the event loop: the store publish and the ledger
                 # append both fsync, and other workers' claims must not
                 # queue behind disk flushes.
                 await asyncio.get_running_loop().run_in_executor(
-                    None, publish
+                    None, validate_ref if by_ref else publish
                 )
             except Exception as error:  # noqa: BLE001 -- bad payload/disk
                 # The point must stay claimable -- dropping it from
@@ -399,6 +671,7 @@ class SweepCoordinator:
                 # point that its real owner is still computing.
                 if key in assigned:
                     assigned.discard(key)
+                    self._release_lease(key)
                     self._in_flight.pop(key, None)
                     self._publish_retries[key] += 1
                     if self._publish_retries[key] >= PUBLISH_RETRY_LIMIT:
@@ -414,7 +687,7 @@ class SweepCoordinator:
                             self._ledger.record_failed(key, worker, detail)
                         if self._outstanding() == 0:
                             self._complete_time = time.perf_counter()
-                            self._complete.set()
+                        self._maybe_complete()
                         await write_frame(
                             writer,
                             {"type": "ack", "key": key, "stored": False},
@@ -445,34 +718,36 @@ class SweepCoordinator:
             self._computed_by[worker] += 1
         if key in assigned:
             assigned.discard(key)
+            self._release_lease(key)
             self._in_flight.pop(key, None)
         if self._outstanding() == 0:
             self._complete_time = time.perf_counter()
-            self._complete.set()
+        self._maybe_complete()
         await write_frame(writer, {"type": "ack", "key": key})
 
     def _accept_failure(
-        self, worker: str, assigned: set[str], message: dict[str, Any]
+        self, conn: _Connection, message: dict[str, Any]
     ) -> None:
         key = message.get("key")
         if (
             not isinstance(key, str)
-            or key not in assigned  # only the assignee may fail a point
+            or key not in conn.assigned  # only the assignee may fail a point
             or key in self._done
             or key in self._failed
         ):
             return
-        assigned.discard(key)
+        conn.assigned.discard(key)
+        self._release_lease(key)
         self._in_flight.pop(key, None)
         error = str(message.get("error", "unknown error"))
         self._failed[key] = error
         if self._ledger is not None:
-            self._ledger.record_failed(key, worker, error)
+            self._ledger.record_failed(key, conn.worker, error)
         if self._outstanding() == 0:
             # The compute window closes on the last *terminal* event,
             # successful or not.
             self._complete_time = time.perf_counter()
-            self._complete.set()
+        self._maybe_complete()
 
     # -- reporting ----------------------------------------------------------
 
@@ -494,6 +769,8 @@ class SweepCoordinator:
             "computed": sum(self._computed_by.values()),
             "resumed_from_ledger": self._resumed,
             "from_cache": self._from_cache,
+            "lease_requeued": sum(self._lease_requeued.values()),
+            "watch": self._watch,
             "workers": dict(self._computed_by),
             "elapsed_seconds": elapsed,
             "cache_dir": str(self._cache_dir),

@@ -6,10 +6,14 @@ same key that names its cache file)::
 
     {"event": "scheduled", "key": "<sha256>", "spec": {...}}
     {"event": "claimed",   "key": "<sha256>", "worker": "w-1"}
+    {"event": "requeued",  "key": "<sha256>", "worker": "w-1",
+     "reason": "lease-expired"}
     {"event": "done",      "key": "<sha256>", "worker": "w-1",
      "elapsed": 0.41}
     {"event": "failed",    "key": "<sha256>", "worker": "w-1",
      "error": "..."}
+    {"event": "submitted", "sweep": "<sha256>", "name": "grid",
+     "keys": ["<sha256>", ...]}
 
 Appends go through :class:`~repro.scenario.store.JsonlAppender` (one
 ``O_APPEND`` write per record, fsynced), so a crashed coordinator loses
@@ -17,10 +21,20 @@ at most its final, torn line -- which :meth:`SweepLedger.replay`
 skips.  Replay folds the event stream into per-key terminal state:
 ``done`` and ``failed`` are absorbing; a ``claimed`` without a
 subsequent terminal event is *stale* after a crash (the claiming
-connection no longer exists) and its point is simply pending again.
+connection no longer exists) and its point is simply pending again;
+``requeued`` records a coordinator explicitly reclaiming a lease
+(worker hung but connected) so replay agrees with its live queue.
 The ``done`` record is appended only *after* the result has been
 atomically published to the content-addressed store, so "ledgered done"
 implies "readable result".
+
+``submitted`` groups points into one named sweep -- the unit the
+``POST /submit`` endpoint of ``repro serve`` accepts and the unit
+``/progress?sweep=`` reports on.  It is the one record kind carrying
+no ``key``.  Because every record is a single whole-line ``O_APPEND``
+write, the submit service and the coordinator can append to the same
+ledger from different processes without locking: lines interleave,
+they never tear.
 """
 
 from __future__ import annotations
@@ -36,10 +50,18 @@ __all__ = ["LedgerState", "SweepLedger"]
 
 EVENT_SCHEDULED = "scheduled"
 EVENT_CLAIMED = "claimed"
+EVENT_REQUEUED = "requeued"
 EVENT_DONE = "done"
 EVENT_FAILED = "failed"
+EVENT_SUBMITTED = "submitted"
 
-_EVENTS = {EVENT_SCHEDULED, EVENT_CLAIMED, EVENT_DONE, EVENT_FAILED}
+_EVENTS = {
+    EVENT_SCHEDULED,
+    EVENT_CLAIMED,
+    EVENT_REQUEUED,
+    EVENT_DONE,
+    EVENT_FAILED,
+}
 
 
 @dataclass
@@ -49,13 +71,16 @@ class LedgerState:
     ``scheduled`` maps every key ever scheduled to its wire-form spec;
     ``done``/``failed`` are the terminal keys; ``claims`` maps each
     non-terminal claimed key to the last worker that claimed it (purely
-    diagnostic after a crash -- the claim is stale by construction).
+    diagnostic after a crash -- the claim is stale by construction,
+    and a ``requeued`` record clears it eagerly); ``sweeps`` maps each
+    submitted sweep id to the keys it groups.
     """
 
     scheduled: dict[str, dict[str, Any]] = field(default_factory=dict)
     done: set[str] = field(default_factory=set)
     failed: dict[str, str] = field(default_factory=dict)
     claims: dict[str, str] = field(default_factory=dict)
+    sweeps: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     @property
     def pending(self) -> set[str]:
@@ -66,8 +91,11 @@ class LedgerState:
 class SweepLedger:
     """Append-side API over one ledger file.
 
-    The coordinator is the only writer; readers (progress endpoints,
-    a resumed coordinator) use :meth:`replay` or the classmethod
+    Writers are the coordinator (lifecycle events) and the submit
+    service (``scheduled``/``submitted`` batches) -- safe concurrently
+    because every record is one whole-line ``O_APPEND`` write.
+    Readers (progress endpoints, a resumed coordinator, the
+    coordinator's live tail) use :meth:`replay` or the classmethod
     :meth:`replay_path` on the file directly.
     """
 
@@ -119,6 +147,47 @@ class SweepLedger:
             {"event": EVENT_CLAIMED, "key": key, "worker": worker}
         )
 
+    def record_requeued(
+        self, key: str, worker: str, reason: str = "lease-expired"
+    ) -> None:
+        """The coordinator reclaimed ``key`` from ``worker``.
+
+        No fsync: losing this record costs nothing on resume (a claim
+        with no terminal event replays as pending either way); the
+        record exists so a *live* replay agrees with the coordinator's
+        queue, and as the audit trail of lease expiries.
+        """
+        self._appender.append(
+            {
+                "event": EVENT_REQUEUED,
+                "key": key,
+                "worker": worker,
+                "reason": reason,
+            }
+        )
+
+    def record_submitted(
+        self,
+        sweep: str,
+        keys: Iterable[str],
+        name: str | None = None,
+    ) -> None:
+        """Group ``keys`` under one submitted sweep id.
+
+        Fsynced: a 202 from ``POST /submit`` promises the sweep
+        survives any crash, and this record (appended *after* the
+        batch of ``scheduled`` records on the same descriptor) is the
+        last line of that promise -- the flush covers the whole batch.
+        """
+        record: dict[str, Any] = {
+            "event": EVENT_SUBMITTED,
+            "sweep": sweep,
+            "keys": list(keys),
+        }
+        if name is not None:
+            record["name"] = name
+        self._appender.append(record, fsync=True)
+
     def record_done(
         self, key: str, worker: str, elapsed: float | None = None
     ) -> None:
@@ -168,7 +237,20 @@ class SweepLedger:
         """
         state = LedgerState()
         for record in read_jsonl(path, strict=False):
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"{path}: malformed ledger record {record!r}"
+                )
             event = record.get("event")
+            if event == EVENT_SUBMITTED:
+                sweep = record.get("sweep")
+                keys = record.get("keys")
+                if not isinstance(sweep, str) or not isinstance(keys, list):
+                    raise ValueError(
+                        f"{path}: malformed ledger record {record!r}"
+                    )
+                state.sweeps[sweep] = tuple(str(key) for key in keys)
+                continue
             key = record.get("key")
             if event not in _EVENTS or not isinstance(key, str):
                 raise ValueError(
@@ -178,6 +260,8 @@ class SweepLedger:
                 state.scheduled.setdefault(key, record.get("spec", {}))
             elif event == EVENT_CLAIMED:
                 state.claims[key] = record.get("worker", "?")
+            elif event == EVENT_REQUEUED:
+                state.claims.pop(key, None)
             elif event == EVENT_DONE:
                 state.done.add(key)
                 state.claims.pop(key, None)

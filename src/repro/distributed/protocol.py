@@ -14,10 +14,16 @@ Message vocabulary (the ``type`` field):
 ``assign``      coordinator -> worker: ``spec`` (wire dict) to execute
 ``wait``        coordinator -> worker: nothing pending, retry in ``delay`` s
 ``result``      worker -> coordinator: ``key``, ``result`` dict, ``elapsed``
+``result-ref``  worker -> coordinator: ``key``, ``elapsed`` -- the worker
+                already published the content-addressed store file itself
+                (shared-filesystem deployments); the coordinator validates
+                the address instead of receiving the payload
 ``ack``         coordinator -> worker: result durably stored and ledgered
 ``failed``      worker -> coordinator: ``key``, ``error`` (spec ran and
                 raised; deterministic failures are not requeued)
-``heartbeat``   worker -> coordinator: liveness while computing a long point
+``heartbeat``   worker -> coordinator: liveness while computing a long
+                point; refreshes the lease on every point assigned over
+                this connection when the coordinator runs lease timeouts
 ``shutdown``    coordinator -> worker: sweep complete, disconnect
 ==============  =============================================================
 

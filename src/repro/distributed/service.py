@@ -4,51 +4,89 @@ Serves the two durable artifacts of the fabric -- the content-addressed
 result store and the job ledger -- to many concurrent clients, with no
 dependency on a live coordinator (the store and ledger are files, so
 the service can run on any host that sees them, during or after a
-sweep).
+sweep).  With a ledger configured it is also the fabric's *front
+door*: ``POST /submit`` validates a scenario/grid document, expands it
+into durable ``scheduled`` records, and returns a sweep id -- a
+``repro sweep-coordinator --watch`` tailing the same ledger picks the
+points up and real workers execute them.
 
 Routes:
 
-==========================  =================================================
-``GET /healthz``            liveness: ``{"status": "ok", "results": N}``
-``GET /progress``           ledger-derived sweep progress (scheduled /
-                            done / failed / claimed / pending) plus the
-                            store's result count
-``GET /results``            JSON index of every cached result (key, name,
-                            engine, adversary, churn)
-``GET /results/<key>``      one full ``{"spec": ..., "result": ...}``
-                            payload by content address
-``GET /report``             the aligned sweep table as ``text/plain``
-                            (query: ``name=`` substring filter,
-                            ``metrics=`` comma-separated columns)
-==========================  =================================================
+=================================  ==========================================
+``GET /healthz``                   liveness: ``{"status": "ok", ...}``
+``GET /progress``                  ledger-derived sweep progress (scheduled
+                                   / done / failed / claimed / pending) plus
+                                   the store's result count; ``?sweep=<id>``
+                                   narrows to one submitted sweep
+``GET /results``                   paginated JSON index of cached results
+                                   (``?offset=&limit=``, key-sorted, backed
+                                   by the crash-safe index sidecar -- pages
+                                   are stable and non-overlapping)
+``GET /results/<key>``             one full ``{"spec": ..., "result": ...}``
+                                   payload by content address
+``GET /report``                    the aligned sweep table as ``text/plain``
+                                   (query: ``name=`` substring filter,
+                                   ``metrics=`` columns, ``sweep=`` id)
+``POST /submit``                   enqueue a scenario/grid document (JSON
+                                   body, or TOML with a toml Content-Type);
+                                   answers 202 with the sweep id
+=================================  ==========================================
 
 Concurrency: :class:`~http.server.ThreadingHTTPServer` dispatches one
-thread per connection; handlers only read immutable content-addressed
+thread per connection; readers only touch immutable content-addressed
 files (atomically published, so a reader never observes a partial
-result) and replay the append-only ledger, so no locking is needed.
+result), the append-only ledger, and the memoized index sidecar.
+Submits append whole ``O_APPEND`` lines, so they interleave safely
+with a live coordinator writing the same ledger from another process.
 
-The request-routing core (:meth:`ResultsService.respond`) is a pure
-function of the path and query -- the tests exercise it directly and
-through real sockets.
+The request-routing core (:meth:`ResultsService.respond` /
+:meth:`ResultsService.respond_post`) is a pure function of the path,
+query and body -- the tests exercise it directly and through real
+sockets.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 import re
 import threading
+import tomllib
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.distributed.ledger import SweepLedger
 from repro.scenario.report import collect_records, sweep_report
-from repro.scenario.runner import list_cached
+from repro.scenario.spec import (
+    ScenarioSpec,
+    SpecError,
+    SweepSpec,
+    load_scenario_document,
+)
+from repro.scenario.store import ResultIndex
 
-__all__ = ["ResultsService"]
+__all__ = ["ResultsService", "sweep_id"]
 
 _KEY_PATTERN = re.compile(r"^/results/([0-9a-f]{64})$")
+
+#: Page size when ``limit`` is omitted, and its hard ceiling.  The
+#: ceiling is what keeps one request from dragging a million-entry
+#: index through one response body.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
+
+#: Request bodies above this are refused before parsing (a million-point
+#: grid document is ~100 bytes of axes, not megabytes of anything).
+MAX_SUBMIT_BYTES = 8 * 1024 * 1024
+
+
+def sweep_id(keys: list[str]) -> str:
+    """Content address of a submitted sweep: the digest of its sorted
+    point keys.  Resubmitting the same grid yields the same id, which
+    is what makes ``POST /submit`` idempotent."""
+    return hashlib.sha256("\n".join(sorted(keys)).encode()).hexdigest()
 
 
 class ResultsService:
@@ -70,11 +108,21 @@ class ResultsService:
         self._ledger_path = (
             pathlib.Path(ledger_path) if ledger_path is not None else None
         )
+        self._index = ResultIndex(self._cache_dir)
         service = self
 
         class _Handler(BaseHTTPRequestHandler):
             # One connection may pipeline many requests (keep-alive).
             protocol_version = "HTTP/1.1"
+
+            def _reply(
+                self, status: int, content_type: str, body: bytes
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
 
             def do_GET(self) -> None:  # noqa: N802 -- stdlib contract
                 try:
@@ -86,11 +134,40 @@ class ResultsService:
                     status, content_type, body = service._json(
                         500, {"error": f"{type(error).__name__}: {error}"}
                     )
-                self.send_response(status)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                self._reply(status, content_type, body)
+
+            def do_POST(self) -> None:  # noqa: N802 -- stdlib contract
+                length = int(self.headers.get("Content-Length") or 0)
+                if length > MAX_SUBMIT_BYTES:
+                    # The body is deliberately left unread; closing
+                    # the connection keeps those bytes from being
+                    # parsed as the next pipelined request.
+                    self.close_connection = True
+                    self._reply(
+                        *service._json(
+                            413,
+                            {
+                                "error": (
+                                    f"request body of {length} bytes "
+                                    f"exceeds the {MAX_SUBMIT_BYTES}-"
+                                    f"byte limit"
+                                )
+                            },
+                        )
+                    )
+                    return
+                try:
+                    body = self.rfile.read(length) if length > 0 else b""
+                    status, content_type, out = service.respond_post(
+                        self.path,
+                        body,
+                        self.headers.get("Content-Type", ""),
+                    )
+                except Exception as error:  # noqa: BLE001 -- bad input
+                    status, content_type, out = service._json(
+                        500, {"error": f"{type(error).__name__}: {error}"}
+                    )
+                self._reply(status, content_type, out)
 
             def log_message(self, *args) -> None:  # noqa: D102
                 pass  # quiet by default; curl/tests see the bodies
@@ -104,6 +181,11 @@ class ResultsService:
         self._replay_lock = threading.Lock()
         self._replay_stamp: tuple[int, int] | None = None
         self._replay_state = None
+        # Submits serialize: concurrent grid expansions are cheap, but
+        # two racing replay-then-schedule passes would write duplicate
+        # scheduled lines for nothing (replay dedupes them, the bytes
+        # are still waste).
+        self._submit_lock = threading.Lock()
 
     @property
     def port(self) -> int:
@@ -151,34 +233,40 @@ class ResultsService:
                 {"status": "ok", "results": self._result_count()},
             )
         if route == "/progress":
-            return self._json(200, self._progress())
+            return self._progress(query.get("sweep"))
         if route == "/results":
-            return self._json(200, list_cached(self._cache_dir))
+            return self._results_page(query)
         match = _KEY_PATTERN.match(route)
         if match:
             return self._result_payload(match.group(1))
         if route == "/report":
-            text = sweep_report(
-                collect_records(cache_dir=self._cache_dir),
-                name=query.get("name"),
-                metrics=query.get("metrics"),
-                source=str(self._cache_dir),
-            )
-            if text is None:
-                return self._text(404, "no cached results match\n")
-            return self._text(200, text + "\n")
+            return self._report(query)
         return self._json(
             404,
             {
                 "error": f"unknown route {route!r}",
                 "routes": [
                     "/healthz",
-                    "/progress",
-                    "/results",
+                    "/progress[?sweep=<id>]",
+                    "/results?offset=&limit=",
                     "/results/<key>",
                     "/report",
+                    "POST /submit",
                 ],
             },
+        )
+
+    def respond_post(
+        self, path: str, body: bytes, content_type: str = ""
+    ) -> tuple[int, str, bytes]:
+        """Resolve one POST to ``(status, content_type, body)``."""
+        parsed = urllib.parse.urlsplit(path)
+        route = parsed.path.rstrip("/") or "/"
+        if route == "/submit":
+            return self._submit(body, content_type)
+        return self._json(
+            404,
+            {"error": f"no POST route {route!r}", "routes": ["/submit"]},
         )
 
     # -- route bodies -------------------------------------------------------
@@ -188,29 +276,124 @@ class ResultsService:
             return 0
         return sum(1 for _ in self._cache_dir.glob("*.json"))
 
-    def _progress(self) -> dict[str, Any]:
+    def _submit(
+        self, body: bytes, content_type: str
+    ) -> tuple[int, str, bytes]:
+        """Expand a grid document into the durable ledger.
+
+        The scheduled records land first, the fsynced ``submitted``
+        record last: once the 202 is on the wire, the whole batch is
+        on disk, and a coordinator (live-tailing or later resumed)
+        cannot see the sweep id without its points.  Resubmitting the
+        same document is idempotent -- same sweep id, no duplicate
+        scheduled records, already-terminal points stay terminal.
+        """
+        if self._ledger_path is None:
+            return self._json(
+                503,
+                {
+                    "error": (
+                        "submissions need a ledger; restart "
+                        "'repro serve' with --ledger"
+                    )
+                },
+            )
+        try:
+            text = body.decode("utf-8")
+            if "toml" in content_type.lower():
+                document = tomllib.loads(text)
+            else:
+                document = json.loads(text)
+        except (UnicodeDecodeError, ValueError) as error:
+            return self._json(
+                400, {"error": f"unparseable submit body: {error}"}
+            )
+        try:
+            loaded = load_scenario_document(document)
+            specs = (
+                loaded.expand()
+                if isinstance(loaded, SweepSpec)
+                else [loaded]
+            )
+        except (SpecError, TypeError, ValueError) as error:
+            return self._json(400, {"error": f"invalid scenario: {error}"})
+        unique: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.key(), spec)
+        identity = sweep_id(list(unique))
+        name = str(document.get("name", "scenario"))
+        with self._submit_lock:
+            with SweepLedger(self._ledger_path) as ledger:
+                # Opening the ledger created the file if needed, so
+                # the stamp-memoized replay is safe -- and O(new
+                # lines amortized) instead of a full re-parse per
+                # submit on a long-lived fabric.
+                already = set(self._replayed_ledger().scheduled)
+                ledger.record_scheduled(
+                    unique.values(), already_scheduled=already
+                )
+                ledger.record_submitted(identity, list(unique), name=name)
+        return self._json(
+            202,
+            {
+                "sweep": identity,
+                "name": name,
+                "points": len(unique),
+                "new_points": len(set(unique) - already),
+                "progress": f"/progress?sweep={identity}",
+                "results": f"/results?offset=0&limit={DEFAULT_PAGE_LIMIT}",
+            },
+        )
+
+    def _progress(self, sweep: str | None) -> tuple[int, str, bytes]:
         progress: dict[str, Any] = {
             "cache_dir": str(self._cache_dir),
             "results": self._result_count(),
             "ledger": None,
         }
-        if self._ledger_path is not None and self._ledger_path.exists():
-            state = self._replayed_ledger()
-            pending = state.pending
-            progress["ledger"] = str(self._ledger_path)
+        if self._ledger_path is None or not self._ledger_path.exists():
+            if sweep is not None:
+                return self._json(
+                    404, {"error": f"no ledger to resolve sweep {sweep!r}"}
+                )
+            return self._json(200, progress)
+        state = self._replayed_ledger()
+        progress["ledger"] = str(self._ledger_path)
+        if sweep is not None:
+            keys = state.sweeps.get(sweep)
+            if keys is None:
+                return self._json(
+                    404, {"error": f"unknown sweep {sweep!r}"}
+                )
+            done = sum(1 for key in keys if key in state.done)
+            failed = sum(1 for key in keys if key in state.failed)
+            pending = len(keys) - done - failed
             progress.update(
                 {
-                    "scheduled": len(state.scheduled),
-                    "done": len(state.done),
-                    "failed": len(state.failed),
-                    "claimed": len(
-                        [key for key in state.claims if key in pending]
-                    ),
-                    "pending": len(pending),
-                    "complete": not pending,
+                    "sweep": sweep,
+                    "points": len(keys),
+                    "done": done,
+                    "failed": failed,
+                    "pending": pending,
+                    "complete": pending == 0,
                 }
             )
-        return progress
+            return self._json(200, progress)
+        pending = state.pending
+        progress.update(
+            {
+                "scheduled": len(state.scheduled),
+                "done": len(state.done),
+                "failed": len(state.failed),
+                "claimed": len(
+                    [key for key in state.claims if key in pending]
+                ),
+                "pending": len(pending),
+                "sweeps": len(state.sweeps),
+                "complete": not pending,
+            }
+        )
+        return self._json(200, progress)
 
     def _replayed_ledger(self):
         """Replay the ledger, memoized on its (size, mtime) stamp."""
@@ -223,6 +406,66 @@ class ResultsService:
                 )
                 self._replay_stamp = stamp
             return self._replay_state
+
+    def _results_page(
+        self, query: dict[str, str]
+    ) -> tuple[int, str, bytes]:
+        """One stable page of the key-sorted result index.
+
+        Backed by the sidecar (:class:`~repro.scenario.store
+        .ResultIndex`), so the per-request cost is a ``stat`` plus one
+        list slice -- never a full-store parse.  Key order means pages
+        taken at different times never overlap or reorder; a result
+        published between two page fetches can shift later pages by
+        one, which ``total`` makes detectable.
+        """
+        try:
+            offset = int(query.get("offset", 0))
+            limit = int(query.get("limit", DEFAULT_PAGE_LIMIT))
+        except ValueError:
+            return self._json(
+                400, {"error": "offset and limit must be integers"}
+            )
+        if offset < 0 or limit < 1:
+            return self._json(
+                400, {"error": "need offset >= 0 and limit >= 1"}
+            )
+        limit = min(limit, MAX_PAGE_LIMIT)
+        total, page = self._index.page(offset, limit)
+        next_offset = offset + limit if offset + limit < total else None
+        return self._json(
+            200,
+            {
+                "total": total,
+                "offset": offset,
+                "limit": limit,
+                "count": len(page),
+                "next_offset": next_offset,
+                "results": page,
+            },
+        )
+
+    def _report(self, query: dict[str, str]) -> tuple[int, str, bytes]:
+        keys = None
+        sweep = query.get("sweep")
+        if sweep is not None:
+            if self._ledger_path is None or not self._ledger_path.exists():
+                return self._json(
+                    404, {"error": f"no ledger to resolve sweep {sweep!r}"}
+                )
+            sweep_keys = self._replayed_ledger().sweeps.get(sweep)
+            if sweep_keys is None:
+                return self._json(404, {"error": f"unknown sweep {sweep!r}"})
+            keys = set(sweep_keys)
+        text = sweep_report(
+            collect_records(cache_dir=self._cache_dir, keys=keys),
+            name=query.get("name"),
+            metrics=query.get("metrics"),
+            source=str(self._cache_dir),
+        )
+        if text is None:
+            return self._text(404, "no cached results match\n")
+        return self._text(200, text + "\n")
 
     def _result_payload(self, key: str) -> tuple[int, str, bytes]:
         path = self._cache_dir / f"{key}.json"

@@ -19,14 +19,27 @@ coordinator and import ``repro``) and it joins the sweep mid-flight.
 point computes: the point runs on an executor thread and the loop
 emits a HEARTBEAT frame every interval until it finishes, so NATs and
 idle timeouts never reap the connection mid-point (which would requeue
-work that is still running).  One point still saturates one core --
+work that is still running) -- and, when the coordinator runs lease
+timeouts, each frame refreshes this worker's leases, so a slow but
+live point is never preempted.  One point still saturates one core --
 parallelism comes from running more workers.
+
+``store_dir`` opts into *worker-side publishes* for deployments where
+workers see the coordinator's store directly (NFS, a shared volume):
+the worker writes the content-addressed result file itself -- through
+the exact same :func:`~repro.scenario.store.store_result` path the
+coordinator would use, so the bytes are identical -- and sends a slim
+RESULT-REF frame instead of shipping the payload.  The coordinator
+re-validates the address before ledgering done.  If the local publish
+fails for any reason, the worker falls back to the full RESULT frame;
+the optimization is never load-bearing for correctness.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import pathlib
 import socket
 import threading
 import time
@@ -34,6 +47,7 @@ from typing import Any
 
 from repro.distributed.protocol import ProtocolError, read_frame, write_frame
 from repro.scenario.spec import ScenarioSpec
+from repro.scenario.store import store_result
 
 __all__ = ["run_worker", "worker_loop"]
 
@@ -56,6 +70,7 @@ async def worker_loop(
     max_points: int | None = None,
     connect_timeout: float = 10.0,
     heartbeat_every: float | None = DEFAULT_HEARTBEAT,
+    store_dir: str | pathlib.Path | None = None,
 ) -> dict[str, Any]:
     """Claim-execute-report until the coordinator says shutdown.
 
@@ -66,9 +81,12 @@ async def worker_loop(
     the initial connection retries (so a worker started moments before
     its coordinator still joins); ``heartbeat_every`` spaces the
     mid-point HEARTBEAT frames (``None`` disables them and runs points
-    inline).  Returns ``{"worker": id, "executed": n, "failed": n}``
+    inline); ``store_dir`` (a path to the *shared* result store)
+    switches to worker-side publishes + RESULT-REF frames.  Returns
+    ``{"worker": id, "executed": n, "failed": n, "published": n}``
     where ``executed`` counts only results the coordinator acked as
-    stored.
+    stored and ``published`` counts the worker-side store writes among
+    them.
     """
     from repro.scenario.runner import execute_spec
 
@@ -90,6 +108,7 @@ async def worker_loop(
     executed = 0
     failed = 0
     attempts = 0
+    published = 0
 
     async def execute(spec: ScenarioSpec):
         """Run one point, heartbeating while it computes.
@@ -154,9 +173,8 @@ async def worker_loop(
                     # worker's ScenarioSpec rejects must produce a
                     # terminal FAILED report, not a worker crash that
                     # requeues the point onto the next victim.
-                    result = await execute(
-                        ScenarioSpec.from_dict(message["spec"])
-                    )
+                    spec = ScenarioSpec.from_dict(message["spec"])
+                    result = await execute(spec)
                 except (ConnectionError, OSError):
                     # A mid-point heartbeat hit a dead socket: the
                     # coordinator vanished, the point did NOT fail.
@@ -173,16 +191,40 @@ async def worker_loop(
                         },
                     )
                     continue
+                sent_ref = False
+                if store_dir is not None:
+                    try:
+                        # The exact publish path the coordinator would
+                        # take: same canonical JSON, same atomic
+                        # temp-file + os.replace -- byte-identical no
+                        # matter which side writes.
+                        store_result(store_dir, spec, result)
+                    except Exception:  # noqa: BLE001 -- fall back to wire
+                        # Local publish failed (permissions, a store
+                        # this host cannot actually reach): the full
+                        # RESULT frame below is always correct.
+                        sent_ref = False
+                    else:
+                        sent_ref = True
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "result-ref",
+                                "key": message["key"],
+                                "elapsed": time.perf_counter() - started,
+                            },
+                        )
                 try:
-                    await write_frame(
-                        writer,
-                        {
-                            "type": "result",
-                            "key": message["key"],
-                            "result": result.to_dict(),
-                            "elapsed": time.perf_counter() - started,
-                        },
-                    )
+                    if not sent_ref:
+                        await write_frame(
+                            writer,
+                            {
+                                "type": "result",
+                                "key": message["key"],
+                                "result": result.to_dict(),
+                                "elapsed": time.perf_counter() - started,
+                            },
+                        )
                 except ProtocolError as error:
                     # Result exceeds the frame bound (encode_frame
                     # refuses before any bytes hit the wire).  This is
@@ -216,6 +258,8 @@ async def worker_loop(
                     raise ProtocolError(str(reply.get("error")))
                 if reply.get("stored", True):
                     executed += 1  # acked: the result is durably stored
+                    if sent_ref:
+                        published += 1
             elif kind == "wait":
                 await asyncio.sleep(float(message.get("delay", 0.2)))
             elif kind == "shutdown":
@@ -233,7 +277,12 @@ async def worker_loop(
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover
             pass
-    return {"worker": name, "executed": executed, "failed": failed}
+    return {
+        "worker": name,
+        "executed": executed,
+        "failed": failed,
+        "published": published,
+    }
 
 
 def run_worker(
@@ -244,6 +293,7 @@ def run_worker(
     max_points: int | None = None,
     connect_timeout: float = 10.0,
     heartbeat_every: float | None = DEFAULT_HEARTBEAT,
+    store_dir: str | pathlib.Path | None = None,
 ) -> dict[str, Any]:
     """Blocking wrapper around :func:`worker_loop` (the CLI entry)."""
     return asyncio.run(
@@ -254,5 +304,6 @@ def run_worker(
             max_points=max_points,
             connect_timeout=connect_timeout,
             heartbeat_every=heartbeat_every,
+            store_dir=store_dir,
         )
     )

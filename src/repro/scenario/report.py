@@ -23,24 +23,39 @@ __all__ = ["collect_records", "sweep_report"]
 def collect_records(
     cache_dir: str | pathlib.Path | None = None,
     stream_path: str | pathlib.Path | None = None,
+    keys: set[str] | None = None,
 ) -> list[dict[str, Any]]:
     """Load result payloads from a cache directory or a JSONL stream.
 
     Unreadable cache entries are skipped (a concurrently-writing sweep
     publishes atomically, so a parse failure means foreign junk in the
-    directory, not a torn write).
+    directory, not a torn write).  ``keys`` restricts the load to
+    those content addresses (e.g. one submitted sweep's points) -- for
+    the cache directory the filter applies on file *names*, so the
+    skipped results are never even parsed.
     """
     records: list[dict[str, Any]] = []
     if stream_path is not None:
         # Lenient: a stream that survived a crash (torn fragment line,
         # isolated by the appender's boundary repair) should still
         # report every intact record rather than fail wholesale.
-        records.extend(read_jsonl(stream_path, strict=False))
+        for record in read_jsonl(stream_path, strict=False):
+            if keys is not None:
+                key = (
+                    record.get("result", {}).get("key")
+                    if isinstance(record, dict)
+                    else None
+                )
+                if key not in keys:
+                    continue
+            records.append(record)
         return records
     directory = pathlib.Path(cache_dir if cache_dir is not None else ".")
     if not directory.is_dir():
         return records
     for path in sorted(directory.glob("*.json")):
+        if keys is not None and path.stem not in keys:
+            continue
         try:
             records.append(json.loads(path.read_text()))
         except json.JSONDecodeError:

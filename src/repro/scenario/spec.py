@@ -254,13 +254,9 @@ class SweepSpec:
     def from_file(cls, path: str | pathlib.Path) -> "SweepSpec":
         """Load a sweep document (base fields + ``sweep`` table)."""
         document = _read_document(path)
-        axes = document.get("sweep")
-        if not axes:
+        if not document.get("sweep"):
             raise SpecError(f"{path} declares no sweep axes")
-        return cls(
-            base=ScenarioSpec.from_dict(document),
-            axes=tuple((str(k), tuple(v)) for k, v in axes.items()),
-        )
+        return load_scenario_document(document)
 
     def expand(self) -> list[ScenarioSpec]:
         """The grid points, in cross-product order."""
@@ -286,9 +282,43 @@ def load_scenario(
     path: str | pathlib.Path,
 ) -> ScenarioSpec | SweepSpec:
     """Load a scenario file, returning a sweep when it declares axes."""
-    document = _read_document(path)
-    if document.get("sweep"):
-        return SweepSpec.from_file(path)
+    return load_scenario_document(_read_document(path))
+
+
+def load_scenario_document(
+    document: Mapping[str, Any],
+) -> ScenarioSpec | SweepSpec:
+    """Build a scenario (or sweep) from an already-parsed mapping.
+
+    The document-level twin of :func:`load_scenario`: the CLI reaches
+    it through files, the ``/submit`` endpoint of ``repro serve``
+    through HTTP request bodies.  A ``sweep`` table turns the document
+    into a :class:`SweepSpec`; without one it is a single
+    :class:`ScenarioSpec`.
+    """
+    if not isinstance(document, Mapping):
+        raise SpecError(
+            f"scenario document must be a mapping, "
+            f"got {type(document).__name__}"
+        )
+    axes = document.get("sweep")
+    if axes:
+        if not isinstance(axes, Mapping):
+            raise SpecError(
+                f"'sweep' must map axis names to value lists, got {axes!r}"
+            )
+        try:
+            frozen = tuple(
+                (str(axis), tuple(values)) for axis, values in axes.items()
+            )
+        except TypeError:
+            raise SpecError(
+                f"sweep axis values must be lists, got {axes!r}"
+            ) from None
+        for axis, values in frozen:
+            if not values:
+                raise SpecError(f"sweep axis {axis!r} has no values")
+        return SweepSpec(base=ScenarioSpec.from_dict(document), axes=frozen)
     return ScenarioSpec.from_dict(document)
 
 

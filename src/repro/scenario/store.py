@@ -30,19 +30,31 @@ import dataclasses
 import json
 import os
 import pathlib
+import re
 import tempfile
+import threading
 from typing import Any, Iterator
 
 from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
+    "INDEX_NAME",
     "JsonlAppender",
+    "ResultIndex",
     "atomic_write_json",
+    "index_path",
     "load_result",
     "read_jsonl",
     "result_path",
     "store_result",
 ]
+
+#: The index sidecar: one JSONL summary line per published result,
+#: living next to the ``<key>.json`` files it indexes.  The ``.jsonl``
+#: suffix keeps it invisible to every ``*.json`` store scan.
+INDEX_NAME = "results-index.jsonl"
+
+_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
 
 
 def atomic_write_json(path: str | pathlib.Path, payload: Any) -> None:
@@ -180,7 +192,9 @@ def read_jsonl(
             continue
         try:
             yield json.loads(line)
-        except json.JSONDecodeError as error:
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            # UnicodeDecodeError: a record cut inside a multi-byte
+            # character (or scribbled media) -- as torn as bad JSON.
             if strict:
                 raise ValueError(
                     f"{path}:{number}: corrupt JSONL record ({error})"
@@ -193,7 +207,7 @@ def read_jsonl(
     if tail.strip():
         try:
             yield json.loads(tail)
-        except json.JSONDecodeError:
+        except (json.JSONDecodeError, UnicodeDecodeError):
             pass
 
 
@@ -212,12 +226,147 @@ def store_result(
     Safe under concurrent writers (each publishes via its own temp
     file) and idempotent: the payload is a pure function of the spec,
     so last-writer-wins races still converge on identical bytes.
+
+    After the publish, a summary line is appended to the
+    :data:`INDEX_NAME` sidecar so paginated readers never have to
+    parse the whole store.  The ordering matters: index-after-publish
+    means a crash between the two leaves an *unindexed* result (healed
+    by :meth:`ResultIndex.entries` on its next rebuild), never an
+    index entry pointing at a missing file.
     """
     path = result_path(cache_dir, spec)
     atomic_write_json(
         path, {"spec": spec.to_dict(), "result": result.to_dict()}
     )
+    with JsonlAppender(index_path(cache_dir)) as appender:
+        appender.append(_index_entry(spec.key(), spec.to_dict(), path))
     return path
+
+
+def index_path(cache_dir: str | pathlib.Path) -> pathlib.Path:
+    """The index sidecar file of a content-addressed store."""
+    return pathlib.Path(cache_dir) / INDEX_NAME
+
+
+def _index_entry(
+    key: str, spec: dict[str, Any], path: pathlib.Path
+) -> dict[str, Any]:
+    """One sidecar line: the summary fields pagination serves."""
+    return {
+        "key": key,
+        "name": spec.get("name", "?"),
+        "engine": spec.get("engine", "?"),
+        "adversary": spec.get("adversary", "?"),
+        "churn": spec.get("churn", "?"),
+        "file": str(path),
+    }
+
+
+class ResultIndex:
+    """Crash-safe paginated view over a content-addressed store.
+
+    The index is the JSONL sidecar :data:`INDEX_NAME` that
+    :func:`store_result` appends to on every publish; entries fold by
+    key (last writer wins), so concurrent appenders -- a coordinator
+    thread, remote workers on a shared filesystem, racing serial
+    runners -- need no coordination beyond ``O_APPEND``.
+
+    :meth:`entries` memoizes the folded, key-sorted view on the
+    sidecar's ``(size, mtime)`` stamp: a million-point store costs one
+    ``stat`` per page once warm, not a million-file parse.  Each
+    rebuild also *reconciles* against the directory: results published
+    without an index line (a crash between publish and append, or a
+    store predating the sidecar) are parsed once and appended, and
+    entries whose file has vanished are dropped from the view.  Key
+    order makes pages stable and non-overlapping under concurrent
+    appends: a new result shifts but never reorders its neighbours.
+    """
+
+    def __init__(self, cache_dir: str | pathlib.Path) -> None:
+        self._cache_dir = pathlib.Path(cache_dir)
+        self._path = index_path(cache_dir)
+        self._lock = threading.Lock()
+        # False is never a stat result, so the first call always builds.
+        self._stamp: tuple[int, int] | None | bool = False
+        self._entries: list[dict[str, Any]] = []
+
+    def _stat(self) -> tuple[int, int] | None:
+        try:
+            stat = self._path.stat()
+        except OSError:
+            return None
+        return (stat.st_size, stat.st_mtime_ns)
+
+    def entries(self) -> list[dict[str, Any]]:
+        """The folded index, sorted by key (memoized on the sidecar)."""
+        with self._lock:
+            stamp = self._stat()
+            if stamp != self._stamp:
+                self._entries = self._rebuild()
+                # Memoize on the stamp taken *before* the read: a
+                # foreign append landing mid-rebuild then differs on
+                # the next call and triggers a fresh fold instead of
+                # being silently absorbed.  Our own healing appends
+                # cost one redundant rebuild on the next call, which
+                # then converges.
+                self._stamp = stamp
+            return self._entries
+
+    def page(
+        self, offset: int, limit: int
+    ) -> tuple[int, list[dict[str, Any]]]:
+        """``(total, entries[offset:offset + limit])`` of the index."""
+        entries = self.entries()
+        return len(entries), entries[offset : offset + limit]
+
+    def _rebuild(self) -> list[dict[str, Any]]:
+        indexed: dict[str, dict[str, Any]] = {}
+        for record in read_jsonl(self._path, strict=False):
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            if isinstance(key, str) and _KEY_RE.match(key):
+                indexed[key] = record
+        try:
+            names = os.listdir(self._cache_dir)
+        except OSError:
+            return []
+        on_disk = {
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json") and _KEY_RE.match(name[: -len(".json")])
+        }
+        missing = on_disk - set(indexed)
+        if missing:
+            # Heal the sidecar when the store is writable; on a
+            # read-only mount (a perfectly good place to *serve*
+            # from) fall back to an in-memory-only reconcile -- the
+            # view is correct either way, the heal just is not
+            # persisted.
+            try:
+                appender = JsonlAppender(self._path)
+            except OSError:
+                appender = None
+            try:
+                for key in sorted(missing):
+                    path = self._cache_dir / f"{key}.json"
+                    try:
+                        payload = json.loads(path.read_text())
+                        spec = payload["spec"]
+                    except (OSError, json.JSONDecodeError, KeyError):
+                        continue  # foreign junk, or deleted mid-scan
+                    if not isinstance(spec, dict):
+                        continue
+                    entry = _index_entry(key, spec, path)
+                    if appender is not None:
+                        appender.append(entry)
+                    indexed[key] = entry
+            finally:
+                if appender is not None:
+                    appender.close()
+        return [
+            indexed[key] for key in sorted(indexed) if key in on_disk
+        ]
 
 
 def load_result(cache_dir: str | pathlib.Path, spec: ScenarioSpec):

@@ -115,3 +115,77 @@ class TestCoordinatorCommand:
         assert "sweep complete: 2/2 done" in out
         assert "worker cli-w0: 2 points executed" in out
         assert len(list(cache.glob("*.json"))) == 2
+
+
+class TestNewFlags:
+    def test_coordinator_gains_watch_and_lease_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep-coordinator", "spec.json"])
+        assert args.watch is False
+        assert args.lease_timeout == 600.0
+        args = parser.parse_args(
+            ["sweep-coordinator", "--watch", "--lease-timeout", "30"]
+        )
+        assert args.spec_file is None
+        assert args.watch is True and args.lease_timeout == 30.0
+
+    def test_worker_gains_store_dir(self):
+        parser = build_parser()
+        args = parser.parse_args(["worker", "--port", "1"])
+        assert args.store_dir is None
+        args = parser.parse_args(
+            ["worker", "--port", "1", "--store-dir", "/shared/cache"]
+        )
+        assert str(args.store_dir) == "/shared/cache"
+
+    def test_coordinator_without_spec_or_watch_is_an_error(self, capsys):
+        code = main(["sweep-coordinator", "--port", "0"])
+        assert code == 2
+        assert "--watch" in capsys.readouterr().out
+
+    def test_worker_side_store_through_the_cli(self, tmp_path, capsys):
+        """The full CLI path with --store-dir: worker publishes, the
+        coordinator validates the refs, the sweep completes."""
+        import socket
+
+        spec_file = tmp_path / "sweep.json"
+        write_sweep_spec(spec_file)
+        cache = tmp_path / "cache"
+        codes = {}
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = str(probe.getsockname()[1])
+
+        def coordinate() -> None:
+            codes["coordinator"] = main(
+                [
+                    "sweep-coordinator",
+                    str(spec_file),
+                    "--port",
+                    port,
+                    "--cache-dir",
+                    str(cache),
+                    "--ledger",
+                    str(tmp_path / "ledger.jsonl"),
+                ]
+            )
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        codes["worker"] = main(
+            [
+                "worker",
+                "--port",
+                port,
+                "--id",
+                "ref-w0",
+                "--store-dir",
+                str(cache),
+            ]
+        )
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        out = capsys.readouterr().out
+        assert codes == {"coordinator": 0, "worker": 0}
+        assert "sweep complete: 2/2 done" in out
+        assert len(list(cache.glob("*.json"))) == 2

@@ -15,6 +15,7 @@ it (an 18-point adversary x parameter grid):
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -491,3 +492,282 @@ class TestProtocolHygiene:
             rebuilt = ScenarioSpec.from_json(spec.to_json())
             assert rebuilt == spec
             assert rebuilt.key() == spec.key()
+
+
+class TestWorkerSideStore:
+    """RESULT-REF: the worker publishes, the coordinator validates."""
+
+    def test_ref_results_are_byte_identical_to_result_frames(
+        self, tmp_path
+    ):
+        specs = grid_18()[:6]
+        serial_dir = tmp_path / "serial"
+        SweepRunner(cache_dir=serial_dir).sweep(specs)
+        dist_dir = tmp_path / "dist"
+        driver = CoordinatorThread(
+            specs,
+            cache_dir=dist_dir,
+            ledger_path=tmp_path / "ledger.jsonl",
+        )
+        # Workers share the coordinator's store: every result goes
+        # worker-side publish + slim RESULT-REF, no payload frames.
+        stats = run_workers(driver.port, 2, store_dir=dist_dir)
+        summary = driver.join()
+        assert summary["done"] == 6 and not summary["failed"]
+        assert sum(s["executed"] for s in stats) == 6
+        assert sum(s["published"] for s in stats) == 6
+        for spec in specs:
+            name = f"{spec.key()}.json"
+            assert (serial_dir / name).read_bytes() == (
+                dist_dir / name
+            ).read_bytes()
+        # "done" was ledgered only after validation.
+        from repro.distributed.ledger import SweepLedger
+
+        state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+        assert state.done == {spec.key() for spec in specs}
+
+    def test_ref_to_a_store_the_coordinator_cannot_see_goes_terminal(
+        self, tmp_path
+    ):
+        """A worker publishing into the wrong directory fails address
+        validation every time; the retry cap turns that into a
+        terminal failure instead of a recompute livelock."""
+        specs = grid_18()[:1]
+        driver = CoordinatorThread(specs, cache_dir=tmp_path / "coord")
+        stats = run_workers(
+            driver.port, 1, store_dir=tmp_path / "elsewhere"
+        )
+        summary = driver.join()
+        assert summary["done"] == 0 and summary["pending"] == 0
+        [(key, error)] = summary["failed"].items()
+        assert key == specs[0].key()
+        assert "not storable" in error
+        # The worker itself never failed a spec -- and nothing it
+        # "published" was acked as stored.
+        assert stats[0]["failed"] == 0
+        assert stats[0]["published"] == 0
+
+    def test_forged_ref_is_requeued_and_recovered(self, tmp_path):
+        """A REF claiming a publish that never happened must not mark
+        the point done -- it requeues and a real worker finishes it."""
+        specs = grid_18()[:2]
+        driver = CoordinatorThread(specs, cache_dir=tmp_path / "cache")
+
+        async def forge_ref() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(writer, {"type": "hello", "worker": "forger"})
+            await write_frame(writer, {"type": "claim"})
+            assignment = await read_frame(reader)
+            await write_frame(
+                writer,
+                {"type": "result-ref", "key": assignment["key"]},
+            )
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(forge_ref())
+        assert reply["type"] == "error"
+        assert reply.get("retryable") is True
+        run_workers(driver.port, 1)
+        summary = driver.join()
+        assert summary["done"] == 2 and not summary["failed"]
+        assert "forger" not in summary["workers"]
+
+    def test_ref_for_unknown_key_is_an_error_frame(self, tmp_path):
+        driver = CoordinatorThread(
+            grid_18()[:1], cache_dir=tmp_path / "cache"
+        )
+
+        async def probe() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(
+                writer, {"type": "result-ref", "key": "f" * 64}
+            )
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(probe())
+        assert reply["type"] == "error"
+        assert "unknown key" in reply["error"]
+        run_workers(driver.port, 1)
+        assert driver.join()["done"] == 1
+
+
+class TestSubmittedSweeps:
+    """The ledger as the fabric's inbox: /submit-style scheduling."""
+
+    def submit_via_ledger(self, ledger_path, specs) -> str:
+        """What POST /submit appends: scheduled records + the sweep."""
+        from repro.distributed.ledger import SweepLedger
+        from repro.distributed.service import sweep_id
+
+        keys = [spec.key() for spec in specs]
+        with SweepLedger(ledger_path) as ledger:
+            ledger.record_scheduled(specs)
+            ledger.record_submitted(sweep_id(keys), keys, name="submitted")
+        return sweep_id(keys)
+
+    def test_coordinator_adopts_ledger_scheduled_points(self, tmp_path):
+        """A coordinator given *no* specs of its own executes a sweep
+        that exists only as ledger records -- the resume-mid-submitted-
+        sweep guarantee."""
+        specs = grid_18()[:5]
+        ledger = tmp_path / "ledger.jsonl"
+        self.submit_via_ledger(ledger, specs)
+        driver = CoordinatorThread(
+            [], cache_dir=tmp_path / "cache", ledger_path=ledger
+        )
+        run_workers(driver.port, 2)
+        summary = driver.join()
+        assert summary["total"] == 5
+        assert summary["done"] == 5 and summary["computed"] == 5
+        assert len(list((tmp_path / "cache").glob("*.json"))) == 5
+
+    def test_killed_coordinator_resumes_a_submitted_sweep(self, tmp_path):
+        specs = grid_18()[:6]
+        ledger = tmp_path / "ledger.jsonl"
+        cache = tmp_path / "cache"
+        self.submit_via_ledger(ledger, specs)
+        first = CoordinatorThread([], cache_dir=cache, ledger_path=ledger)
+        partial = run_workers(first.port, 1, max_points=2)
+        assert partial[0]["executed"] == 2
+        summary = first.stop()  # "crash" mid-submitted-sweep
+        assert summary["done"] == 2 and summary["pending"] == 4
+        second = CoordinatorThread([], cache_dir=cache, ledger_path=ledger)
+        run_workers(second.port, 2)
+        summary = second.join()
+        assert summary["done"] == 6 and summary["pending"] == 0
+        assert summary["resumed_from_ledger"] == 2
+        assert summary["computed"] == 4  # only the unfinished points
+
+    def test_watch_coordinator_executes_a_live_submission(self, tmp_path):
+        """Submit through a real ResultsService while the coordinator
+        is already running in watch mode: the ledger tail picks the
+        points up, workers execute them, pagination serves them --
+        byte-identical to a serial run of the same document."""
+        import json as jsonlib
+        import urllib.request
+
+        from repro.distributed.service import ResultsService
+        from repro.scenario.spec import load_scenario_document
+
+        document = {
+            "name": "live-submit",
+            "engine": "batch",
+            "runs": 50,
+            "seed": 23,
+            "params": {
+                "core_size": 5,
+                "spare_max": 5,
+                "k": 1,
+                "mu": 0.2,
+                "d": 0.9,
+            },
+            "sweep": {
+                "params.mu": [0.1, 0.3],
+                "adversary": ["strong", "passive"],
+            },
+        }
+        specs = load_scenario_document(document).expand()
+        serial_dir = tmp_path / "serial"
+        SweepRunner(cache_dir=serial_dir).sweep(specs)
+
+        ledger = tmp_path / "ledger.jsonl"
+        cache = tmp_path / "cache"
+        driver = CoordinatorThread(
+            [],
+            cache_dir=cache,
+            ledger_path=ledger,
+            watch=True,
+            poll_interval=0.05,
+        )
+        workers = [
+            threading.Thread(
+                target=lambda i=i: asyncio.run(
+                    worker_loop(
+                        "127.0.0.1", driver.port, worker_id=f"w{i}"
+                    )
+                )
+            )
+            for i in range(2)
+        ]
+        for thread in workers:
+            thread.start()
+        try:
+            with ResultsService(cache, ledger_path=ledger).start() as http:
+                base = f"http://127.0.0.1:{http.port}"
+                request = urllib.request.Request(
+                    base + "/submit",
+                    data=jsonlib.dumps(document).encode(),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=10) as reply:
+                    submitted = jsonlib.loads(reply.read())
+                assert reply.status == 202
+                assert submitted["points"] == 4
+                deadline = time.monotonic() + 60
+                while True:
+                    with urllib.request.urlopen(
+                        base + submitted["progress"], timeout=10
+                    ) as reply:
+                        progress = jsonlib.loads(reply.read())
+                    if progress["complete"]:
+                        break
+                    assert time.monotonic() < deadline, progress
+                    time.sleep(0.05)
+                assert progress["done"] == 4 and progress["failed"] == 0
+                with urllib.request.urlopen(
+                    base + "/results?offset=0&limit=2", timeout=10
+                ) as reply:
+                    page = jsonlib.loads(reply.read())
+                assert page["total"] == 4 and page["count"] == 2
+        finally:
+            summary = driver.stop()
+            for thread in workers:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "worker did not exit"
+        assert summary["done"] == 4 and summary["watch"] is True
+        serial_files = sorted(p.name for p in serial_dir.glob("*.json"))
+        dist_files = sorted(p.name for p in cache.glob("*.json"))
+        assert serial_files == dist_files
+        for name in serial_files:
+            assert (serial_dir / name).read_bytes() == (
+                cache / name
+            ).read_bytes()
+
+    def test_watch_coordinator_idles_instead_of_shutting_down(
+        self, tmp_path
+    ):
+        """With nothing pending, watch mode answers WAIT (stay around
+        for the next submission), not SHUTDOWN."""
+        driver = CoordinatorThread(
+            [],
+            cache_dir=tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+            watch=True,
+        )
+
+        async def claim_once() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(writer, {"type": "hello", "worker": "idle"})
+            await write_frame(writer, {"type": "claim"})
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        assert asyncio.run(claim_once())["type"] == "wait"
+        summary = driver.stop()
+        assert summary["watch"] is True and summary["total"] == 0

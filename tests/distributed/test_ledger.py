@@ -131,3 +131,71 @@ class TestCrashTolerance:
         path.write_text('{"event": "exploded", "key": "a"}\n')
         with pytest.raises(ValueError, match="malformed"):
             SweepLedger.replay_path(path)
+
+
+class TestRequeueAndSubmit:
+    def test_requeued_clears_the_claim_but_not_the_schedule(self, tmp_path):
+        point = spec(7)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_claimed(point.key(), "w1")
+            ledger.record_requeued(point.key(), "w1")
+            state = ledger.replay()
+        assert state.claims == {}
+        assert state.pending == {point.key()}
+
+    def test_requeue_then_done_by_another_worker(self, tmp_path):
+        point = spec(8)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_claimed(point.key(), "w1")
+            ledger.record_requeued(point.key(), "w1", reason="lease-expired")
+            ledger.record_claimed(point.key(), "w2")
+            ledger.record_done(point.key(), "w2")
+            state = ledger.replay()
+        assert state.done == {point.key()}
+        assert state.pending == set() and state.claims == {}
+
+    def test_requeued_after_done_does_not_unfinish(self, tmp_path):
+        """A lease sweeper racing a result: the terminal event wins no
+        matter the append order."""
+        point = spec(9)
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled([point])
+            ledger.record_done(point.key(), "w1")
+            ledger.record_requeued(point.key(), "w1")
+            state = ledger.replay()
+        assert state.done == {point.key()}
+        assert state.pending == set()
+
+    def test_submitted_groups_keys_under_a_sweep_id(self, tmp_path):
+        points = [spec(i) for i in range(3)]
+        keys = [point.key() for point in points]
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_scheduled(points)
+            ledger.record_submitted("ab" * 32, keys, name="grid")
+            ledger.record_done(keys[0], "w1")
+            state = ledger.replay()
+        assert state.sweeps == {"ab" * 32: tuple(keys)}
+        assert state.done == {keys[0]}
+
+    def test_resubmission_overwrites_the_same_sweep_id(self, tmp_path):
+        points = [spec(i) for i in range(2)]
+        keys = [point.key() for point in points]
+        with SweepLedger(tmp_path / "l.jsonl") as ledger:
+            ledger.record_submitted("cd" * 32, keys)
+            ledger.record_submitted("cd" * 32, keys)
+            state = ledger.replay()
+        assert state.sweeps == {"cd" * 32: tuple(keys)}
+
+    def test_malformed_submitted_record_raises(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        path.write_text('{"event": "submitted", "sweep": 5, "keys": []}\n')
+        with pytest.raises(ValueError, match="malformed"):
+            SweepLedger.replay_path(path)
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="malformed"):
+            SweepLedger.replay_path(path)

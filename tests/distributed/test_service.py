@@ -63,6 +63,25 @@ def get(service: ResultsService, path: str) -> tuple[int, str, bytes]:
         return error.code, error.headers.get("Content-Type", ""), error.read()
 
 
+def post(
+    service: ResultsService,
+    path: str,
+    body: bytes,
+    content_type: str = "application/json",
+) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.port}{path}",
+        data=body,
+        headers={"Content-Type": content_type},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
 class TestRoutes:
     def test_healthz(self, service):
         status, content_type, body = get(service, "/healthz")
@@ -85,10 +104,39 @@ class TestRoutes:
     def test_results_index(self, service, populated):
         status, _, body = get(service, "/results")
         assert status == 200
-        index = json.loads(body)
-        assert len(index) == 6
-        keys = {entry["key"] for entry in index}
+        page = json.loads(body)
+        assert page["total"] == 6 and page["count"] == 6
+        assert page["offset"] == 0 and page["next_offset"] is None
+        keys = {entry["key"] for entry in page["results"]}
         assert keys == {spec.key() for spec in populated["specs"]}
+
+    def test_results_pages_are_stable_and_non_overlapping(
+        self, service, populated
+    ):
+        seen = []
+        offset = 0
+        while offset is not None:
+            status, _, body = get(
+                service, f"/results?offset={offset}&limit=2"
+            )
+            assert status == 200
+            page = json.loads(body)
+            assert page["total"] == 6 and page["count"] <= 2
+            seen.extend(entry["key"] for entry in page["results"])
+            offset = page["next_offset"]
+        assert seen == sorted(spec.key() for spec in populated["specs"])
+        assert len(set(seen)) == 6
+
+    def test_results_rejects_malformed_pagination(self, service):
+        for query in ("offset=-1", "limit=0", "offset=x", "limit=1.5"):
+            status, _, body = get(service, f"/results?{query}")
+            assert status == 400, query
+            assert "error" in json.loads(body)
+
+    def test_results_limit_is_capped(self, service):
+        status, _, body = get(service, "/results?limit=999999")
+        assert status == 200
+        assert json.loads(body)["limit"] == 1000
 
     def test_result_by_key_serves_the_stored_payload(
         self, service, populated
@@ -135,7 +183,9 @@ class TestRoutes:
     def test_unknown_route_lists_the_api(self, service):
         status, _, body = get(service, "/definitely/not/a/route")
         assert status == 404
-        assert "/progress" in json.loads(body)["routes"]
+        routes = json.loads(body)["routes"]
+        assert any(route.startswith("/progress") for route in routes)
+        assert "POST /submit" in routes
 
 
 class TestConcurrentClients:
@@ -187,3 +237,172 @@ class TestWithoutLedger:
             assert progress["ledger"] is None
             assert progress["results"] == 6
             assert "scheduled" not in progress
+
+
+GRID_DOCUMENT = {
+    "name": "submitted-grid",
+    "engine": "batch",
+    "runs": 30,
+    "seed": 77,
+    "params": {"core_size": 5, "spare_max": 5, "k": 1, "mu": 0.2, "d": 0.9},
+    "sweep": {"params.mu": [0.1, 0.2, 0.3], "adversary": ["strong", "passive"]},
+}
+
+
+class TestSubmit:
+    """``POST /submit``: the service as the fabric's front door."""
+
+    def fresh(self, tmp_path):
+        return ResultsService(
+            tmp_path / "cache", ledger_path=tmp_path / "ledger.jsonl"
+        ).start()
+
+    def test_json_grid_expands_into_the_ledger(self, tmp_path):
+        from repro.scenario.spec import SweepSpec, load_scenario_document
+
+        with self.fresh(tmp_path) as service:
+            status, reply = post(
+                service, "/submit", json.dumps(GRID_DOCUMENT).encode()
+            )
+            assert status == 202
+            assert reply["points"] == reply["new_points"] == 6
+            expected = {
+                spec.key()
+                for spec in load_scenario_document(GRID_DOCUMENT).expand()
+            }
+            state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+            assert set(state.scheduled) == expected
+            assert set(state.sweeps[reply["sweep"]]) == expected
+            # The scheduled wire specs rebuild to the submitted grid.
+            from repro.scenario.spec import ScenarioSpec
+
+            for key, wire in state.scheduled.items():
+                assert ScenarioSpec.from_dict(wire).key() == key
+            # And /progress?sweep= tracks it.
+            status, _, body = get(
+                service, f"/progress?sweep={reply['sweep']}"
+            )
+            progress = json.loads(body)
+            assert status == 200
+            assert progress["points"] == 6
+            assert progress["pending"] == 6
+            assert progress["complete"] is False
+
+    def test_toml_grid_is_accepted_by_content_type(self, tmp_path):
+        toml = (
+            'name = "toml-grid"\nengine = "batch"\nruns = 30\nseed = 3\n'
+            "[params]\ncore_size = 5\nspare_max = 5\nk = 1\n"
+            "mu = 0.2\nd = 0.9\n[sweep]\n"
+            '"params.mu" = [0.1, 0.2]\n'
+        )
+        with self.fresh(tmp_path) as service:
+            status, reply = post(
+                service,
+                "/submit",
+                toml.encode(),
+                content_type="application/toml",
+            )
+            assert status == 202
+            assert reply["points"] == 2
+
+    def test_resubmission_is_idempotent(self, tmp_path):
+        with self.fresh(tmp_path) as service:
+            body = json.dumps(GRID_DOCUMENT).encode()
+            _, first = post(service, "/submit", body)
+            _, second = post(service, "/submit", body)
+            assert first["sweep"] == second["sweep"]
+            assert second["new_points"] == 0
+            state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+            assert len(state.scheduled) == 6  # no duplicate scheduling
+
+    def test_single_scenario_submits_as_one_point(self, tmp_path):
+        document = {k: v for k, v in GRID_DOCUMENT.items() if k != "sweep"}
+        with self.fresh(tmp_path) as service:
+            status, reply = post(
+                service, "/submit", json.dumps(document).encode()
+            )
+            assert status == 202
+            assert reply["points"] == 1
+
+    def test_invalid_documents_are_400(self, tmp_path):
+        bad_bodies = [
+            (b"{not json", "application/json"),
+            (b'{"frobnicate": 1}', "application/json"),  # unknown field
+            (b'{"n": -5}', "application/json"),  # SpecError bound
+            (b'{"sweep": {"params.mu": []}}', "application/json"),
+            (b'{"sweep": "params.mu"}', "application/json"),
+            (b"[1, 2, 3]", "application/json"),  # not a mapping
+            (b"= broken toml", "application/toml"),
+        ]
+        with self.fresh(tmp_path) as service:
+            for body, content_type in bad_bodies:
+                status, reply = post(
+                    service, "/submit", body, content_type=content_type
+                )
+                assert status == 400, (body, reply)
+                assert "error" in reply
+            # Nothing leaked into the ledger.
+            state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+            assert not state.scheduled and not state.sweeps
+
+    def test_submit_without_ledger_is_503(self, tmp_path):
+        with ResultsService(tmp_path / "cache").start() as service:
+            status, reply = post(
+                service, "/submit", json.dumps(GRID_DOCUMENT).encode()
+            )
+            assert status == 503
+            assert "ledger" in reply["error"]
+
+    def test_unknown_post_route_is_404(self, tmp_path):
+        with self.fresh(tmp_path) as service:
+            status, reply = post(service, "/results", b"{}")
+            assert status == 404
+            assert reply["routes"] == ["/submit"]
+
+    def test_unknown_sweep_id_is_404(self, tmp_path):
+        with self.fresh(tmp_path) as service:
+            post(service, "/submit", json.dumps(GRID_DOCUMENT).encode())
+            status, _, body = get(service, "/progress?sweep=" + "0" * 64)
+            assert status == 404
+            assert "unknown sweep" in json.loads(body)["error"]
+
+
+class TestSweepScopedReport:
+    def test_report_filters_to_one_submitted_sweep(self, populated):
+        """/report?sweep= renders only the submitted sweep's points."""
+        with ResultsService(
+            populated["cache"], ledger_path=populated["ledger"]
+        ).start() as service:
+            # Submit a sub-grid matching two of the cached results.
+            subset = [spec.key() for spec in populated["specs"][:2]]
+            from repro.distributed.service import sweep_id
+
+            with SweepLedger(populated["ledger"]) as ledger:
+                ledger.record_submitted(sweep_id(subset), subset)
+            status, _, body = get(
+                service, f"/report?sweep={sweep_id(subset)}"
+            )
+            assert status == 200
+            assert "2 scenario results" in body.decode()
+            status, _, _ = get(service, "/report?sweep=" + "1" * 64)
+            assert status == 404
+
+
+class TestOversizedSubmit:
+    def test_oversized_body_is_413_and_closes_the_connection(
+        self, tmp_path, monkeypatch
+    ):
+        """A body above the limit is refused *without reading it*, and
+        the connection is closed so the unread bytes cannot poison the
+        next pipelined request."""
+        import repro.distributed.service as service_module
+
+        monkeypatch.setattr(service_module, "MAX_SUBMIT_BYTES", 64)
+        with ResultsService(
+            tmp_path / "cache", ledger_path=tmp_path / "ledger.jsonl"
+        ).start() as service:
+            status, reply = post(service, "/submit", b"x" * 200)
+            assert status == 413
+            assert "exceeds" in reply["error"]
+            # The service stays healthy for the next (new) connection.
+            assert get(service, "/healthz")[0] == 200

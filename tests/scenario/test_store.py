@@ -8,8 +8,11 @@ import pytest
 
 from repro.scenario.spec import ScenarioSpec
 from repro.scenario.store import (
+    INDEX_NAME,
     JsonlAppender,
+    ResultIndex,
     atomic_write_json,
+    index_path,
     load_result,
     read_jsonl,
     result_path,
@@ -161,7 +164,11 @@ class TestConcurrentWriters:
         spec = ScenarioSpec(name="p", engine="analytic", seed=1)
         store_result(tmp_path, spec, make_result(spec))
         store_result(tmp_path, spec, make_result(spec))
-        assert len(list(tmp_path.iterdir())) == 1
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        # The only other artifact is the index sidecar.
+        assert sorted(p.name for p in tmp_path.iterdir()) == sorted(
+            [f"{spec.key()}.json", INDEX_NAME]
+        )
 
 
 class TestRunnerUsesAtomicStore:
@@ -196,3 +203,127 @@ class TestRunnerUsesAtomicStore:
         lines = stream.read_bytes().splitlines(keepends=True)
         assert len(lines) == 3
         assert all(line in writes for line in lines)
+
+
+class TestResultIndex:
+    """The crash-safe pagination sidecar over a content-addressed store."""
+
+    def specs(self, count: int) -> list[ScenarioSpec]:
+        return [
+            ScenarioSpec(name=f"idx-{i}", engine="analytic", seed=i)
+            for i in range(count)
+        ]
+
+    def test_store_result_appends_index_entries(self, tmp_path):
+        specs = self.specs(4)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        entries = ResultIndex(tmp_path).entries()
+        assert [e["key"] for e in entries] == sorted(
+            spec.key() for spec in specs
+        )
+        by_key = {e["key"]: e for e in entries}
+        for spec in specs:
+            entry = by_key[spec.key()]
+            assert entry["name"] == spec.name
+            assert entry["engine"] == "analytic"
+            assert entry["adversary"] == spec.adversary
+
+    def test_entries_are_key_sorted_and_memoized(self, tmp_path):
+        specs = self.specs(5)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        index = ResultIndex(tmp_path)
+        first = index.entries()
+        assert first == sorted(first, key=lambda e: e["key"])
+        # Unchanged sidecar: the same list object comes back (no
+        # re-parse on the hot path).
+        assert index.entries() is first
+
+    def test_unindexed_results_are_healed_on_rebuild(self, tmp_path):
+        """A crash between publish and index append (or a store that
+        predates the sidecar) leaves orphan result files; the next
+        rebuild parses exactly those and appends their entries."""
+        specs = self.specs(3)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        index_path(tmp_path).unlink()  # the sidecar never existed
+        entries = ResultIndex(tmp_path).entries()
+        assert {e["key"] for e in entries} == {s.key() for s in specs}
+        # The heal is durable: the sidecar now carries all three.
+        records = list(read_jsonl(index_path(tmp_path), strict=False))
+        assert {r["key"] for r in records} == {s.key() for s in specs}
+
+    def test_deleted_results_drop_out_of_the_view(self, tmp_path):
+        specs = self.specs(3)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        result_path(tmp_path, specs[1]).unlink()
+        # Touch the sidecar so the memo rebuilds (deletion alone does
+        # not change the sidecar stamp -- documented staleness).
+        with JsonlAppender(index_path(tmp_path)) as appender:
+            appender.append({"key": specs[0].key(), "touched": True})
+        entries = ResultIndex(tmp_path).entries()
+        assert {e["key"] for e in entries} == {
+            specs[0].key(),
+            specs[2].key(),
+        }
+
+    def test_torn_sidecar_tail_is_tolerated(self, tmp_path):
+        specs = self.specs(2)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        with open(index_path(tmp_path), "ab") as handle:
+            handle.write(b'{"key": "torn-mid-appe')  # killed writer
+        entries = ResultIndex(tmp_path).entries()
+        assert {e["key"] for e in entries} == {s.key() for s in specs}
+
+    def test_foreign_junk_files_are_ignored(self, tmp_path):
+        spec = self.specs(1)[0]
+        store_result(tmp_path, spec, make_result(spec))
+        (tmp_path / "notes.json").write_text("{}")  # not a 64-hex name
+        (tmp_path / ("f" * 64 + ".json")).write_text("not json")
+        entries = ResultIndex(tmp_path).entries()
+        assert [e["key"] for e in entries] == [spec.key()]
+
+    def test_missing_cache_dir_is_an_empty_index(self, tmp_path):
+        assert ResultIndex(tmp_path / "absent").entries() == []
+
+    def test_page_slices_are_stable_and_non_overlapping(self, tmp_path):
+        specs = self.specs(23)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        index = ResultIndex(tmp_path)
+        seen: list[str] = []
+        offset = 0
+        while True:
+            total, page = index.page(offset, 5)
+            assert total == 23
+            seen.extend(entry["key"] for entry in page)
+            if len(page) < 5:
+                break
+            offset += 5
+        assert seen == sorted(spec.key() for spec in specs)
+        assert len(set(seen)) == 23  # no overlap between pages
+
+    def test_read_only_store_still_serves_a_reconciled_view(
+        self, tmp_path, monkeypatch
+    ):
+        """Healing appends are best-effort: when the sidecar cannot be
+        written (read-only mount -- a fine place to serve from), the
+        reconcile still happens in memory instead of erroring."""
+        import repro.scenario.store as store_module
+
+        specs = self.specs(3)
+        for spec in specs:
+            store_result(tmp_path, spec, make_result(spec))
+        index_path(tmp_path).unlink()  # force a full heal attempt
+
+        class ReadOnlyAppender:
+            def __init__(self, *args, **kwargs):
+                raise PermissionError("read-only store")
+
+        monkeypatch.setattr(store_module, "JsonlAppender", ReadOnlyAppender)
+        entries = ResultIndex(tmp_path).entries()
+        assert {e["key"] for e in entries} == {s.key() for s in specs}
+        assert not index_path(tmp_path).exists()  # nothing was written
