@@ -30,6 +30,16 @@ fabric tax: framing, ledgering, atomic publishes).  The JSON record
 always states the cores seen and which gate applied, so a committed
 record is interpretable on its own.
 
+* ``BENCH_6.json`` -- the self-healing gate: a seeded
+  :class:`~repro.distributed.faults.FaultPlan` hard-kills a real
+  coordinator subprocess mid-sweep (``os._exit`` inside the result
+  handler); the record carries the *time to recover* -- wall seconds
+  from launching the replacement coordinator to the sweep completing,
+  with the original workers surviving the outage via reconnect/backoff
+  -- plus the startup-replay gate: folding a >= 10^4-event sharded
+  ledger from its compacted snapshot must beat the full line-by-line
+  replay by >= :data:`MIN_COMPACTED_REPLAY_SPEEDUP`.
+
 ``BENCH_SMOKE=1`` shrinks the grid so CI finishes in seconds; the perf
 record is then labelled ``"smoke": true`` and must not be committed.
 """
@@ -416,6 +426,282 @@ def test_serve_pagination_gated_on_the_index_sidecar(
     )
 
 
+# -- self-healing gate (BENCH_6) ---------------------------------------------
+
+#: Recovery sweep: points must be expensive enough that the killed
+#: and recovery coordinators each stay alive for several seconds --
+#: a coordinator that finishes inside a worker's interpreter boot or
+#: backoff gap strands that worker with nothing to reconnect to.
+RECOVERY_GRID_POINTS = 6 if SMOKE else 8
+RECOVERY_POINT_RUNS = 50_000 if SMOKE else 200_000
+#: The seeded kill: the coordinator ``os._exit``\ s inside its result
+#: handler after this many results have landed.
+KILL_AFTER_RESULTS = 2 if SMOKE else 3
+#: Startup-replay gate: folding the compacted snapshot (+ empty tail)
+#: of a ledger this long must beat full line-by-line replay by this.
+REPLAY_EVENTS = 2_000 if SMOKE else 10_000
+MIN_COMPACTED_REPLAY_SPEEDUP = 3.0
+
+
+def _recovery_document() -> dict:
+    mus = [
+        round(0.05 + 0.04 * index, 4)
+        for index in range(RECOVERY_GRID_POINTS)
+    ]
+    return {
+        "name": "recovery-bench",
+        "engine": "batch",
+        "runs": RECOVERY_POINT_RUNS,
+        "seed": 131,
+        "params": {
+            "core_size": 7,
+            "spare_max": 7,
+            "k": 1,
+            "mu": 0.25,
+            "d": 0.9,
+        },
+        "sweep": {"params.mu": mus},
+    }
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _coordinator_cmd(spec_file, port, ledger, cache) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "sweep-coordinator",
+        str(spec_file),
+        "--port",
+        str(port),
+        "--ledger",
+        str(ledger),
+        "--cache-dir",
+        str(cache),
+        "--lease-timeout",
+        "60",
+        "--compact-threshold",
+        "4096",
+    ]
+
+
+def run_recovery_benchmark(tmp: pathlib.Path) -> dict:
+    """Kill a live coordinator with a seeded fault plan; measure the
+    wall seconds a replacement needs to finish the sweep while the
+    original workers ride out the outage on reconnect/backoff."""
+    from repro.distributed import faults
+    from repro.distributed.faults import FaultPlan, FaultRule
+    from repro.distributed.ledger import replay_ledger
+    from repro.scenario.spec import load_scenario_document
+
+    document = _recovery_document()
+    specs = load_scenario_document(document).expand()
+    spec_file = tmp / "recovery-grid.json"
+    spec_file.write_text(json.dumps(document))
+    ledger = tmp / "recovery-ledger"  # directory: the sharded layout
+    cache = tmp / "recovery-cache"
+    port = _free_port()
+
+    kill_plan = FaultPlan(
+        [
+            FaultRule(
+                site="coordinator.result",
+                action="exit",
+                after=KILL_AFTER_RESULTS,
+                count=1,
+            )
+        ]
+    ).save(tmp / "kill-plan.json")
+
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--port",
+                str(port),
+                "--id",
+                f"rec-w{index}",
+                "--connect-timeout",
+                "60",
+                # Short reconnect window: a worker whose jittered
+                # backoff misses the (seconds-lived) recovery
+                # coordinator would otherwise idle out the full
+                # window before exiting cleanly.
+                "--reconnect-timeout",
+                "15",
+            ],
+            env=_worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for index in range(N_WORKERS)
+    ]
+
+    killed_env = _worker_env()
+    killed_env[faults.ENV_PLAN] = str(kill_plan)
+    start = time.perf_counter()
+    killed = subprocess.run(
+        _coordinator_cmd(spec_file, port, ledger, cache),
+        env=killed_env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    killed_seconds = time.perf_counter() - start
+    assert killed.returncode == faults.DEFAULT_EXIT_CODE, (
+        f"fault plan did not kill the coordinator "
+        f"(rc={killed.returncode}): {killed.stdout}{killed.stderr}"
+    )
+    done_at_kill = len(replay_ledger(ledger).done)
+
+    recover_start = time.perf_counter()
+    recovered = subprocess.run(
+        _coordinator_cmd(spec_file, port, ledger, cache),
+        env=_worker_env(),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    time_to_recover = time.perf_counter() - recover_start
+    assert recovered.returncode == 0, recovered.stdout + recovered.stderr
+    for process in workers:
+        assert process.wait(timeout=120) == 0
+
+    state = replay_ledger(ledger)
+    assert len(state.done) == len(specs) and not state.failed
+    assert len(list(cache.glob("*.json"))) == len(specs)
+    return {
+        "grid_points": len(specs),
+        "runs_per_point": RECOVERY_POINT_RUNS,
+        "workers": N_WORKERS,
+        "killed_after_results": KILL_AFTER_RESULTS,
+        "killed_run_seconds": killed_seconds,
+        "done_at_kill": done_at_kill,
+        "time_to_recover_seconds": time_to_recover,
+        "recovered_points": len(specs) - done_at_kill,
+        "compacted_during_recovery": (ledger / "snapshot.json").exists(),
+    }
+
+
+def run_replay_benchmark(tmp: pathlib.Path) -> dict:
+    """Full line-by-line replay vs snapshot-fold replay of the same
+    >= 10^4-event sharded ledger (the coordinator-restart path)."""
+    from repro.distributed.ledger import ShardedLedger, replay_ledger
+
+    root = tmp / "replay-ledger"
+    keys = [f"{index:064d}" for index in range(REPLAY_EVENTS // 3)]
+    with ShardedLedger(root) as ledger:
+        for index, key in enumerate(keys):
+            ledger._append(
+                {"event": "scheduled", "key": key, "spec": {"name": key}},
+                fsync=False,
+            )
+            ledger.record_claimed(key, f"w{index % N_WORKERS}")
+            ledger._append(
+                {"event": "done", "key": key, "worker": "bench"},
+                fsync=False,
+            )
+        events = 3 * len(keys)
+
+        def best_of(fn, rounds: int = 3) -> float:
+            timings = []
+            for _ in range(rounds):
+                start = time.perf_counter()
+                fn()
+                timings.append(time.perf_counter() - start)
+            return min(timings)
+
+        full_seconds = best_of(lambda: replay_ledger(root))
+        full_state = replay_ledger(root)
+        compact_start = time.perf_counter()
+        ledger.compact()
+        compact_seconds = time.perf_counter() - compact_start
+        compacted_seconds = best_of(lambda: replay_ledger(root))
+        compacted_state = replay_ledger(root)
+    assert compacted_state.done == full_state.done
+    assert compacted_state.scheduled.keys() == full_state.scheduled.keys()
+    return {
+        "events": events,
+        "full_replay_seconds": full_seconds,
+        "compact_seconds": compact_seconds,
+        "compacted_replay_seconds": compacted_seconds,
+        "replay_speedup": full_seconds / compacted_seconds,
+    }
+
+
+def test_self_healing_recovery_and_compacted_replay(
+    benchmark, report, json_report, tmp_path
+):
+    def run_both(tmp: pathlib.Path) -> dict:
+        return {
+            "recovery": run_recovery_benchmark(tmp),
+            "replay": run_replay_benchmark(tmp),
+        }
+
+    measurements = benchmark.pedantic(
+        run_both, args=(tmp_path,), rounds=1, iterations=1
+    )
+    recovery = measurements["recovery"]
+    replay = measurements["replay"]
+    speedup = replay["replay_speedup"]
+    assert speedup >= MIN_COMPACTED_REPLAY_SPEEDUP, (
+        f"compacted replay only {speedup:.1f}x faster than full replay "
+        f"over {replay['events']} events "
+        f"(gate: {MIN_COMPACTED_REPLAY_SPEEDUP}x)"
+    )
+    report(
+        "self_healing",
+        render_table(
+            ["measure", "value"],
+            [
+                [
+                    "time to recover (coordinator killed mid-sweep)",
+                    f"{recovery['time_to_recover_seconds']:.2f} s",
+                ],
+                [
+                    f"full replay ({replay['events']} events)",
+                    f"{replay['full_replay_seconds'] * 1e3:.1f} ms",
+                ],
+                [
+                    "compacted replay (snapshot + tail)",
+                    f"{replay['compacted_replay_seconds'] * 1e3:.1f} ms "
+                    f"({speedup:.1f}x)",
+                ],
+            ],
+            title=(
+                f"Self-healing: {recovery['grid_points']}-point sweep, "
+                f"coordinator killed after "
+                f"{recovery['killed_after_results']} results, "
+                f"{N_WORKERS} workers surviving via reconnect"
+            ),
+        ),
+    )
+    json_report(
+        "BENCH_6.json",
+        {
+            "benchmark": "self_healing",
+            "smoke": SMOKE,
+            "gate": {
+                "min_compacted_replay_speedup": (
+                    MIN_COMPACTED_REPLAY_SPEEDUP
+                ),
+                "replay_speedup": speedup,
+            },
+            **measurements,
+        },
+    )
+
+
 if __name__ == "__main__":
     import tempfile
 
@@ -423,4 +709,14 @@ if __name__ == "__main__":
         print(json.dumps(run_benchmark(pathlib.Path(tmp)), indent=2))
         print(
             json.dumps(run_pagination_benchmark(pathlib.Path(tmp)), indent=2)
+        )
+        path = pathlib.Path(tmp)
+        print(
+            json.dumps(
+                {
+                    "recovery": run_recovery_benchmark(path / "heal"),
+                    "replay": run_replay_benchmark(path / "heal"),
+                },
+                indent=2,
+            )
         )

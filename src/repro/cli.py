@@ -380,10 +380,18 @@ def _run_coordinator(arguments) -> int:
     from repro.distributed.coordinator import SweepCoordinator
     from repro.scenario.spec import SweepSpec, load_scenario
 
-    if arguments.spec_file is None and not arguments.watch:
+    if (
+        arguments.spec_file is None
+        and not arguments.watch
+        and not arguments.ledger.exists()
+    ):
+        # No grid, no inbox, nothing to resume: refuse loudly.  With
+        # an existing ledger the coordinator adopts its scheduled
+        # points and exits when they drain -- the one-shot recovery
+        # invocation after a crash.
         print(
-            "sweep-coordinator needs a spec file "
-            "(or --watch to serve submitted sweeps from the ledger)"
+            "sweep-coordinator needs a spec file, an existing "
+            "--ledger to resume, or --watch to serve submitted sweeps"
         )
         return 2
     specs = []
@@ -404,6 +412,11 @@ def _run_coordinator(arguments) -> int:
             arguments.lease_timeout if arguments.lease_timeout > 0 else None
         ),
         watch=arguments.watch,
+        compact_tail_bytes=(
+            arguments.compact_threshold
+            if arguments.compact_threshold > 0
+            else None
+        ),
     )
 
     def announce() -> None:
@@ -457,9 +470,21 @@ def _run_worker_command(arguments) -> int:
                 else None
             ),
             store_dir=arguments.store_dir,
+            reconnect_timeout=arguments.reconnect_timeout,
         )
     except ProtocolError as error:
         print(f"worker error: {error}")
+        return 1
+    except OSError as error:
+        # The initial connect window closed without ever reaching a
+        # coordinator: a clean diagnostic, not a traceback -- the
+        # supervisor restarting this worker needs the exit code and
+        # the address, nothing else.
+        print(
+            f"worker error: never connected to "
+            f"{arguments.host}:{arguments.port} within "
+            f"{arguments.connect_timeout:.0f}s ({error})"
+        )
         return 1
     print(
         f"worker {stats['worker']}: {stats['executed']} points executed, "
@@ -479,12 +504,16 @@ def _run_serve(arguments) -> int:
         ledger_path=arguments.ledger,
         host=arguments.host,
         port=arguments.port,
+        auth_token=arguments.auth_token,
+        max_backlog=(
+            arguments.max_backlog if arguments.max_backlog > 0 else None
+        ),
     )
     print(
         f"serving {arguments.cache_dir} on "
         f"http://{arguments.host}:{service.port} "
         "(/healthz /progress /results /results/<key> /report; "
-        "POST /submit)",
+        "POST /submit /cancel)",
         flush=True,
     )
     try:
@@ -608,7 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "scenario or sweep spec (.json or .toml); optional with "
-            "--watch, where submitted sweeps arrive via the ledger"
+            "--watch (submitted sweeps arrive via the ledger) or with "
+            "an existing --ledger (resume its scheduled points)"
         ),
     )
     coordinator.add_argument(
@@ -647,6 +677,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "stay resident after the queue drains and execute sweeps "
             "submitted via 'repro serve' POST /submit on the same ledger"
+        ),
+    )
+    coordinator.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=0,
+        help=(
+            "compact a sharded ledger (--ledger pointing at a "
+            "directory) once its shard tail exceeds this many bytes "
+            "(0 disables; default: 0)"
         ),
     )
 
@@ -690,6 +730,16 @@ def build_parser() -> argparse.ArgumentParser:
             "instead of shipping payloads; default: off)"
         ),
     )
+    worker.add_argument(
+        "--reconnect-timeout",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds to retry the connection after the coordinator "
+            "drops it -- workers ride out a coordinator restart "
+            "(0 = exit on disconnect; default: 60)"
+        ),
+    )
 
     serve = subparsers.add_parser(
         "serve", help="HTTP service over cached sweep results"
@@ -715,6 +765,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=default_ledger,
         help="job ledger backing /progress "
         f"(default: {default_ledger})",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help=(
+            "require 'Authorization: Bearer <token>' on POST /submit "
+            "and /cancel (default: open)"
+        ),
+    )
+    serve.add_argument(
+        "--max-backlog",
+        type=int,
+        default=0,
+        help=(
+            "answer POST /submit with 503 + Retry-After while the "
+            "ledger holds this many unfinished points "
+            "(0 disables; default: 0)"
+        ),
     )
     return parser
 

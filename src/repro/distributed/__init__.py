@@ -5,8 +5,9 @@ over local processes; this package fans it over *hosts*:
 
 * :mod:`~repro.distributed.protocol` -- length-prefixed JSON frames
   (CLAIM / ASSIGN / RESULT / HEARTBEAT / SHUTDOWN) over TCP;
-* :mod:`~repro.distributed.ledger` -- a durable, replayable JSONL job
-  queue keyed by each point's sha256 content address;
+* :mod:`~repro.distributed.ledger` -- a durable, replayable job queue
+  keyed by each point's sha256 content address: one JSONL file, or a
+  per-sweep sharded directory with snapshot + compaction;
 * :mod:`~repro.distributed.coordinator` -- expands a sweep, hands
   points to any number of workers, folds results into the shared
   content-addressed store, and resumes after a crash from the ledger;
@@ -14,37 +15,55 @@ over local processes; this package fans it over *hosts*:
   through the registered ``ENGINES`` backends (byte-identical to the
   in-process runner: seeds come from the spec, not the host);
 * :mod:`~repro.distributed.service` -- a stdlib-only HTTP service over
-  the store and ledger (results, reports, progress) for many
-  concurrent clients.
+  the store and ledger (results, reports, progress, submit, cancel)
+  for many concurrent clients;
+* :mod:`~repro.distributed.faults` -- deterministic, seeded fault
+  injection at named points of all of the above (the robustness
+  suites script exact failure schedules with it).
 
 CLI entry points: ``repro sweep-coordinator``, ``repro worker``,
 ``repro serve``.
+
+Exports resolve lazily (PEP 562): the store layer imports the
+dependency-free :mod:`faults` module from this package, so importing
+the package must not eagerly pull in the coordinator (which imports
+the store right back).
 """
 
-from repro.distributed.coordinator import SweepCoordinator
-from repro.distributed.ledger import LedgerState, SweepLedger
-from repro.distributed.protocol import (
-    MAX_FRAME_BYTES,
-    ProtocolError,
-    decode_frame,
-    encode_frame,
-    read_frame,
-    write_frame,
-)
-from repro.distributed.service import ResultsService
-from repro.distributed.worker import run_worker, worker_loop
+from typing import Any
 
-__all__ = [
-    "MAX_FRAME_BYTES",
-    "LedgerState",
-    "ProtocolError",
-    "ResultsService",
-    "SweepCoordinator",
-    "SweepLedger",
-    "decode_frame",
-    "encode_frame",
-    "read_frame",
-    "run_worker",
-    "worker_loop",
-    "write_frame",
-]
+_EXPORTS = {
+    "FaultPlan": "repro.distributed.faults",
+    "FaultRule": "repro.distributed.faults",
+    "LedgerState": "repro.distributed.ledger",
+    "MAX_FRAME_BYTES": "repro.distributed.protocol",
+    "ProtocolError": "repro.distributed.protocol",
+    "ResultsService": "repro.distributed.service",
+    "ShardedLedger": "repro.distributed.ledger",
+    "SweepCoordinator": "repro.distributed.coordinator",
+    "SweepLedger": "repro.distributed.ledger",
+    "decode_frame": "repro.distributed.protocol",
+    "encode_frame": "repro.distributed.protocol",
+    "open_ledger": "repro.distributed.ledger",
+    "read_frame": "repro.distributed.protocol",
+    "run_worker": "repro.distributed.worker",
+    "worker_loop": "repro.distributed.worker",
+    "write_frame": "repro.distributed.protocol",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

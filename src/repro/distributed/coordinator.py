@@ -66,7 +66,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.distributed.ledger import EVENT_SCHEDULED, SweepLedger
+from repro.distributed import faults
+from repro.distributed.ledger import (
+    EVENT_CANCELLED,
+    EVENT_SCHEDULED,
+    EVENT_SUBMITTED,
+    ShardedLedger,
+    SweepLedger,
+    open_ledger,
+)
 from repro.distributed.protocol import (
     ProtocolError,
     read_frame,
@@ -135,6 +143,7 @@ class SweepCoordinator:
         lease_timeout: float | None = None,
         watch: bool = False,
         poll_interval: float = WATCH_POLL_INTERVAL,
+        compact_tail_bytes: int | None = None,
     ) -> None:
         self._specs = (
             points.expand() if isinstance(points, SweepSpec) else list(points)
@@ -160,7 +169,7 @@ class SweepCoordinator:
         self._publish_retries: collections.Counter[str] = (
             collections.Counter()
         )
-        self._ledger: SweepLedger | None = None
+        self._ledger: SweepLedger | ShardedLedger | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._complete: asyncio.Event | None = None
         self._stopped = False
@@ -183,9 +192,25 @@ class SweepCoordinator:
         self._lease_requeued: collections.Counter[str] = (
             collections.Counter()
         )
-        # Byte offset up to which the watch tail has consumed the
-        # ledger (complete lines only; a torn tail stays unconsumed).
-        self._tail_offset = 0
+        # Ledger-tail cursor (complete lines only; a torn tail stays
+        # unconsumed): a byte offset for the single-file layout, a
+        # per-shard offset map for the sharded one -- opaque here, the
+        # ledger's read_tail owns its meaning.
+        self._tail_cursor: Any = None
+        # Cancellation: revoked point keys (subset of _by_key), the
+        # sweeps already seen cancelled, and each submitted sweep's
+        # membership (needed to resolve a cancel to keys).
+        self._cancelled: set[str] = set()
+        self._cancelled_sweeps: set[str] = set()
+        self._sweep_keys: dict[str, tuple[str, ...]] = {}
+        # Compact the sharded ledger whenever its uncompacted shard
+        # bytes exceed this (None disables; ignored for file ledgers).
+        if compact_tail_bytes is not None and compact_tail_bytes <= 0:
+            raise ValueError(
+                f"compact_tail_bytes must be positive, "
+                f"got {compact_tail_bytes}"
+            )
+        self._compact_tail_bytes = compact_tail_bytes
         # Gang start: hold assignments until this many distinct workers
         # have connected (0 = assign immediately).  Benchmarks use it so
         # the measured window is pure N-worker compute, not process boot.
@@ -212,10 +237,11 @@ class SweepCoordinator:
         self._loop = asyncio.get_running_loop()
         self._complete = asyncio.Event()
         if self._ledger_path is not None:
-            self._ledger = SweepLedger(self._ledger_path)
+            self._ledger = open_ledger(self._ledger_path)
         background: list[asyncio.Task] = []
         try:
             self._build_queue()
+            self._maybe_compact()
             self._maybe_complete()
             server = await asyncio.start_server(
                 self._handle_worker, self._host, self._requested_port
@@ -304,6 +330,11 @@ class SweepCoordinator:
                     if key in self._by_key
                 }
             )
+            # Cancellations are absorbing across restarts: a resumed
+            # coordinator must not hand out points of a revoked sweep.
+            self._sweep_keys.update(state.sweeps)
+            for sweep in state.cancelled:
+                self._apply_cancel(sweep)
             self._ledger.record_scheduled(
                 self._specs, already_scheduled=set(state.scheduled)
             )
@@ -332,12 +363,27 @@ class SweepCoordinator:
                     self._ledger.record_done(key, worker="cache")
             elif key in self._failed:
                 continue  # terminal failure with no result to trust
+            elif key in self._cancelled:
+                continue  # revoked sweep: never queued again
             else:
                 queued.add(key)
                 self._pending.append(key)
 
     def _outstanding(self) -> int:
-        return len(self._by_key) - len(self._done) - len(self._failed)
+        # Cancelled keys are terminal for completion purposes (the
+        # sets can overlap: a point can finish, then its sweep be
+        # cancelled -- count each key once).
+        revoked = sum(
+            1
+            for key in self._cancelled
+            if key not in self._done and key not in self._failed
+        )
+        return (
+            len(self._by_key)
+            - len(self._done)
+            - len(self._failed)
+            - revoked
+        )
 
     # -- per-connection protocol loop ---------------------------------------
 
@@ -408,7 +454,11 @@ class SweepCoordinator:
             for key in conn.assigned:
                 self._release_lease(key)
                 self._in_flight.pop(key, None)
-                if key not in self._done and key not in self._failed:
+                if (
+                    key not in self._done
+                    and key not in self._failed
+                    and key not in self._cancelled
+                ):
                     self._pending.append(key)
             self._maybe_complete()
             writer.close()
@@ -427,8 +477,11 @@ class SweepCoordinator:
             key = self._pending.popleft()
             if key in self._done or key in self._failed:
                 continue  # satisfied while queued (duplicate result)
+            if key in self._cancelled:
+                continue  # revoked while queued
             if key in self._in_flight:
                 continue  # requeued twice (drop + lease race)
+            faults.inject("coordinator.assign", key)
             if self._first_assign_time is None:
                 self._first_assign_time = time.perf_counter()
             self._in_flight[key] = conn.worker
@@ -494,7 +547,11 @@ class SweepCoordinator:
                 worker = self._in_flight.pop(key, "?")
                 if conn is not None:
                     conn.assigned.discard(key)
-                if key in self._done or key in self._failed:
+                if (
+                    key in self._done
+                    or key in self._failed
+                    or key in self._cancelled
+                ):
                     continue
                 self._lease_requeued[key] += 1
                 self._pending.append(key)
@@ -509,40 +566,45 @@ class SweepCoordinator:
         while True:
             await asyncio.sleep(self._poll_interval)
             self._ingest_ledger_tail()
+            self._maybe_compact()
 
     def _ingest_ledger_tail(self) -> None:
-        """Adopt ``scheduled`` records appended since the last poll.
+        """Ingest records appended to the ledger since the last poll.
 
-        The submit service appends whole lines (``O_APPEND``), so the
-        tail reads complete lines only and leaves a torn final line
-        for the next poll.  Events this coordinator wrote itself come
-        back through here too; they are skipped by key (already
-        known), which is also what makes the first poll -- reading
-        from offset zero, i.e. re-skimming what ``_build_queue``
-        replayed -- a cheap no-op.
+        ``scheduled`` records are adopted into the queue,
+        ``submitted`` records teach sweep membership, ``cancelled``
+        records revoke a sweep's live points.  The writers append
+        whole lines (``O_APPEND``), so the ledger's tail cursor
+        consumes complete lines only and leaves a torn final line for
+        the next poll.  Events this coordinator wrote itself come back
+        through here too; they are skipped by key (already known),
+        which is also what makes the first poll -- re-skimming what
+        ``_build_queue`` replayed -- a cheap no-op.
         """
-        assert self._ledger_path is not None
-        try:
-            with open(self._ledger_path, "rb") as handle:
-                handle.seek(self._tail_offset)
-                data = handle.read()
-        except OSError:
-            return
-        complete, newline, _ = data.rpartition(b"\n")
-        if not newline:
-            return
-        self._tail_offset += len(complete) + 1
-        for line in complete.splitlines():
-            if not line.strip():
+        assert self._ledger is not None
+        records, self._tail_cursor = self._ledger.read_tail(
+            self._tail_cursor
+        )
+        for record in records:
+            event = record.get("event")
+            if event == EVENT_SUBMITTED:
+                sweep = record.get("sweep")
+                keys = record.get("keys")
+                if isinstance(sweep, str) and isinstance(keys, list):
+                    self._sweep_keys[sweep] = tuple(
+                        str(key) for key in keys
+                    )
+                    if sweep in self._cancelled_sweeps:
+                        # Membership arrived after the cancel (shard
+                        # interleaving): revoke now that it resolves.
+                        self._apply_cancel(sweep)
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn fragment isolated by boundary repair
-            if (
-                not isinstance(record, dict)
-                or record.get("event") != EVENT_SCHEDULED
-            ):
+            if event == EVENT_CANCELLED:
+                sweep = record.get("sweep")
+                if isinstance(sweep, str):
+                    self._apply_cancel(sweep)
+                continue
+            if event != EVENT_SCHEDULED:
                 continue
             wire = record.get("spec")
             key = record.get("key")
@@ -563,8 +625,50 @@ class SweepCoordinator:
                 self._from_cache += 1
                 if self._ledger is not None:
                     self._ledger.record_done(spec.key(), worker="cache")
+            elif spec.key() in self._cancelled:
+                continue  # scheduled after its sweep was revoked
             else:
                 self._pending.append(spec.key())
+
+    def _maybe_compact(self) -> None:
+        """Fold the sharded ledger into its snapshot once the
+        uncompacted shard bytes cross the threshold.
+
+        Inline on the event loop: the work is bounded by the threshold
+        itself (we compact *because* the tail just crossed it), and
+        appends in this process serialize against the fold anyway.
+        """
+        if self._compact_tail_bytes is None or not isinstance(
+            self._ledger, ShardedLedger
+        ):
+            return
+        if self._ledger.tail_size() >= self._compact_tail_bytes:
+            self._ledger.compact()
+
+    def _apply_cancel(self, sweep: str) -> None:
+        """Revoke every live point of ``sweep`` (absorbing, idempotent).
+
+        Leases are released and in-flight markers dropped so nothing
+        stays "leased" after a cancel; a result already computed for a
+        revoked key is acked-but-ignored in :meth:`_accept_result`.
+        """
+        self._cancelled_sweeps.add(sweep)
+        for key in self._sweep_keys.get(sweep, ()):
+            if key not in self._by_key:
+                continue
+            if (
+                key in self._done
+                or key in self._failed
+                or key in self._cancelled
+            ):
+                continue
+            self._cancelled.add(key)
+            conn = self._assigned_conn.get(key)
+            if conn is not None:
+                conn.assigned.discard(key)
+            self._release_lease(key)
+            self._in_flight.pop(key, None)
+        self._maybe_complete()
 
     def _adopt_spec(
         self, key: str, wire: dict[str, Any]
@@ -605,8 +709,24 @@ class SweepCoordinator:
         worker = conn.worker
         assigned = conn.assigned
         key = message.get("key")
+        faults.inject(
+            "coordinator.result", key if isinstance(key, str) else ""
+        )
         spec = self._by_key.get(key)
         payload = message.get("result")
+        if isinstance(key, str) and key in self._cancelled:
+            # The sweep was revoked while this point computed: drop
+            # the result on the floor, idempotently.  stored=False
+            # tells the worker not to count it; releasing the claim
+            # keeps the connection's books clean.
+            if key in assigned:
+                assigned.discard(key)
+                self._release_lease(key)
+                self._in_flight.pop(key, None)
+            await write_frame(
+                writer, {"type": "ack", "key": key, "stored": False}
+            )
+            return
         if spec is None or (not by_ref and not isinstance(payload, dict)):
             await write_frame(
                 writer,
@@ -734,6 +854,7 @@ class SweepCoordinator:
             or key not in conn.assigned  # only the assignee may fail a point
             or key in self._done
             or key in self._failed
+            or key in self._cancelled  # revoked: the failure is moot
         ):
             return
         conn.assigned.discard(key)
@@ -770,6 +891,7 @@ class SweepCoordinator:
             "resumed_from_ledger": self._resumed,
             "from_cache": self._from_cache,
             "lease_requeued": sum(self._lease_requeued.values()),
+            "cancelled": len(self._cancelled),
             "watch": self._watch,
             "workers": dict(self._computed_by),
             "elapsed_seconds": elapsed,

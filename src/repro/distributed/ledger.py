@@ -1,8 +1,8 @@
 """Durable, replayable job state for distributed sweeps.
 
-The ledger is an append-only JSONL file recording the lifecycle of
-every grid point, keyed by the point's sha256 content address (the
-same key that names its cache file)::
+The ledger is an append-only JSONL event stream recording the
+lifecycle of every grid point, keyed by the point's sha256 content
+address (the same key that names its cache file)::
 
     {"event": "scheduled", "key": "<sha256>", "spec": {...}}
     {"event": "claimed",   "key": "<sha256>", "worker": "w-1"}
@@ -14,39 +14,68 @@ same key that names its cache file)::
      "error": "..."}
     {"event": "submitted", "sweep": "<sha256>", "name": "grid",
      "keys": ["<sha256>", ...]}
+    {"event": "cancelled", "sweep": "<sha256>"}
 
 Appends go through :class:`~repro.scenario.store.JsonlAppender` (one
-``O_APPEND`` write per record, fsynced), so a crashed coordinator loses
-at most its final, torn line -- which :meth:`SweepLedger.replay`
-skips.  Replay folds the event stream into per-key terminal state:
-``done`` and ``failed`` are absorbing; a ``claimed`` without a
-subsequent terminal event is *stale* after a crash (the claiming
-connection no longer exists) and its point is simply pending again;
-``requeued`` records a coordinator explicitly reclaiming a lease
-(worker hung but connected) so replay agrees with its live queue.
-The ``done`` record is appended only *after* the result has been
-atomically published to the content-addressed store, so "ledgered done"
-implies "readable result".
+``O_APPEND`` write per record), so a crashed writer loses at most its
+final, torn line -- which replay skips.  Replay folds the event stream
+into per-key terminal state: ``done`` and ``failed`` are absorbing; a
+``claimed`` without a subsequent terminal event is *stale* after a
+crash and its point is simply pending again; ``requeued`` records a
+coordinator explicitly reclaiming a lease.  The ``done`` record is
+appended only *after* the result has been atomically published to the
+content-addressed store, so "ledgered done" implies "readable result".
 
-``submitted`` groups points into one named sweep -- the unit the
-``POST /submit`` endpoint of ``repro serve`` accepts and the unit
-``/progress?sweep=`` reports on.  It is the one record kind carrying
-no ``key``.  Because every record is a single whole-line ``O_APPEND``
+``submitted`` groups points into one named sweep -- the unit ``POST
+/submit`` accepts and ``POST /cancel`` revokes (``cancelled`` is
+absorbing for the whole sweep: its non-terminal points leave every
+queue).  Because every record is a single whole-line ``O_APPEND``
 write, the submit service and the coordinator can append to the same
 ledger from different processes without locking: lines interleave,
 they never tear.
+
+Two layouts share these semantics behind :func:`open_ledger`:
+
+* :class:`SweepLedger` -- everything in one ``.jsonl`` file.  Simple,
+  great for one-shot sweeps; a long-lived ``--watch`` fabric tails an
+  ever-growing file.
+* :class:`ShardedLedger` -- a *directory*: one shard file per
+  submitted sweep under ``shards/`` (plus ``_unassigned.jsonl`` for
+  points no sweep claims), periodically folded into an atomic
+  ``snapshot.json`` by :meth:`ShardedLedger.compact`.  Replay is then
+  snapshot + surviving shard tails.  The fold is idempotent for every
+  event type, which is what makes compaction crash-safe: a writer
+  killed between the snapshot publish and the shard deletions leaves
+  events folded twice on the next replay, never lost or un-folded.
+
+The fold itself is :func:`fold_record` -- one function shared by file
+replay, directory replay, snapshot restore and the property tests
+that prove the compacted fold equals the full fold.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+from repro.distributed import faults
 from repro.scenario.spec import ScenarioSpec
-from repro.scenario.store import JsonlAppender, read_jsonl
+from repro.scenario.store import JsonlAppender, atomic_write_json, read_jsonl
 
-__all__ = ["LedgerState", "SweepLedger"]
+__all__ = [
+    "LedgerState",
+    "ShardedLedger",
+    "SweepLedger",
+    "fold_record",
+    "is_sharded",
+    "ledger_stamp",
+    "open_ledger",
+    "replay_ledger",
+]
 
 EVENT_SCHEDULED = "scheduled"
 EVENT_CLAIMED = "claimed"
@@ -54,6 +83,7 @@ EVENT_REQUEUED = "requeued"
 EVENT_DONE = "done"
 EVENT_FAILED = "failed"
 EVENT_SUBMITTED = "submitted"
+EVENT_CANCELLED = "cancelled"
 
 _EVENTS = {
     EVENT_SCHEDULED,
@@ -62,6 +92,12 @@ _EVENTS = {
     EVENT_DONE,
     EVENT_FAILED,
 }
+
+#: Files of the sharded layout.
+SNAPSHOT_NAME = "snapshot.json"
+COMPACTION_META_NAME = "compaction-meta.json"
+SHARD_DIR_NAME = "shards"
+UNASSIGNED_SHARD = "_unassigned"
 
 
 @dataclass
@@ -73,7 +109,8 @@ class LedgerState:
     non-terminal claimed key to the last worker that claimed it (purely
     diagnostic after a crash -- the claim is stale by construction,
     and a ``requeued`` record clears it eagerly); ``sweeps`` maps each
-    submitted sweep id to the keys it groups.
+    submitted sweep id to the keys it groups; ``cancelled`` holds the
+    sweep ids revoked by ``POST /cancel``.
     """
 
     scheduled: dict[str, dict[str, Any]] = field(default_factory=dict)
@@ -81,22 +118,245 @@ class LedgerState:
     failed: dict[str, str] = field(default_factory=dict)
     claims: dict[str, str] = field(default_factory=dict)
     sweeps: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    cancelled: set[str] = field(default_factory=set)
+
+    @property
+    def cancelled_keys(self) -> set[str]:
+        """Every key belonging to a cancelled sweep.
+
+        Content addressing means sweeps can share points; cancelling
+        one sweep revokes its points outright, shared or not -- the
+        deliberate, simple semantics (a key's result can still arrive
+        later via resubmission; cancellation never corrupts state).
+        """
+        keys: set[str] = set()
+        for sweep in self.cancelled:
+            keys.update(self.sweeps.get(sweep, ()))
+        return keys
 
     @property
     def pending(self) -> set[str]:
-        """Scheduled keys with no terminal event (stale claims included)."""
-        return set(self.scheduled) - self.done - set(self.failed)
+        """Scheduled keys with no terminal event and no cancellation
+        (stale claims included)."""
+        return (
+            set(self.scheduled)
+            - self.done
+            - set(self.failed)
+            - self.cancelled_keys
+        )
+
+
+def fold_record(
+    state: LedgerState, record: Any, source: str = "ledger"
+) -> None:
+    """Fold one parsed ledger record into ``state`` (in place).
+
+    Raises :class:`ValueError` on records that parse yet carry a
+    malformed event -- a ledger that lies about ``done`` points must
+    fail loudly, not resume quietly.  The fold is *idempotent for full
+    streams*: re-folding an entire shard over a state that already
+    absorbed it converges to the same state, which is the invariant
+    compaction's crash-safety rests on.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"{source}: malformed ledger record {record!r}")
+    event = record.get("event")
+    if event == EVENT_SUBMITTED:
+        sweep = record.get("sweep")
+        keys = record.get("keys")
+        if not isinstance(sweep, str) or not isinstance(keys, list):
+            raise ValueError(
+                f"{source}: malformed ledger record {record!r}"
+            )
+        state.sweeps[sweep] = tuple(str(key) for key in keys)
+        return
+    if event == EVENT_CANCELLED:
+        sweep = record.get("sweep")
+        if not isinstance(sweep, str):
+            raise ValueError(
+                f"{source}: malformed ledger record {record!r}"
+            )
+        state.cancelled.add(sweep)
+        return
+    key = record.get("key")
+    if event not in _EVENTS or not isinstance(key, str):
+        raise ValueError(f"{source}: malformed ledger record {record!r}")
+    if event == EVENT_SCHEDULED:
+        state.scheduled.setdefault(key, record.get("spec", {}))
+    elif event == EVENT_CLAIMED:
+        state.claims[key] = record.get("worker", "?")
+    elif event == EVENT_REQUEUED:
+        state.claims.pop(key, None)
+    elif event == EVENT_DONE:
+        state.done.add(key)
+        state.claims.pop(key, None)
+        # Mirrors the coordinator: a stored result supersedes a
+        # racing worker's earlier failure report.
+        state.failed.pop(key, None)
+    elif event == EVENT_FAILED:
+        if key not in state.done:
+            state.failed[key] = record.get("error", "")
+        state.claims.pop(key, None)
+
+
+def _state_to_dict(state: LedgerState) -> dict[str, Any]:
+    return {
+        "scheduled": state.scheduled,
+        "done": sorted(state.done),
+        "failed": state.failed,
+        "claims": state.claims,
+        "sweeps": {sweep: list(keys) for sweep, keys in state.sweeps.items()},
+        "cancelled": sorted(state.cancelled),
+    }
+
+
+def _state_from_dict(payload: dict[str, Any]) -> LedgerState:
+    return LedgerState(
+        scheduled=dict(payload.get("scheduled", {})),
+        done=set(payload.get("done", [])),
+        failed=dict(payload.get("failed", {})),
+        claims=dict(payload.get("claims", {})),
+        sweeps={
+            sweep: tuple(keys)
+            for sweep, keys in payload.get("sweeps", {}).items()
+        },
+        cancelled=set(payload.get("cancelled", [])),
+    )
+
+
+# -- layout dispatch ----------------------------------------------------------
+
+
+def is_sharded(path: str | pathlib.Path) -> bool:
+    """Whether ``path`` names (or should become) a sharded ledger.
+
+    An existing directory is sharded; an existing file is not; a path
+    that exists as neither is sharded iff it has no file extension
+    (``results/ledger`` makes a directory, ``results/ledger.jsonl`` a
+    file) -- so both CLIs and tests pick the layout by spelling.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        return True
+    if path.exists():
+        return False
+    return path.suffix == ""
+
+
+def open_ledger(
+    path: str | pathlib.Path,
+) -> "SweepLedger | ShardedLedger":
+    """The append-side ledger for ``path``, whichever layout it is."""
+    if is_sharded(path):
+        return ShardedLedger(path)
+    return SweepLedger(path)
+
+
+def replay_ledger(path: str | pathlib.Path) -> LedgerState:
+    """Fold any ledger (file or directory) without opening appenders."""
+    path = pathlib.Path(path)
+    if is_sharded(path):
+        return _replay_dir(path)
+    return _replay_file(path)
+
+
+def ledger_stamp(path: str | pathlib.Path):
+    """A hashable freshness stamp: equal stamps imply equal replays.
+
+    Files stamp as ``(size, mtime_ns)``; directories as the sorted
+    tuple of every snapshot/shard file's ``(name, size, mtime_ns)``.
+    ``None`` when nothing exists yet.
+    """
+    path = pathlib.Path(path)
+    if path.is_dir():
+        parts = []
+        for file in sorted(
+            [path / SNAPSHOT_NAME, *(path / SHARD_DIR_NAME).glob("*.jsonl")]
+        ):
+            try:
+                stat = file.stat()
+            except OSError:
+                continue
+            parts.append((file.name, stat.st_size, stat.st_mtime_ns))
+        return tuple(parts) if parts else None
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    return (stat.st_size, stat.st_mtime_ns)
+
+
+def _replay_file(path: pathlib.Path) -> LedgerState:
+    state = LedgerState()
+    for record in read_jsonl(path, strict=False):
+        fold_record(state, record, source=str(path))
+    return state
+
+
+def _load_snapshot(root: pathlib.Path) -> tuple[int, LedgerState]:
+    """``(generation, state)`` from ``snapshot.json`` (0 + empty if none).
+
+    The snapshot is written atomically, so it either parses whole or
+    does not exist; a snapshot that exists but is malformed raises --
+    silently ignoring it would resurrect compacted-away work.
+    """
+    snapshot_path = root / SNAPSHOT_NAME
+    try:
+        payload = json.loads(snapshot_path.read_text())
+    except FileNotFoundError:
+        return 0, LedgerState()
+    except (OSError, json.JSONDecodeError) as error:
+        raise ValueError(
+            f"{snapshot_path}: unreadable ledger snapshot ({error})"
+        ) from None
+    if not isinstance(payload, dict) or "state" not in payload:
+        raise ValueError(f"{snapshot_path}: malformed ledger snapshot")
+    return int(payload.get("generation", 0)), _state_from_dict(
+        payload["state"]
+    )
+
+
+def _replay_dir(root: pathlib.Path) -> LedgerState:
+    _, state = _load_snapshot(root)
+    shards = root / SHARD_DIR_NAME
+    if shards.is_dir():
+        for file in sorted(shards.glob("*.jsonl")):
+            for record in read_jsonl(file, strict=False):
+                fold_record(state, record, source=str(file))
+    return state
+
+
+def _parse_tail(data: bytes) -> tuple[list[dict[str, Any]], int]:
+    """``(records, consumed_bytes)`` of the complete lines in ``data``.
+
+    A torn final line stays unconsumed for the next poll; interior
+    unparseable lines (crash artifacts isolated by boundary repair)
+    are skipped but their bytes are consumed.
+    """
+    complete, newline, _ = data.rpartition(b"\n")
+    if not newline:
+        return [], 0
+    records = []
+    for line in complete.splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, len(complete) + 1
 
 
 class SweepLedger:
-    """Append-side API over one ledger file.
+    """Append-side API over one single-file ledger.
 
     Writers are the coordinator (lifecycle events) and the submit
-    service (``scheduled``/``submitted`` batches) -- safe concurrently
-    because every record is one whole-line ``O_APPEND`` write.
-    Readers (progress endpoints, a resumed coordinator, the
-    coordinator's live tail) use :meth:`replay` or the classmethod
-    :meth:`replay_path` on the file directly.
+    service (``scheduled``/``submitted``/``cancelled`` batches) --
+    safe concurrently because every record is one whole-line
+    ``O_APPEND`` write.  Readers use :meth:`replay` or the classmethod
+    :meth:`replay_path` (which also dispatches sharded directories).
     """
 
     def __init__(self, path: str | pathlib.Path) -> None:
@@ -107,7 +367,9 @@ class SweepLedger:
         # records skip the flush: losing one only costs a reschedule or
         # a stale-claim diagnostic, and per-assignment fsyncs would
         # serialize the whole fabric on disk latency.
-        self._appender = JsonlAppender(self._path, fsync=False)
+        self._appender = JsonlAppender(
+            self._path, fsync=False, fault_site="ledger.append"
+        )
 
     @property
     def path(self) -> pathlib.Path:
@@ -120,12 +382,15 @@ class SweepLedger:
         self,
         specs: Iterable[ScenarioSpec],
         already_scheduled: set[str] | None = None,
+        sweep: str | None = None,
     ) -> None:
         """Schedule points (skipping keys this ledger already holds).
 
         ``already_scheduled`` lets a caller that just replayed the
         ledger pass the known keys instead of paying a second full
-        replay here.
+        replay here; ``sweep`` labels the records with the submitting
+        sweep id (and, in the sharded layout, routes them to its
+        shard).
         """
         if already_scheduled is None:
             already_scheduled = set(self.replay().scheduled)
@@ -133,19 +398,18 @@ class SweepLedger:
             key = spec.key()
             if key in already_scheduled:
                 continue
-            self._appender.append(
-                {
-                    "event": EVENT_SCHEDULED,
-                    "key": key,
-                    "spec": spec.to_dict(),
-                }
-            )
+            record: dict[str, Any] = {
+                "event": EVENT_SCHEDULED,
+                "key": key,
+                "spec": spec.to_dict(),
+            }
+            if sweep is not None:
+                record["sweep"] = sweep
+            self._append(record)
 
     def record_claimed(self, key: str, worker: str) -> None:
         """A worker claimed ``key``."""
-        self._appender.append(
-            {"event": EVENT_CLAIMED, "key": key, "worker": worker}
-        )
+        self._append({"event": EVENT_CLAIMED, "key": key, "worker": worker})
 
     def record_requeued(
         self, key: str, worker: str, reason: str = "lease-expired"
@@ -157,7 +421,7 @@ class SweepLedger:
         record exists so a *live* replay agrees with the coordinator's
         queue, and as the audit trail of lease expiries.
         """
-        self._appender.append(
+        self._append(
             {
                 "event": EVENT_REQUEUED,
                 "key": key,
@@ -186,7 +450,19 @@ class SweepLedger:
         }
         if name is not None:
             record["name"] = name
-        self._appender.append(record, fsync=True)
+        self._append(record, fsync=True, sweep=sweep)
+
+    def record_cancelled(self, sweep: str) -> None:
+        """Revoke a submitted sweep (absorbing, idempotent).
+
+        Fsynced: a 200 from ``POST /cancel`` promises the revocation
+        survives any crash -- losing it would resurrect the sweep.
+        """
+        self._append(
+            {"event": EVENT_CANCELLED, "sweep": sweep},
+            fsync=True,
+            sweep=sweep,
+        )
 
     def record_done(
         self, key: str, worker: str, elapsed: float | None = None
@@ -195,11 +471,11 @@ class SweepLedger:
         record = {"event": EVENT_DONE, "key": key, "worker": worker}
         if elapsed is not None:
             record["elapsed"] = float(elapsed)
-        self._appender.append(record, fsync=True)
+        self._append(record, fsync=True)
 
     def record_failed(self, key: str, worker: str, error: str) -> None:
         """``key`` raised while executing (terminal: not requeued)."""
-        self._appender.append(
+        self._append(
             {
                 "event": EVENT_FAILED,
                 "key": key,
@@ -208,6 +484,16 @@ class SweepLedger:
             },
             fsync=True,
         )
+
+    def _append(
+        self,
+        record: dict[str, Any],
+        fsync: bool | None = None,
+        sweep: str | None = None,
+    ) -> None:
+        # ``sweep`` is routing advice for the sharded subclass; the
+        # single file ignores it.
+        self._appender.append(record, fsync=fsync)
 
     def close(self) -> None:
         """Release the append descriptor."""
@@ -223,11 +509,12 @@ class SweepLedger:
 
     def replay(self) -> LedgerState:
         """Fold this ledger's event stream (see :meth:`replay_path`)."""
-        return self.replay_path(self._path)
+        return _replay_file(self._path)
 
     @classmethod
     def replay_path(cls, path: str | pathlib.Path) -> LedgerState:
-        """Fold a ledger file into per-key terminal state.
+        """Fold a ledger (file *or* sharded directory) into per-key
+        terminal state.
 
         Tolerates unparseable fragment lines (crash-mid-append
         artifacts, isolated by the appender's boundary repair; losing
@@ -235,41 +522,325 @@ class SweepLedger:
         parse yet carry a malformed event -- a ledger that lies about
         ``done`` points must fail loudly, not resume quietly.
         """
-        state = LedgerState()
-        for record in read_jsonl(path, strict=False):
-            if not isinstance(record, dict):
-                raise ValueError(
-                    f"{path}: malformed ledger record {record!r}"
+        return replay_ledger(path)
+
+    def read_tail(
+        self, cursor: int | None = None
+    ) -> tuple[list[dict[str, Any]], int]:
+        """``(records, new_cursor)`` appended since ``cursor``.
+
+        Complete lines only -- a torn final line stays unconsumed for
+        the next poll.  A file that shrank under the cursor (rotated
+        externally) is re-read from zero; the fold's idempotence makes
+        re-seeing records safe.
+        """
+        offset = int(cursor or 0)
+        try:
+            size = self._path.stat().st_size
+            if size < offset:
+                offset = 0
+            with open(self._path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read()
+        except OSError:
+            return [], offset
+        records, consumed = _parse_tail(data)
+        return records, offset + consumed
+
+
+class ShardedLedger(SweepLedger):
+    """A directory ledger: per-sweep shards + snapshot compaction.
+
+    Layout under the root directory::
+
+        snapshot.json             atomic fold of everything compacted
+        compaction-meta.json      small stamp: generation, time, counts
+        shards/<sweep-id>.jsonl   events of one submitted sweep
+        shards/_unassigned.jsonl  events no sweep claims (spec-file
+                                  points, foreign keys)
+
+    Lifecycle events route to the shard of the sweep that submitted
+    their key (learned from ``submitted`` records at replay, at tail
+    ingestion, or from this process's own submits), so one sweep's
+    churn stays in one file and :meth:`compact` can retire whole
+    sweeps at a time.  Routing is an *optimization*, never a
+    correctness requirement: replay folds every shard, so a record
+    landing in ``_unassigned`` is merely less tidy.
+
+    Multi-process safety of :meth:`compact` (same discipline as the
+    rest of the store layer -- no locks, only atomic publishes):
+
+    1. fold snapshot + every shard, remembering each shard's size at
+       fold time;
+    2. publish the new snapshot via ``atomic_write_json``;
+    3. delete only shards whose size is *unchanged* since step 1 --
+       a shard another process appended to meanwhile survives, and
+       its already-folded prefix simply folds again next replay
+       (idempotent).
+
+    A crash anywhere leaves either the old snapshot + all shards or
+    the new snapshot + a subset of shards -- both replay to the same
+    state.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self._root = pathlib.Path(path)
+        self._shards = self._root / SHARD_DIR_NAME
+        self._shards.mkdir(parents=True, exist_ok=True)
+        self._appenders: dict[str, JsonlAppender] = {}
+        self._routes: dict[str, str] = {}
+        self._routes_loaded = False
+        self._lock = threading.Lock()
+        # NOTE: deliberately no super().__init__ -- the single-file
+        # appender does not exist here.
+        self._path = self._root
+
+    @property
+    def path(self) -> pathlib.Path:
+        """The ledger root directory."""
+        return self._root
+
+    # -- routing -------------------------------------------------------------
+
+    @staticmethod
+    def _shard_name(sweep: str) -> str:
+        # Sweep ids are sha256 hex (filesystem-safe); anything foreign
+        # is sanitized to keep the directory listable.
+        safe = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in sweep
+        )
+        return safe or UNASSIGNED_SHARD
+
+    def _note_routes(self, sweep: str, keys: Iterable[str]) -> None:
+        shard = self._shard_name(sweep)
+        for key in keys:
+            self._routes[key] = shard
+
+    def _ensure_routes(self) -> None:
+        """Learn key->shard routing from a replay, once, lazily.
+
+        Only key-routed lifecycle events need it; the submit path
+        routes by explicit sweep id and never pays this replay.
+        """
+        if self._routes_loaded:
+            return
+        self._routes_loaded = True
+        state = self.replay()
+        for sweep, keys in state.sweeps.items():
+            self._note_routes(sweep, keys)
+
+    def _appender(self, shard: str) -> JsonlAppender:
+        appender = self._appenders.get(shard)
+        if appender is None:
+            appender = JsonlAppender(
+                self._shards / f"{shard}.jsonl",
+                fsync=False,
+                fault_site="ledger.append",
+            )
+            self._appenders[shard] = appender
+        return appender
+
+    def _append(
+        self,
+        record: dict[str, Any],
+        fsync: bool | None = None,
+        sweep: str | None = None,
+    ) -> None:
+        if sweep is not None:
+            shard = self._shard_name(sweep)
+            if record.get("event") == EVENT_SUBMITTED:
+                self._note_routes(sweep, record.get("keys", []))
+        else:
+            self._ensure_routes()
+            shard = self._routes.get(
+                str(record.get("key")), UNASSIGNED_SHARD
+            )
+        with self._lock:
+            self._appender(shard).append(record, fsync=fsync)
+
+    def record_scheduled(
+        self,
+        specs: Iterable[ScenarioSpec],
+        already_scheduled: set[str] | None = None,
+        sweep: str | None = None,
+    ) -> None:
+        if sweep is not None:
+            # Route the whole batch (and all later lifecycle events of
+            # these keys) to the submitting sweep's shard.
+            specs = list(specs)
+            self._note_routes(sweep, (spec.key() for spec in specs))
+            if already_scheduled is None:
+                already_scheduled = set(self.replay().scheduled)
+            for spec in specs:
+                key = spec.key()
+                if key in already_scheduled:
+                    continue
+                self._append(
+                    {
+                        "event": EVENT_SCHEDULED,
+                        "key": key,
+                        "spec": spec.to_dict(),
+                        "sweep": sweep,
+                    },
+                    sweep=sweep,
                 )
-            event = record.get("event")
-            if event == EVENT_SUBMITTED:
-                sweep = record.get("sweep")
-                keys = record.get("keys")
-                if not isinstance(sweep, str) or not isinstance(keys, list):
-                    raise ValueError(
-                        f"{path}: malformed ledger record {record!r}"
-                    )
-                state.sweeps[sweep] = tuple(str(key) for key in keys)
+            return
+        super().record_scheduled(specs, already_scheduled, sweep=None)
+
+    def close(self) -> None:
+        with self._lock:
+            for appender in self._appenders.values():
+                appender.close()
+            self._appenders.clear()
+
+    # -- replay / tail -------------------------------------------------------
+
+    def replay(self) -> LedgerState:
+        return _replay_dir(self._root)
+
+    def read_tail(
+        self, cursor: dict[str, int] | None = None
+    ) -> tuple[list[dict[str, Any]], dict[str, int]]:
+        """``(records, new_cursor)`` across every shard since ``cursor``.
+
+        The cursor maps shard file names to byte offsets.  A shard
+        that vanished (compacted away) drops from the cursor; one that
+        reappears (new events for an old sweep) re-reads from zero --
+        safe, because the fold is idempotent and the coordinator
+        skips events it already knows.  ``submitted`` records seen
+        here also teach this instance key->shard routing, so a
+        resident coordinator keeps routing fresh sweeps correctly.
+        """
+        cursor = dict(cursor or {})
+        records: list[dict[str, Any]] = []
+        try:
+            files = sorted(self._shards.glob("*.jsonl"))
+        except OSError:
+            return records, cursor
+        live = set()
+        for file in files:
+            name = file.name
+            live.add(name)
+            offset = cursor.get(name, 0)
+            try:
+                size = file.stat().st_size
+                if size < offset:
+                    offset = 0
+                if size <= offset:
+                    continue
+                with open(file, "rb") as handle:
+                    handle.seek(offset)
+                    data = handle.read()
+            except OSError:
                 continue
-            key = record.get("key")
-            if event not in _EVENTS or not isinstance(key, str):
-                raise ValueError(
-                    f"{path}: malformed ledger record {record!r}"
-                )
-            if event == EVENT_SCHEDULED:
-                state.scheduled.setdefault(key, record.get("spec", {}))
-            elif event == EVENT_CLAIMED:
-                state.claims[key] = record.get("worker", "?")
-            elif event == EVENT_REQUEUED:
-                state.claims.pop(key, None)
-            elif event == EVENT_DONE:
-                state.done.add(key)
-                state.claims.pop(key, None)
-                # Mirrors the coordinator: a stored result supersedes a
-                # racing worker's earlier failure report.
-                state.failed.pop(key, None)
-            elif event == EVENT_FAILED:
-                if key not in state.done:
-                    state.failed[key] = record.get("error", "")
-                state.claims.pop(key, None)
-        return state
+            fresh, consumed = _parse_tail(data)
+            if consumed:
+                cursor[name] = offset + consumed
+            for record in fresh:
+                if record.get("event") == EVENT_SUBMITTED and isinstance(
+                    record.get("sweep"), str
+                ):
+                    self._note_routes(
+                        record["sweep"],
+                        [str(key) for key in record.get("keys", [])],
+                    )
+            records.extend(fresh)
+        for name in list(cursor):
+            if name not in live:
+                del cursor[name]
+        return records, cursor
+
+    # -- compaction ----------------------------------------------------------
+
+    def tail_size(self) -> int:
+        """Total bytes of uncompacted shard events (the compaction
+        trigger a resident coordinator watches)."""
+        total = 0
+        try:
+            for file in self._shards.glob("*.jsonl"):
+                try:
+                    total += file.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            return 0
+        return total
+
+    def last_compaction(self) -> dict[str, Any] | None:
+        """The small stamp of the newest :meth:`compact` (or None)."""
+        try:
+            payload = json.loads(
+                (self._root / COMPACTION_META_NAME).read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def shard_stats(self) -> dict[str, int]:
+        """``{shard file name: size in bytes}`` (for ``/healthz``)."""
+        stats: dict[str, int] = {}
+        try:
+            for file in sorted(self._shards.glob("*.jsonl")):
+                try:
+                    stats[file.name] = file.stat().st_size
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return stats
+
+    def compact(self) -> dict[str, Any]:
+        """Fold every shard into a fresh atomic snapshot; retire the
+        shards that did not move while we folded.
+
+        Returns the compaction stats (also written to
+        ``compaction-meta.json``).  Safe against a crash at any point
+        and against concurrent appenders in other processes -- see the
+        class docstring for the protocol.
+        """
+        with self._lock:
+            generation, state = _load_snapshot(self._root)
+            faults.inject("ledger.compact", "fold")
+            folded: list[tuple[pathlib.Path, int]] = []
+            events = 0
+            for file in sorted(self._shards.glob("*.jsonl")):
+                try:
+                    size = file.stat().st_size
+                except OSError:
+                    continue
+                for record in read_jsonl(file, strict=False):
+                    fold_record(state, record, source=str(file))
+                    events += 1
+                folded.append((file, size))
+            stats = {
+                "generation": generation + 1,
+                "compacted_at": time.time(),
+                "events_folded": events,
+                "shards_folded": len(folded),
+            }
+            atomic_write_json(
+                self._root / SNAPSHOT_NAME,
+                {"version": 1, **stats, "state": _state_to_dict(state)},
+            )
+            # The crash window the chaos suite aims at: the new
+            # snapshot is live, the shards still hold their (now
+            # doubly-represented) events.
+            faults.inject("ledger.compact", "swap")
+            removed = 0
+            for file, size in folded:
+                try:
+                    if file.stat().st_size != size:
+                        continue  # a foreign append landed: keep it
+                except OSError:
+                    continue
+                appender = self._appenders.pop(file.stem, None)
+                if appender is not None:
+                    appender.close()
+                try:
+                    file.unlink()
+                except OSError:
+                    continue
+                removed += 1
+            stats["shards_removed"] = removed
+            atomic_write_json(self._root / COMPACTION_META_NAME, stats)
+            return stats

@@ -42,6 +42,8 @@ import json
 import struct
 from typing import Any
 
+from repro.distributed import faults
+
 __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -120,32 +122,57 @@ async def read_frame(
     :class:`ProtocolError` so the caller can distinguish a torn
     connection from an orderly close.
     """
-    try:
-        header = await reader.readexactly(_HEADER.size)
-    except asyncio.IncompleteReadError as error:
-        if not error.partial:
-            return None
-        raise ProtocolError(
-            f"connection closed mid-header ({len(error.partial)} bytes)"
-        ) from None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
-        )
-    try:
-        payload = await reader.readexactly(length)
-    except asyncio.IncompleteReadError as error:
-        raise ProtocolError(
-            f"connection closed mid-frame ({len(error.partial)} of "
-            f"{length} bytes)"
-        ) from None
-    return _parse(payload)
+    while True:
+        try:
+            header = await reader.readexactly(_HEADER.size)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-header ({len(error.partial)} bytes)"
+            ) from None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds the "
+                f"{MAX_FRAME_BYTES}-byte limit"
+            )
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(error.partial)} of "
+                f"{length} bytes)"
+            ) from None
+        message = _parse(payload)
+        rule = faults.inject("protocol.recv", str(message.get("type", "")))
+        if rule is not None and rule.action == faults.ACTION_DROP:
+            continue  # injected receive loss: the wire ate this frame
+        return message
 
 
 async def write_frame(
     writer: asyncio.StreamWriter, message: dict[str, Any]
 ) -> None:
     """Send one frame and drain the transport."""
-    writer.write(encode_frame(message))
+    data = encode_frame(message)
+    rule = faults.inject("protocol.send", str(message.get("type", "")))
+    if rule is not None:
+        if rule.action == faults.ACTION_DROP:
+            return  # injected send loss: the frame never hits the wire
+        if rule.action == faults.ACTION_TORN:
+            # Half the frame, then the transport dies: the peer's
+            # readexactly sees EOF mid-frame (ProtocolError), and this
+            # side sees a connection error -- the exact shape of a
+            # sender SIGKILLed mid-write.
+            writer.write(data[: max(1, len(data) // 2)])
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            raise ConnectionResetError(
+                f"injected torn frame ({message.get('type')!r})"
+            )
+    writer.write(data)
     await writer.drain()

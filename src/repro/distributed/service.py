@@ -29,8 +29,26 @@ Routes:
                                    ``metrics=`` columns, ``sweep=`` id)
 ``POST /submit``                   enqueue a scenario/grid document (JSON
                                    body, or TOML with a toml Content-Type);
-                                   answers 202 with the sweep id
+                                   answers 202 with the sweep id, 409 if the
+                                   sweep was cancelled, or 503 +
+                                   ``Retry-After`` under backpressure
+``POST /cancel``                   revoke a submitted sweep (JSON body
+                                   ``{"sweep": "<id>"}``): a durable
+                                   ``cancelled`` ledger record that a live
+                                   coordinator picks up within one tail poll
+                                   -- leases released, pending points
+                                   dropped, in-flight results ignored
 =================================  ==========================================
+
+**Auth**: with ``auth_token`` set, every POST must carry
+``Authorization: Bearer <token>`` or is refused with 401 +
+``WWW-Authenticate`` (reads stay open -- results are content-addressed
+and immutable, the mutating surface is what needs the gate).
+**Backpressure**: with ``max_backlog`` set, ``POST /submit`` answers
+``503`` with a ``Retry-After`` header while the ledger already holds
+that many unfinished points -- a misbehaving client cannot wedge the
+fabric under an unbounded queue, and a well-behaved one knows exactly
+when to come back.
 
 Concurrency: :class:`~http.server.ThreadingHTTPServer` dispatches one
 thread per connection; readers only touch immutable content-addressed
@@ -38,16 +56,20 @@ files (atomically published, so a reader never observes a partial
 result), the append-only ledger, and the memoized index sidecar.
 Submits append whole ``O_APPEND`` lines, so they interleave safely
 with a live coordinator writing the same ledger from another process.
+Both ledger layouts are served: a single JSONL file, or the sharded
+directory (snapshot + per-sweep shards), whose freshness stamp covers
+every file a compaction may touch.
 
 The request-routing core (:meth:`ResultsService.respond` /
 :meth:`ResultsService.respond_post`) is a pure function of the path,
-query and body -- the tests exercise it directly and through real
-sockets.
+query, body and headers -- the tests exercise it directly and through
+real sockets.
 """
 
 from __future__ import annotations
 
 import hashlib
+import hmac
 import json
 import pathlib
 import re
@@ -55,9 +77,15 @@ import threading
 import tomllib
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Mapping
 
-from repro.distributed.ledger import SweepLedger
+from repro.distributed.ledger import (
+    ShardedLedger,
+    is_sharded,
+    ledger_stamp,
+    open_ledger,
+    replay_ledger,
+)
 from repro.scenario.report import collect_records, sweep_report
 from repro.scenario.spec import (
     ScenarioSpec,
@@ -81,6 +109,33 @@ MAX_PAGE_LIMIT = 1000
 #: grid document is ~100 bytes of axes, not megabytes of anything).
 MAX_SUBMIT_BYTES = 8 * 1024 * 1024
 
+#: ``Retry-After`` seconds on a backpressured 503: long enough for a
+#: worker fleet to drain real points, short enough that a patient
+#: client's sweep still starts promptly.
+RETRY_AFTER_SECONDS = 5
+
+
+class _Response(tuple):
+    """A ``(status, content_type, body)`` triple with extra headers.
+
+    Unpacks exactly like the plain tuple every existing caller
+    expects; the handler additionally forwards :attr:`headers`
+    (``Retry-After``, ``WWW-Authenticate``) when present.
+    """
+
+    headers: dict[str, str]
+
+    def __new__(
+        cls,
+        status: int,
+        content_type: str,
+        body: bytes,
+        headers: Mapping[str, str] | None = None,
+    ) -> "_Response":
+        self = super().__new__(cls, (status, content_type, body))
+        self.headers = dict(headers or {})
+        return self
+
 
 def sweep_id(keys: list[str]) -> str:
     """Content address of a submitted sweep: the digest of its sorted
@@ -103,11 +158,19 @@ class ResultsService:
         ledger_path: str | pathlib.Path | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        auth_token: str | None = None,
+        max_backlog: int | None = None,
     ) -> None:
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError(
+                f"max_backlog must be positive, got {max_backlog}"
+            )
         self._cache_dir = pathlib.Path(cache_dir)
         self._ledger_path = (
             pathlib.Path(ledger_path) if ledger_path is not None else None
         )
+        self._auth_token = auth_token
+        self._max_backlog = max_backlog
         self._index = ResultIndex(self._cache_dir)
         service = self
 
@@ -116,25 +179,33 @@ class ResultsService:
             protocol_version = "HTTP/1.1"
 
             def _reply(
-                self, status: int, content_type: str, body: bytes
+                self,
+                status: int,
+                content_type: str,
+                body: bytes,
+                headers: Mapping[str, str] | None = None,
             ) -> None:
                 self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(body)
 
             def do_GET(self) -> None:  # noqa: N802 -- stdlib contract
                 try:
-                    status, content_type, body = service.respond(self.path)
+                    response = service.respond(self.path)
                 except Exception as error:  # noqa: BLE001 -- bad disk state
                     # e.g. a ledger that replays with a malformed
                     # record: answer 500 instead of dropping the
                     # connection with no HTTP response at all.
-                    status, content_type, body = service._json(
+                    response = service._json(
                         500, {"error": f"{type(error).__name__}: {error}"}
                     )
-                self._reply(status, content_type, body)
+                self._reply(
+                    *response, headers=getattr(response, "headers", None)
+                )
 
             def do_POST(self) -> None:  # noqa: N802 -- stdlib contract
                 length = int(self.headers.get("Content-Length") or 0)
@@ -158,16 +229,19 @@ class ResultsService:
                     return
                 try:
                     body = self.rfile.read(length) if length > 0 else b""
-                    status, content_type, out = service.respond_post(
+                    response = service.respond_post(
                         self.path,
                         body,
                         self.headers.get("Content-Type", ""),
+                        headers=dict(self.headers.items()),
                     )
                 except Exception as error:  # noqa: BLE001 -- bad input
-                    status, content_type, out = service._json(
+                    response = service._json(
                         500, {"error": f"{type(error).__name__}: {error}"}
                     )
-                self._reply(status, content_type, out)
+                self._reply(
+                    *response, headers=getattr(response, "headers", None)
+                )
 
             def log_message(self, *args) -> None:  # noqa: D102
                 pass  # quiet by default; curl/tests see the bodies
@@ -228,10 +302,7 @@ class ResultsService:
         route = parsed.path.rstrip("/") or "/"
         query = dict(urllib.parse.parse_qsl(parsed.query))
         if route == "/healthz":
-            return self._json(
-                200,
-                {"status": "ok", "results": self._result_count()},
-            )
+            return self._healthz()
         if route == "/progress":
             return self._progress(query.get("sweep"))
         if route == "/results":
@@ -252,21 +323,57 @@ class ResultsService:
                     "/results/<key>",
                     "/report",
                     "POST /submit",
+                    "POST /cancel",
                 ],
             },
         )
 
     def respond_post(
-        self, path: str, body: bytes, content_type: str = ""
+        self,
+        path: str,
+        body: bytes,
+        content_type: str = "",
+        headers: Mapping[str, str] | None = None,
     ) -> tuple[int, str, bytes]:
         """Resolve one POST to ``(status, content_type, body)``."""
         parsed = urllib.parse.urlsplit(path)
         route = parsed.path.rstrip("/") or "/"
+        if not self._authorized(headers):
+            return self._json(
+                401,
+                {"error": "missing or invalid bearer token"},
+                headers={"WWW-Authenticate": 'Bearer realm="repro"'},
+            )
         if route == "/submit":
             return self._submit(body, content_type)
+        if route == "/cancel":
+            return self._cancel(body)
         return self._json(
             404,
-            {"error": f"no POST route {route!r}", "routes": ["/submit"]},
+            {
+                "error": f"no POST route {route!r}",
+                "routes": ["/submit", "/cancel"],
+            },
+        )
+
+    def _authorized(self, headers: Mapping[str, str] | None) -> bool:
+        """Bearer-token gate on the mutating surface.
+
+        No configured token means an open service (the historical
+        default -- single-tenant labs behind a firewall); with one,
+        the comparison is constant-time so the token cannot be
+        guessed a byte at a time off response latency.
+        """
+        if self._auth_token is None:
+            return True
+        supplied = ""
+        for name, value in (headers or {}).items():
+            if name.lower() == "authorization":
+                supplied = value
+                break
+        expected = f"Bearer {self._auth_token}"
+        return hmac.compare_digest(
+            supplied.encode("utf-8", "replace"), expected.encode()
         )
 
     # -- route bodies -------------------------------------------------------
@@ -275,6 +382,47 @@ class ResultsService:
         if not self._cache_dir.is_dir():
             return 0
         return sum(1 for _ in self._cache_dir.glob("*.json"))
+
+    def _healthz(self) -> tuple[int, str, bytes]:
+        """Liveness plus the fabric's load-bearing gauges.
+
+        A monitor watching this one route sees queue pressure
+        (``backlog``), cancellations, and -- on a sharded ledger --
+        per-shard sizes and the last compaction stamp, so "the ledger
+        is growing without bound" and "compaction stopped happening"
+        are both one scrape away.
+        """
+        payload: dict[str, Any] = {
+            "status": "ok",
+            "results": self._result_count(),
+        }
+        if self._max_backlog is not None:
+            payload["max_backlog"] = self._max_backlog
+        if self._ledger_path is not None and self._ledger_path.exists():
+            payload["ledger"] = str(self._ledger_path)
+            try:
+                state = self._replayed_ledger()
+            except ValueError as error:
+                # Liveness must survive a ledger that replays dirty:
+                # /progress is where that 500s, /healthz reports the
+                # problem and stays a 200 -- a monitor that cannot
+                # scrape the health route is blind exactly when it
+                # matters.
+                payload["ledger_error"] = f"{type(error).__name__}: {error}"
+            else:
+                payload["backlog"] = len(state.pending)
+                payload["cancelled_sweeps"] = len(state.cancelled)
+            if is_sharded(self._ledger_path):
+                ledger = ShardedLedger(self._ledger_path)
+                try:
+                    stats = ledger.shard_stats()
+                    payload["shards"] = stats
+                    payload["shard_count"] = len(stats)
+                    payload["tail_bytes"] = sum(stats.values())
+                    payload["last_compaction"] = ledger.last_compaction()
+                finally:
+                    ledger.close()
+        return self._json(200, payload)
 
     def _submit(
         self, body: bytes, content_type: str
@@ -323,14 +471,54 @@ class ResultsService:
         identity = sweep_id(list(unique))
         name = str(document.get("name", "scenario"))
         with self._submit_lock:
-            with SweepLedger(self._ledger_path) as ledger:
+            with open_ledger(self._ledger_path) as ledger:
                 # Opening the ledger created the file if needed, so
                 # the stamp-memoized replay is safe -- and O(new
                 # lines amortized) instead of a full re-parse per
                 # submit on a long-lived fabric.
-                already = set(self._replayed_ledger().scheduled)
+                state = self._replayed_ledger()
+                if identity in state.cancelled:
+                    # Cancellation is absorbing: the same grid hashes
+                    # to the same sweep id, and resurrecting revoked
+                    # work silently would defeat the whole point of
+                    # the revocation.  A genuinely new run must change
+                    # the grid (any axis value perturbs every key).
+                    return self._json(
+                        409,
+                        {
+                            "error": (
+                                f"sweep {identity} was cancelled; "
+                                "cancellation is permanent for this "
+                                "exact grid"
+                            ),
+                            "sweep": identity,
+                        },
+                    )
+                if (
+                    self._max_backlog is not None
+                    and len(state.pending) >= self._max_backlog
+                ):
+                    return self._json(
+                        503,
+                        {
+                            "error": (
+                                f"backlog of {len(state.pending)} "
+                                f"unfinished points is at the "
+                                f"{self._max_backlog}-point limit; "
+                                f"retry later"
+                            ),
+                            "backlog": len(state.pending),
+                            "max_backlog": self._max_backlog,
+                        },
+                        headers={
+                            "Retry-After": str(RETRY_AFTER_SECONDS)
+                        },
+                    )
+                already = set(state.scheduled)
                 ledger.record_scheduled(
-                    unique.values(), already_scheduled=already
+                    unique.values(),
+                    already_scheduled=already,
+                    sweep=identity,
                 )
                 ledger.record_submitted(identity, list(unique), name=name)
         return self._json(
@@ -342,6 +530,79 @@ class ResultsService:
                 "new_points": len(set(unique) - already),
                 "progress": f"/progress?sweep={identity}",
                 "results": f"/results?offset=0&limit={DEFAULT_PAGE_LIMIT}",
+            },
+        )
+
+    def _cancel(self, body: bytes) -> tuple[int, str, bytes]:
+        """Durably revoke one submitted sweep.
+
+        Appends the fsynced ``cancelled`` record and answers 200: by
+        then the revocation survives any crash, and a live coordinator
+        tailing the ledger drops the sweep's pending points, releases
+        its leases, and discards its in-flight results within one poll
+        interval.  Idempotent -- cancelling twice (or racing another
+        client) reports ``already_cancelled`` instead of erroring.
+        """
+        if self._ledger_path is None:
+            return self._json(
+                503,
+                {
+                    "error": (
+                        "cancellation needs a ledger; restart "
+                        "'repro serve' with --ledger"
+                    )
+                },
+            )
+        try:
+            document = json.loads(body.decode("utf-8"))
+            sweep = document["sweep"]
+        except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+            return self._json(
+                400,
+                {"error": 'cancel body must be JSON {"sweep": "<id>"}'},
+            )
+        if not isinstance(sweep, str) or not sweep:
+            return self._json(
+                400, {"error": "sweep id must be a non-empty string"}
+            )
+        if not self._ledger_path.exists():
+            return self._json(
+                404, {"error": f"unknown sweep {sweep!r} (empty ledger)"}
+            )
+        with self._submit_lock:
+            state = self._replayed_ledger()
+            keys = state.sweeps.get(sweep)
+            if keys is None:
+                return self._json(
+                    404, {"error": f"unknown sweep {sweep!r}"}
+                )
+            if sweep in state.cancelled:
+                return self._json(
+                    200,
+                    {
+                        "sweep": sweep,
+                        "cancelled": True,
+                        "already_cancelled": True,
+                    },
+                )
+            with open_ledger(self._ledger_path) as ledger:
+                ledger.record_cancelled(sweep)
+            revoked = sum(
+                1
+                for key in keys
+                if key not in state.done and key not in state.failed
+            )
+        return self._json(
+            200,
+            {
+                "sweep": sweep,
+                "cancelled": True,
+                "already_cancelled": False,
+                "points": len(keys),
+                "revoked": revoked,
+                "done_before_cancel": sum(
+                    1 for key in keys if key in state.done
+                ),
             },
         )
 
@@ -365,6 +626,7 @@ class ResultsService:
                 return self._json(
                     404, {"error": f"unknown sweep {sweep!r}"}
                 )
+            cancelled = sweep in state.cancelled
             done = sum(1 for key in keys if key in state.done)
             failed = sum(1 for key in keys if key in state.failed)
             pending = len(keys) - done - failed
@@ -374,8 +636,12 @@ class ResultsService:
                     "points": len(keys),
                     "done": done,
                     "failed": failed,
-                    "pending": pending,
-                    "complete": pending == 0,
+                    "pending": 0 if cancelled else pending,
+                    "cancelled": cancelled,
+                    # A cancelled sweep is never "complete": its
+                    # partial results exist in the store but must not
+                    # be mistaken for the finished grid.
+                    "complete": pending == 0 and not cancelled,
                 }
             )
             return self._json(200, progress)
@@ -390,20 +656,25 @@ class ResultsService:
                 ),
                 "pending": len(pending),
                 "sweeps": len(state.sweeps),
+                "cancelled": len(state.cancelled),
                 "complete": not pending,
             }
         )
         return self._json(200, progress)
 
     def _replayed_ledger(self):
-        """Replay the ledger, memoized on its (size, mtime) stamp."""
-        stat = self._ledger_path.stat()
-        stamp = (stat.st_size, stat.st_mtime_ns)
+        """Replay the ledger, memoized on its freshness stamp.
+
+        The stamp covers whichever layout backs the path -- one
+        ``(size, mtime)`` pair for a JSONL file, the sorted per-file
+        tuple for a sharded directory (so an appended shard, a fresh
+        snapshot, *and* a compaction that deleted shards all
+        invalidate it).
+        """
+        stamp = ledger_stamp(self._ledger_path)
         with self._replay_lock:
-            if stamp != self._replay_stamp:
-                self._replay_state = SweepLedger.replay_path(
-                    self._ledger_path
-                )
+            if stamp is None or stamp != self._replay_stamp:
+                self._replay_state = replay_ledger(self._ledger_path)
                 self._replay_stamp = stamp
             return self._replay_state
 
@@ -475,10 +746,14 @@ class ResultsService:
         return 200, "application/json", path.read_bytes()
 
     @staticmethod
-    def _json(status: int, payload: Any) -> tuple[int, str, bytes]:
+    def _json(
+        status: int,
+        payload: Any,
+        headers: Mapping[str, str] | None = None,
+    ) -> _Response:
         body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
-        return status, "application/json", body
+        return _Response(status, "application/json", body, headers)
 
     @staticmethod
-    def _text(status: int, text: str) -> tuple[int, str, bytes]:
-        return status, "text/plain; charset=utf-8", text.encode()
+    def _text(status: int, text: str) -> _Response:
+        return _Response(status, "text/plain; charset=utf-8", text.encode())

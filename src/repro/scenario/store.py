@@ -35,6 +35,7 @@ import tempfile
 import threading
 from typing import Any, Iterator
 
+from repro.distributed import faults
 from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
@@ -67,6 +68,7 @@ def atomic_write_json(path: str | pathlib.Path, payload: Any) -> None:
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    faults.inject("store.publish", path.name)
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     handle = tempfile.NamedTemporaryFile(
         "w",
@@ -103,7 +105,10 @@ class JsonlAppender:
     """
 
     def __init__(
-        self, path: str | pathlib.Path, fsync: bool = False
+        self,
+        path: str | pathlib.Path,
+        fsync: bool = False,
+        fault_site: str | None = None,
     ) -> None:
         self._path = pathlib.Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -111,6 +116,10 @@ class JsonlAppender:
             self._path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
         )
         self._fsync = fsync
+        # Injection point name for this appender's writes (the job
+        # ledger passes "ledger.append"); None keeps the appender
+        # outside every fault plan.
+        self._fault_site = fault_site
         self._repair_tail()
 
     def _repair_tail(self) -> None:
@@ -146,6 +155,24 @@ class JsonlAppender:
         merely-diagnostic ones pay the flush only where it matters).
         """
         data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        if self._fault_site is not None:
+            event = (
+                record.get("event", "") if isinstance(record, dict) else ""
+            )
+            rule = faults.inject(
+                self._fault_site, f"{event}@{self._path.name}"
+            )
+            if rule is not None:
+                if rule.action == faults.ACTION_DROP:
+                    return  # injected record loss: nothing hits the file
+                if rule.action == faults.ACTION_TORN:
+                    # Half a line and a dead writer: the artifact a
+                    # SIGKILL mid-append leaves.  The next appender's
+                    # boundary repair isolates it; replay skips it.
+                    os.write(self._fd, data[: max(1, len(data) // 2)])
+                    raise OSError(
+                        5, f"injected torn append to {self._path.name}"
+                    )
         written = os.write(self._fd, data)
         # A short write (ENOSPC mid-line) would tear the record and
         # make the *next* append merge with the fragment; push the

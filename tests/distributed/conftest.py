@@ -1,0 +1,21 @@
+"""Distributed-suite fixtures: fault-plan hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Every test starts and ends with no fault plan active.
+
+    A plan installed by one test firing inside another would be a
+    miserable ordering bug; and ``clear()`` also re-arms the
+    ``REPRO_FAULTS`` probe so env-driven subprocess tests stay
+    hermetic.
+    """
+    faults.clear()
+    yield
+    faults.clear()

@@ -157,6 +157,7 @@ def _ledger_complete(ledger, expected_keys) -> bool:
     return expected_keys <= state.done
 
 
+@pytest.mark.chaos
 @pytest.mark.parametrize("seed", [SEED])
 def test_chaos_schedule_converges_to_serial_bytes(tmp_path, seed):
     rng = random.Random(seed)

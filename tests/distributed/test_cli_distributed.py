@@ -138,10 +138,37 @@ class TestNewFlags:
         )
         assert str(args.store_dir) == "/shared/cache"
 
-    def test_coordinator_without_spec_or_watch_is_an_error(self, capsys):
+    def test_coordinator_without_spec_or_watch_is_an_error(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # chdir: the default --ledger is CWD-relative, and an existing
+        # ledger legitimately turns this invocation into a resume.
+        monkeypatch.chdir(tmp_path)
         code = main(["sweep-coordinator", "--port", "0"])
         assert code == 2
         assert "--watch" in capsys.readouterr().out
+
+    def test_coordinator_resumes_from_an_existing_ledger_without_spec(
+        self, capsys, tmp_path
+    ):
+        """The one-shot recovery invocation: no grid, just the ledger
+        -- the coordinator adopts its scheduled points and exits when
+        they drain (here: immediately, the ledger is empty)."""
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text("")
+        code = main(
+            [
+                "sweep-coordinator",
+                "--port",
+                "0",
+                "--ledger",
+                str(ledger),
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "sweep complete: 0/0 done" in capsys.readouterr().out
 
     def test_worker_side_store_through_the_cli(self, tmp_path, capsys):
         """The full CLI path with --store-dir: worker publishes, the

@@ -771,3 +771,83 @@ class TestSubmittedSweeps:
         assert asyncio.run(claim_once())["type"] == "wait"
         summary = driver.stop()
         assert summary["watch"] is True and summary["total"] == 0
+
+
+class TestCancellation:
+    """A cancel mid-sweep revokes leases and outlives in-flight work."""
+
+    def test_cancel_releases_leases_and_ignores_late_results(
+        self, tmp_path
+    ):
+        """While a point is leased, a ``cancelled`` record lands in the
+        ledger: the coordinator releases the lease immediately (no
+        point stays "leased" after a cancel) and the worker's late
+        RESULT frame is acked ``stored=False`` -- dropped, not an
+        error, not a requeue."""
+        from repro.distributed.ledger import SweepLedger
+        from repro.distributed.service import sweep_id
+
+        specs = grid_18()[:4]
+        keys = [spec.key() for spec in specs]
+        sweep = sweep_id(keys)
+        ledger = tmp_path / "ledger.jsonl"
+        with SweepLedger(ledger) as handle:
+            handle.record_scheduled(specs)
+            handle.record_submitted(sweep, keys, name="doomed")
+        driver = CoordinatorThread(
+            [],
+            cache_dir=tmp_path / "cache",
+            ledger_path=ledger,
+            watch=True,
+            poll_interval=0.05,
+        )
+
+        async def hold_a_lease_through_a_cancel() -> dict:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", driver.port
+            )
+            await write_frame(
+                writer, {"type": "hello", "worker": "holdout"}
+            )
+            await write_frame(writer, {"type": "claim"})
+            assignment = await read_frame(reader)
+            assert assignment["type"] == "assign"
+            # The cancel arrives while the point is leased out.
+            with SweepLedger(ledger) as handle:
+                handle.record_cancelled(sweep)
+            deadline = time.monotonic() + 10
+            while not driver.coordinator._cancelled:
+                assert time.monotonic() < deadline, "cancel never applied"
+                await asyncio.sleep(0.02)
+            # The "computation" finishes anyway; payload content is
+            # irrelevant -- a revoked key is dropped before validation.
+            await write_frame(
+                writer,
+                {
+                    "type": "result",
+                    "key": assignment["key"],
+                    "result": {"key": assignment["key"]},
+                },
+            )
+            reply = await read_frame(reader)
+            writer.close()
+            await writer.wait_closed()
+            return reply
+
+        reply = asyncio.run(hold_a_lease_through_a_cancel())
+        assert reply == {
+            "type": "ack",
+            "key": reply["key"],
+            "stored": False,
+        }
+        # No leased points survive the cancel.
+        assert driver.coordinator._lease_deadline == {}
+        assert driver.coordinator._assigned_conn == {}
+        summary = driver.stop()
+        assert summary["cancelled"] == 4
+        assert summary["done"] == 0 and summary["pending"] == 0
+        assert list((tmp_path / "cache").glob("*.json")) == []
+        # Replay agrees: nothing pending, nothing published.
+        state = SweepLedger.replay_path(ledger)
+        assert state.pending == set()
+        assert sweep in state.cancelled

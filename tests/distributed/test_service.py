@@ -357,7 +357,7 @@ class TestSubmit:
         with self.fresh(tmp_path) as service:
             status, reply = post(service, "/results", b"{}")
             assert status == 404
-            assert reply["routes"] == ["/submit"]
+            assert reply["routes"] == ["/submit", "/cancel"]
 
     def test_unknown_sweep_id_is_404(self, tmp_path):
         with self.fresh(tmp_path) as service:
@@ -406,3 +406,210 @@ class TestOversizedSubmit:
             assert "exceeds" in reply["error"]
             # The service stays healthy for the next (new) connection.
             assert get(service, "/healthz")[0] == 200
+
+
+def post_full(
+    service: ResultsService,
+    path: str,
+    body: bytes,
+    headers: dict | None = None,
+) -> tuple[int, dict, dict]:
+    """POST returning (status, response headers, parsed body)."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{service.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                dict(response.headers.items()),
+                json.loads(response.read()),
+            )
+    except urllib.error.HTTPError as error:
+        return (
+            error.code,
+            dict(error.headers.items()),
+            json.loads(error.read()),
+        )
+
+
+class TestCancel:
+    """``POST /cancel``: durable, idempotent sweep revocation."""
+
+    def submitted(self, tmp_path):
+        service = ResultsService(
+            tmp_path / "cache", ledger_path=tmp_path / "ledger.jsonl"
+        ).start()
+        _, reply = post(
+            service, "/submit", json.dumps(GRID_DOCUMENT).encode()
+        )
+        return service, reply["sweep"]
+
+    def test_cancel_revokes_and_is_idempotent(self, tmp_path):
+        service, sweep = self.submitted(tmp_path)
+        with service:
+            status, reply = post(
+                service, "/cancel", json.dumps({"sweep": sweep}).encode()
+            )
+            assert status == 200
+            assert reply["cancelled"] is True
+            assert reply["already_cancelled"] is False
+            assert reply["revoked"] == 6 and reply["points"] == 6
+            status, reply = post(
+                service, "/cancel", json.dumps({"sweep": sweep}).encode()
+            )
+            assert status == 200 and reply["already_cancelled"] is True
+            # Durable: the record survives in the ledger itself.
+            state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+            assert sweep in state.cancelled
+            assert state.pending == set()
+
+    def test_cancelled_sweep_is_never_complete(self, tmp_path):
+        service, sweep = self.submitted(tmp_path)
+        with service:
+            post(service, "/cancel", json.dumps({"sweep": sweep}).encode())
+            status, _, body = get(service, f"/progress?sweep={sweep}")
+            assert status == 200
+            progress = json.loads(body)
+            assert progress["cancelled"] is True
+            assert progress["complete"] is False
+            assert progress["pending"] == 0  # revoked, not in any queue
+            # The global view counts it too.
+            overall = json.loads(get(service, "/progress")[2])
+            assert overall["cancelled"] == 1
+
+    def test_resubmitting_a_cancelled_grid_is_409(self, tmp_path):
+        service, sweep = self.submitted(tmp_path)
+        with service:
+            post(service, "/cancel", json.dumps({"sweep": sweep}).encode())
+            status, reply = post(
+                service, "/submit", json.dumps(GRID_DOCUMENT).encode()
+            )
+            assert status == 409
+            assert reply["sweep"] == sweep
+            assert "cancelled" in reply["error"]
+
+    def test_unknown_sweep_is_404_and_bad_body_is_400(self, tmp_path):
+        service, _ = self.submitted(tmp_path)
+        with service:
+            status, reply = post(
+                service,
+                "/cancel",
+                json.dumps({"sweep": "0" * 64}).encode(),
+            )
+            assert status == 404
+            assert post(service, "/cancel", b"not json")[0] == 400
+            assert post(service, "/cancel", b"{}")[0] == 400
+
+
+class TestAuthToken:
+    """Shared-token auth on the mutating surface."""
+
+    def guarded(self, tmp_path):
+        return ResultsService(
+            tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+            auth_token="sesame",
+        ).start()
+
+    def test_posts_require_the_bearer_token(self, tmp_path):
+        body = json.dumps(GRID_DOCUMENT).encode()
+        with self.guarded(tmp_path) as service:
+            status, headers, reply = post_full(service, "/submit", body)
+            assert status == 401
+            assert headers["WWW-Authenticate"].startswith("Bearer")
+            assert "token" in reply["error"]
+            status, _, _ = post_full(
+                service,
+                "/submit",
+                body,
+                headers={"Authorization": "Bearer wrong"},
+            )
+            assert status == 401
+            status, _, reply = post_full(
+                service,
+                "/submit",
+                body,
+                headers={"Authorization": "Bearer sesame"},
+            )
+            assert status == 202 and reply["points"] == 6
+            # /cancel sits behind the same gate.
+            sweep = reply["sweep"]
+            assert post(service, "/cancel", b"{}")[0] == 401
+            status, _, reply = post_full(
+                service,
+                "/cancel",
+                json.dumps({"sweep": sweep}).encode(),
+                headers={"Authorization": "Bearer sesame"},
+            )
+            assert status == 200 and reply["cancelled"] is True
+
+    def test_reads_stay_open(self, tmp_path):
+        with self.guarded(tmp_path) as service:
+            assert get(service, "/healthz")[0] == 200
+            assert get(service, "/progress")[0] == 200
+
+
+class TestBackpressure:
+    def test_submit_is_503_with_retry_after_at_the_backlog_bound(
+        self, tmp_path
+    ):
+        with ResultsService(
+            tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+            max_backlog=4,
+        ).start() as service:
+            first = json.dumps(GRID_DOCUMENT).encode()
+            status, _, reply = post_full(service, "/submit", first)
+            assert status == 202  # backlog was empty at check time
+            other = dict(GRID_DOCUMENT, name="second-grid", seed=78)
+            status, headers, reply = post_full(
+                service, "/submit", json.dumps(other).encode()
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) > 0
+            assert reply["backlog"] == 6 and reply["max_backlog"] == 4
+            # The refused sweep left no trace in the ledger.
+            state = SweepLedger.replay_path(tmp_path / "ledger.jsonl")
+            assert len(state.scheduled) == 6
+            # /healthz shows the same pressure the 503 reported.
+            health = json.loads(get(service, "/healthz")[2])
+            assert health["backlog"] == 6
+            assert health["max_backlog"] == 4
+
+
+class TestHealthzGauges:
+    def test_sharded_ledger_gauges(self, tmp_path):
+        """On a sharded ledger /healthz exposes per-shard sizes, the
+        last-compaction stamp and the backlog depth."""
+        from repro.distributed.ledger import ShardedLedger
+
+        ledger = tmp_path / "ledger"  # directory: the sharded layout
+        with ResultsService(
+            tmp_path / "cache", ledger_path=ledger
+        ).start() as service:
+            _, reply = post(
+                service, "/submit", json.dumps(GRID_DOCUMENT).encode()
+            )
+            health = json.loads(get(service, "/healthz")[2])
+            assert health["backlog"] == 6
+            assert health["shard_count"] == 1
+            assert health["tail_bytes"] > 0
+            assert health["last_compaction"] is None
+            (shard_name,) = health["shards"]
+            assert health["shards"][shard_name] > 0
+
+            with ShardedLedger(ledger) as handle:
+                handle.compact()
+            health = json.loads(get(service, "/healthz")[2])
+            assert health["shard_count"] == 0
+            assert health["tail_bytes"] == 0
+            assert health["last_compaction"]["generation"] == 1
+            # The submitted sweep survived compaction intact.
+            progress = json.loads(
+                get(service, f"/progress?sweep={reply['sweep']}")[2]
+            )
+            assert progress["points"] == 6
