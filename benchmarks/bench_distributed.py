@@ -40,6 +40,15 @@ record is interpretable on its own.
   ledger from its compacted snapshot must beat the full line-by-line
   replay by >= :data:`MIN_COMPACTED_REPLAY_SPEEDUP`.
 
+* ``BENCH_9.json`` -- the telemetry gate, in two halves: (1) the same
+  serial batch sweep with span emission off vs on (best-of-N per arm,
+  alternated) must stay within :data:`MAX_TELEMETRY_OVERHEAD`, so the
+  instrumentation can ship enabled; (2) a warm ``GET /metrics`` scrape
+  over a >= 10^4-point store backed by a compacted sharded ledger must
+  answer within :data:`MAX_SCRAPE_SECONDS` -- gauges fold from the
+  memoized ledger replay, so a scrape is a stat plus a render, not a
+  re-parse.
+
 ``BENCH_SMOKE=1`` shrinks the grid so CI finishes in seconds; the perf
 record is then labelled ``"smoke": true`` and must not be committed.
 """
@@ -702,6 +711,198 @@ def test_self_healing_recovery_and_compacted_replay(
     )
 
 
+# -- telemetry overhead + scrape gate (BENCH_9) ------------------------------
+
+#: Telemetry A/B sweep: identical batch points, serial runner, no
+#: cache -- so every round recomputes and the only difference between
+#: the arms is span emission (a handful of O_APPEND JSONL writes).
+TELEMETRY_GRID_POINTS = 4
+TELEMETRY_POINT_RUNS = 30_000 if SMOKE else 120_000
+#: Best-of rounds per arm, alternated so drift hits both equally.
+TELEMETRY_ROUNDS = 3
+#: The tentpole gate: instrumentation left on must cost <= 3%.
+MAX_TELEMETRY_OVERHEAD = 1.03
+#: A /metrics scrape over a >= 10^4-point store + compacted ledger.
+SCRAPE_ROUNDS = 10
+MAX_SCRAPE_SECONDS = 0.050
+
+
+def _telemetry_grid() -> list[ScenarioSpec]:
+    base = ScenarioSpec(
+        name="telemetry-bench",
+        params=PARAMS,
+        engine="batch",
+        runs=TELEMETRY_POINT_RUNS,
+        seed=211,
+    )
+    return SweepSpec(
+        base=base,
+        axes=(("seed", tuple(range(211, 211 + TELEMETRY_GRID_POINTS))),),
+    ).expand()
+
+
+def run_telemetry_overhead_benchmark(tmp: pathlib.Path) -> dict:
+    """Same sweep with span emission off vs on, best-of-N each arm."""
+    from repro.obs import trace
+
+    specs = _telemetry_grid()
+    telemetry = tmp / "telemetry"
+
+    def run_once() -> float:
+        start = time.perf_counter()
+        SweepRunner(cache_dir=None).sweep(specs)
+        return time.perf_counter() - start
+
+    # Warm the row caches so neither arm pays first-build assembly.
+    trace.configure(None)
+    run_once()
+    off_timings: list[float] = []
+    on_timings: list[float] = []
+    try:
+        for _ in range(TELEMETRY_ROUNDS):
+            trace.configure(None)
+            off_timings.append(run_once())
+            trace.configure(telemetry)
+            on_timings.append(run_once())
+    finally:
+        trace.configure(None)
+    spans = [
+        record
+        for record in trace.read_spans(telemetry)
+        if record["name"] == "runner.point"
+    ]
+    assert len(spans) == TELEMETRY_GRID_POINTS * TELEMETRY_ROUNDS
+    return {
+        "grid_points": TELEMETRY_GRID_POINTS,
+        "runs_per_point": TELEMETRY_POINT_RUNS,
+        "rounds_per_arm": TELEMETRY_ROUNDS,
+        "telemetry_off_seconds": min(off_timings),
+        "telemetry_on_seconds": min(on_timings),
+        "overhead_ratio": min(on_timings) / min(off_timings),
+        "spans_emitted": len(spans),
+    }
+
+
+def run_scrape_benchmark(tmp: pathlib.Path) -> dict:
+    """A warm ``GET /metrics`` over a >= 10^4-point store backed by a
+    compacted sharded ledger -- the steady-state monitoring scrape."""
+    from repro.distributed.ledger import ShardedLedger
+
+    cache = tmp / "scrape-store"
+    build_seconds = build_synthetic_store(cache, PAGE_STORE_POINTS)
+    root = tmp / "scrape-ledger"
+    with ShardedLedger(root) as ledger:
+        for index in range(PAGE_STORE_POINTS):
+            key = f"{index:064d}"
+            ledger._append(
+                {"event": "scheduled", "key": key, "spec": {"name": key}},
+                fsync=False,
+            )
+            ledger._append(
+                {"event": "done", "key": key, "worker": "bench"},
+                fsync=False,
+            )
+        ledger.compact()
+    with ResultsService(cache, ledger_path=root).start() as service:
+        base = f"http://127.0.0.1:{service.port}"
+
+        def scrape() -> bytes:
+            with urllib.request.urlopen(
+                base + "/metrics", timeout=30
+            ) as reply:
+                assert reply.status == 200
+                return reply.read()
+
+        body = scrape()  # cold: pays the one-off index fold + replay
+        timings = []
+        for _ in range(SCRAPE_ROUNDS):
+            start = time.perf_counter()
+            body = scrape()
+            timings.append(time.perf_counter() - start)
+    text = body.decode()
+    assert f"repro_store_results {PAGE_STORE_POINTS}" in text
+    assert f"repro_ledger_done {PAGE_STORE_POINTS}" in text
+    assert "# TYPE repro_http_request_seconds histogram" in text
+    return {
+        "store_points": PAGE_STORE_POINTS,
+        "store_build_seconds": build_seconds,
+        "ledger_events": 2 * PAGE_STORE_POINTS,
+        "scrape_rounds": SCRAPE_ROUNDS,
+        "scrape_seconds": min(timings),
+        "scrape_bytes": len(body),
+    }
+
+
+def test_telemetry_overhead_and_scrape_latency(
+    benchmark, report, json_report, tmp_path
+):
+    def run_both(tmp: pathlib.Path) -> dict:
+        return {
+            "overhead": run_telemetry_overhead_benchmark(tmp),
+            "scrape": run_scrape_benchmark(tmp),
+        }
+
+    measurements = benchmark.pedantic(
+        run_both, args=(tmp_path,), rounds=1, iterations=1
+    )
+    overhead = measurements["overhead"]
+    scrape = measurements["scrape"]
+    ratio = overhead["overhead_ratio"]
+    assert ratio <= MAX_TELEMETRY_OVERHEAD, (
+        f"telemetry-on sweep is {ratio:.3f}x telemetry-off "
+        f"(gate: {MAX_TELEMETRY_OVERHEAD}x over "
+        f"{overhead['grid_points']} x {overhead['runs_per_point']} runs)"
+    )
+    seconds = scrape["scrape_seconds"]
+    assert seconds <= MAX_SCRAPE_SECONDS, (
+        f"/metrics scrape took {seconds * 1e3:.1f} ms over a "
+        f"{scrape['store_points']}-point store "
+        f"(gate: {MAX_SCRAPE_SECONDS * 1e3:.0f} ms)"
+    )
+    report(
+        "telemetry",
+        render_table(
+            ["measure", "value"],
+            [
+                [
+                    "sweep, telemetry off (best of "
+                    f"{overhead['rounds_per_arm']})",
+                    f"{overhead['telemetry_off_seconds']:.3f} s",
+                ],
+                [
+                    "sweep, telemetry on",
+                    f"{overhead['telemetry_on_seconds']:.3f} s "
+                    f"({ratio:.3f}x)",
+                ],
+                [
+                    f"/metrics scrape ({scrape['store_points']}-point "
+                    "store, warm)",
+                    f"{seconds * 1e3:.1f} ms",
+                ],
+            ],
+            title=(
+                f"Telemetry: {overhead['grid_points']} points x "
+                f"{overhead['runs_per_point']} runs per arm; "
+                f"{overhead['spans_emitted']} spans emitted"
+            ),
+        ),
+    )
+    json_report(
+        "BENCH_9.json",
+        {
+            "benchmark": "telemetry",
+            "smoke": SMOKE,
+            "gate": {
+                "max_overhead_ratio": MAX_TELEMETRY_OVERHEAD,
+                "overhead_ratio": ratio,
+                "max_scrape_seconds": MAX_SCRAPE_SECONDS,
+                "scrape_seconds": seconds,
+            },
+            **measurements,
+        },
+    )
+
+
 if __name__ == "__main__":
     import tempfile
 
@@ -716,6 +917,17 @@ if __name__ == "__main__":
                 {
                     "recovery": run_recovery_benchmark(path / "heal"),
                     "replay": run_replay_benchmark(path / "heal"),
+                },
+                indent=2,
+            )
+        )
+        print(
+            json.dumps(
+                {
+                    "overhead": run_telemetry_overhead_benchmark(
+                        path / "telemetry"
+                    ),
+                    "scrape": run_scrape_benchmark(path / "telemetry"),
                 },
                 indent=2,
             )

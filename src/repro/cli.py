@@ -32,6 +32,9 @@ With ``--watch`` the coordinator becomes a resident service fed by
     curl -X POST -H 'Content-Type: application/toml' \
         --data-binary @examples/scenarios/cross_product.toml \
         http://localhost:8080/submit
+
+``repro trace <sweep-id>`` joins the ledger with the span telemetry
+(``$REPRO_TELEMETRY``) into a per-point timeline of a submitted sweep.
 """
 
 from __future__ import annotations
@@ -246,14 +249,21 @@ _RUNNERS = {
 # -- scenario subcommand -----------------------------------------------------
 
 def _metrics_line(metrics: dict[str, float], limit: int = 6) -> str:
+    """First ``limit`` metrics as ``key=value`` tokens.
+
+    Per-operation ``op:*`` metrics are noise at sweep-table granularity,
+    so they only fill slots left over after every summary metric (the
+    sort is stable, so each group keeps its insertion order).  A spec
+    whose metrics are *all* per-operation still renders them instead of
+    an empty cell -- previously the filter dropped them whenever the
+    dict was larger than ``limit``, regardless of what else it held.
+    """
+    ordered = sorted(metrics, key=lambda key: key.startswith("op:"))
     parts = []
-    for key, value in metrics.items():
-        if key.startswith("op:") and len(metrics) > limit:
-            continue
+    for key in ordered[:limit]:
+        value = metrics[key]
         rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
         parts.append(f"{key}={rendered}")
-        if len(parts) >= limit:
-            break
     return " ".join(parts)
 
 
@@ -525,6 +535,33 @@ def _run_serve(arguments) -> int:
     return 0
 
 
+def _run_trace(arguments) -> int:
+    """``repro trace``: reconstruct one sweep's per-point timeline."""
+    from repro.obs.timeline import build_timeline, render_timeline
+    from repro.obs.trace import telemetry_dir
+
+    telemetry = arguments.telemetry
+    if telemetry is None:
+        telemetry = telemetry_dir()
+    if not arguments.ledger.exists():
+        print(f"no ledger at {arguments.ledger}")
+        return 2
+    try:
+        timeline = build_timeline(
+            arguments.sweep, arguments.ledger, telemetry
+        )
+    except KeyError as error:
+        print(error.args[0] if error.args else str(error))
+        return 1
+    print(
+        render_timeline(
+            timeline,
+            slow=arguments.slow if arguments.slow > 0 else None,
+        )
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -784,6 +821,39 @@ def build_parser() -> argparse.ArgumentParser:
             "(0 disables; default: 0)"
         ),
     )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help=(
+            "reconstruct one submitted sweep's per-point timeline from "
+            "the ledger and the span telemetry"
+        ),
+    )
+    trace.add_argument(
+        "sweep", help="sweep id (or any unambiguous prefix)"
+    )
+    trace.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        default=default_ledger,
+        help=f"job ledger to replay (default: {default_ledger})",
+    )
+    trace.add_argument(
+        "--telemetry",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "span JSONL directory written by instrumented processes "
+            "(default: $REPRO_TELEMETRY; timelines degrade to "
+            "ledger-only columns without it)"
+        ),
+    )
+    trace.add_argument(
+        "--slow",
+        type=int,
+        default=0,
+        help="show only the N slowest points by total wall time",
+    )
     return parser
 
 
@@ -798,6 +868,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_worker_command(arguments)
     if arguments.experiment == "serve":
         return _run_serve(arguments)
+    if arguments.experiment == "trace":
+        return _run_trace(arguments)
     names = EXPERIMENTS if arguments.experiment == "all" else (arguments.experiment,)
     for name in names:
         print(f"=== {name} ===")

@@ -80,10 +80,47 @@ from repro.distributed.protocol import (
     read_frame,
     write_frame,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import new_trace_id, span as obs_span
 from repro.scenario.spec import ScenarioSpec, SweepSpec
 from repro.scenario.store import result_path, store_result
 
 __all__ = ["SweepCoordinator"]
+
+_ASSIGNED = obs_metrics.counter(
+    "repro_coordinator_assigned_total",
+    "Points assigned to workers by this coordinator",
+)
+_RESULTS = obs_metrics.counter(
+    "repro_coordinator_results_total",
+    "Results accepted, by arrival kind",
+    ("kind",),
+)
+_REQUEUED = obs_metrics.counter(
+    "repro_coordinator_requeued_total",
+    "Points reclaimed from workers, by reason",
+    ("reason",),
+)
+_FAILED = obs_metrics.counter(
+    "repro_coordinator_failed_total",
+    "Points that reached terminal failure",
+)
+_PUBLISH_RETRIES = obs_metrics.counter(
+    "repro_coordinator_publish_retries_total",
+    "Store publishes that failed and requeued their point",
+)
+_COMPACTIONS = obs_metrics.counter(
+    "repro_ledger_compactions_total",
+    "Sharded-ledger compactions run by this process",
+)
+_PENDING = obs_metrics.gauge(
+    "repro_coordinator_pending",
+    "Points currently queued, awaiting assignment",
+)
+_IN_FLIGHT = obs_metrics.gauge(
+    "repro_coordinator_in_flight",
+    "Points currently assigned to a worker",
+)
 
 #: Seconds a worker is told to sleep when every point is in flight.
 WAIT_DELAY = 0.2
@@ -203,6 +240,11 @@ class SweepCoordinator:
         self._cancelled: set[str] = set()
         self._cancelled_sweeps: set[str] = set()
         self._sweep_keys: dict[str, tuple[str, ...]] = {}
+        # Telemetry trace id per key: learned from the ledger (the
+        # submit service mints one per sweep), minted here for the
+        # points of this coordinator's own spec file.  Carried on
+        # every ASSIGN frame and every lifecycle ledger record.
+        self._trace_by_key: dict[str, str] = {}
         # Compact the sharded ledger whenever its uncompacted shard
         # bytes exceed this (None disables; ignored for file ledgers).
         if compact_tail_bytes is not None and compact_tail_bytes <= 0:
@@ -305,6 +347,7 @@ class SweepCoordinator:
         if self._ledger is not None:
             state = self._ledger.replay()
             previously_done = state.done
+            self._trace_by_key.update(state.traces)
             # The ledger is the durable queue, not a mirror of this
             # coordinator's spec file: points scheduled into it by a
             # ``POST /submit`` (or a predecessor run over a different
@@ -335,9 +378,34 @@ class SweepCoordinator:
             self._sweep_keys.update(state.sweeps)
             for sweep in state.cancelled:
                 self._apply_cancel(sweep)
+            # Stale claims die with the predecessor's connections, so
+            # replay already treats them as pending -- but the timeline
+            # deserves the attribution, so each one gets a durable
+            # requeued record naming the worker whose claim a restart
+            # reclaimed.
+            for key, worker in state.claims.items():
+                if (
+                    key not in self._by_key
+                    or key in state.done
+                    or key in state.failed
+                    or key in self._cancelled
+                ):
+                    continue
+                self._ledger.record_requeued(
+                    key,
+                    worker,
+                    reason="coordinator-restart",
+                    trace=self._trace_by_key.get(key),
+                )
+                _REQUEUED.inc(reason="coordinator-restart")
+            self._mint_traces()
             self._ledger.record_scheduled(
-                self._specs, already_scheduled=set(state.scheduled)
+                self._specs,
+                already_scheduled=set(state.scheduled),
+                traces=self._trace_by_key,
             )
+        else:
+            self._mint_traces()
         queued: set[str] = set()
         for spec in self._specs:
             key = spec.key()
@@ -360,7 +428,12 @@ class SweepCoordinator:
                 self._done.add(key)
                 self._from_cache += 1
                 if self._ledger is not None:
-                    self._ledger.record_done(key, worker="cache")
+                    self._ledger.record_done(
+                        key,
+                        worker="cache",
+                        trace=self._trace_by_key.get(key),
+                    )
+                _RESULTS.inc(kind="cache")
             elif key in self._failed:
                 continue  # terminal failure with no result to trust
             elif key in self._cancelled:
@@ -368,6 +441,25 @@ class SweepCoordinator:
             else:
                 queued.add(key)
                 self._pending.append(key)
+        self._update_queue_gauges()
+
+    def _mint_traces(self) -> None:
+        """One trace id per coordinator run for untraced spec-file
+        points (submitted sweeps arrive with their own, minted by the
+        service -- first writer wins, so a resumed run keeps ids)."""
+        untraced = [
+            spec.key()
+            for spec in self._specs
+            if spec.key() not in self._trace_by_key
+        ]
+        if untraced:
+            run_trace = new_trace_id()
+            for key in untraced:
+                self._trace_by_key[key] = run_trace
+
+    def _update_queue_gauges(self) -> None:
+        _PENDING.set(len(self._pending))
+        _IN_FLIGHT.set(len(self._in_flight))
 
     def _outstanding(self) -> int:
         # Cancelled keys are terminal for completion purposes (the
@@ -460,6 +552,18 @@ class SweepCoordinator:
                     and key not in self._cancelled
                 ):
                     self._pending.append(key)
+                    # Durable attribution: the timeline (and a replayed
+                    # /metrics) can pin the retry on the worker whose
+                    # connection died.
+                    if self._ledger is not None:
+                        self._ledger.record_requeued(
+                            key,
+                            conn.worker,
+                            reason="connection-lost",
+                            trace=self._trace_by_key.get(key),
+                        )
+                    _REQUEUED.inc(reason="connection-lost")
+            self._update_queue_gauges()
             self._maybe_complete()
             writer.close()
             try:
@@ -492,15 +596,20 @@ class SweepCoordinator:
                 )
                 self._assigned_conn[key] = conn
             if self._ledger is not None:
-                self._ledger.record_claimed(key, conn.worker)
-            await write_frame(
-                conn.writer,
-                {
-                    "type": "assign",
-                    "key": key,
-                    "spec": self._by_key[key].to_dict(),
-                },
-            )
+                self._ledger.record_claimed(
+                    key, conn.worker, trace=self._trace_by_key.get(key)
+                )
+            _ASSIGNED.inc()
+            self._update_queue_gauges()
+            assign_frame: dict[str, Any] = {
+                "type": "assign",
+                "key": key,
+                "spec": self._by_key[key].to_dict(),
+            }
+            trace = self._trace_by_key.get(key)
+            if trace is not None:
+                assign_frame["trace"] = trace
+            await write_frame(conn.writer, assign_frame)
             return
         if not self._stopped and (self._outstanding() > 0 or self._watch):
             await write_frame(
@@ -557,8 +666,13 @@ class SweepCoordinator:
                 self._pending.append(key)
                 if self._ledger is not None:
                     self._ledger.record_requeued(
-                        key, worker, reason="lease-expired"
+                        key,
+                        worker,
+                        reason="lease-expired",
+                        trace=self._trace_by_key.get(key),
                     )
+                _REQUEUED.inc(reason="lease-expired")
+                self._update_queue_gauges()
 
     # -- watch mode: the ledger is the inbox ---------------------------------
 
@@ -618,17 +732,26 @@ class SweepCoordinator:
             spec = self._adopt_spec(key, wire)
             if spec is None:
                 continue
+            trace = record.get("trace")
+            if isinstance(trace, str):
+                self._trace_by_key.setdefault(key, trace)
             if result_path(self._cache_dir, spec).exists():
                 # Someone already computed this point (a serial run, a
                 # previous sweep): existence is completion.
                 self._done.add(spec.key())
                 self._from_cache += 1
                 if self._ledger is not None:
-                    self._ledger.record_done(spec.key(), worker="cache")
+                    self._ledger.record_done(
+                        spec.key(),
+                        worker="cache",
+                        trace=self._trace_by_key.get(key),
+                    )
+                _RESULTS.inc(kind="cache")
             elif spec.key() in self._cancelled:
                 continue  # scheduled after its sweep was revoked
             else:
                 self._pending.append(spec.key())
+                self._update_queue_gauges()
 
     def _maybe_compact(self) -> None:
         """Fold the sharded ledger into its snapshot once the
@@ -644,6 +767,7 @@ class SweepCoordinator:
             return
         if self._ledger.tail_size() >= self._compact_tail_bytes:
             self._ledger.compact()
+            _COMPACTIONS.inc()
 
     def _apply_cancel(self, sweep: str) -> None:
         """Revoke every live point of ``sweep`` (absorbing, idempotent).
@@ -747,14 +871,26 @@ class SweepCoordinator:
             return
         if key not in self._done:
             elapsed = message.get("elapsed")
+            trace = self._trace_by_key.get(key) or message.get("trace")
 
             def publish() -> None:
                 # Publish first, ledger second: "done" implies readable.
-                store_result(
-                    self._cache_dir, spec, ScenarioResult.from_dict(payload)
-                )
+                with obs_span(
+                    "coordinator.publish",
+                    trace=trace,
+                    key=key,
+                    worker=worker,
+                ):
+                    store_result(
+                        self._cache_dir,
+                        spec,
+                        ScenarioResult.from_dict(payload),
+                        trace=trace,
+                    )
                 if self._ledger is not None:
-                    self._ledger.record_done(key, worker, elapsed=elapsed)
+                    self._ledger.record_done(
+                        key, worker, elapsed=elapsed, trace=trace
+                    )
 
             def validate_ref() -> None:
                 # The worker claims it already published the store
@@ -774,7 +910,9 @@ class SweepCoordinator:
                         f"result of {key[:12]}"
                     )
                 if self._ledger is not None:
-                    self._ledger.record_done(key, worker, elapsed=elapsed)
+                    self._ledger.record_done(
+                        key, worker, elapsed=elapsed, trace=trace
+                    )
 
             try:
                 # Off the event loop: the store publish and the ledger
@@ -794,6 +932,7 @@ class SweepCoordinator:
                     self._release_lease(key)
                     self._in_flight.pop(key, None)
                     self._publish_retries[key] += 1
+                    _PUBLISH_RETRIES.inc()
                     if self._publish_retries[key] >= PUBLISH_RETRY_LIMIT:
                         # Persistent: recompute/republish cycles would
                         # livelock the fleet.  Terminal failure.
@@ -804,9 +943,13 @@ class SweepCoordinator:
                         )
                         self._failed[key] = detail
                         if self._ledger is not None:
-                            self._ledger.record_failed(key, worker, detail)
+                            self._ledger.record_failed(
+                                key, worker, detail, trace=trace
+                            )
+                        _FAILED.inc()
                         if self._outstanding() == 0:
                             self._complete_time = time.perf_counter()
+                        self._update_queue_gauges()
                         self._maybe_complete()
                         await write_frame(
                             writer,
@@ -814,6 +957,7 @@ class SweepCoordinator:
                         )
                         return
                     self._pending.append(key)
+                    self._update_queue_gauges()
                 await write_frame(
                     writer,
                     {
@@ -836,12 +980,14 @@ class SweepCoordinator:
             self._failed.pop(key, None)
             self._done.add(key)
             self._computed_by[worker] += 1
+            _RESULTS.inc(kind="result-ref" if by_ref else "result")
         if key in assigned:
             assigned.discard(key)
             self._release_lease(key)
             self._in_flight.pop(key, None)
         if self._outstanding() == 0:
             self._complete_time = time.perf_counter()
+        self._update_queue_gauges()
         self._maybe_complete()
         await write_frame(writer, {"type": "ack", "key": key})
 
@@ -863,7 +1009,11 @@ class SweepCoordinator:
         error = str(message.get("error", "unknown error"))
         self._failed[key] = error
         if self._ledger is not None:
-            self._ledger.record_failed(key, conn.worker, error)
+            self._ledger.record_failed(
+                key, conn.worker, error, trace=self._trace_by_key.get(key)
+            )
+        _FAILED.inc()
+        self._update_queue_gauges()
         if self._outstanding() == 0:
             # The compute window closes on the last *terminal* event,
             # successful or not.

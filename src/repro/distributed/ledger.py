@@ -60,7 +60,7 @@ import pathlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.distributed import faults
 from repro.scenario.spec import ScenarioSpec
@@ -72,6 +72,7 @@ __all__ = [
     "SweepLedger",
     "fold_record",
     "is_sharded",
+    "iter_ledger_records",
     "ledger_stamp",
     "open_ledger",
     "replay_ledger",
@@ -119,6 +120,18 @@ class LedgerState:
     claims: dict[str, str] = field(default_factory=dict)
     sweeps: dict[str, tuple[str, ...]] = field(default_factory=dict)
     cancelled: set[str] = field(default_factory=set)
+    # Telemetry views, excluded from equality: ``traces`` maps each key
+    # to the trace id minted at its submit (first record wins, and a
+    # key's records all carry the same trace -- but events split across
+    # shards fold in shard order, not append order, so like ``claims``
+    # these are diagnostics, not operative state); ``requeues`` counts
+    # requeued events per key with at-least-once semantics (a crash
+    # between a compaction's snapshot publish and its shard deletions
+    # legitimately folds a shard twice, so the count may over-report
+    # across that window -- fine for a monitoring counter, which is why
+    # it must never participate in replay-equality invariants).
+    traces: dict[str, str] = field(default_factory=dict, compare=False)
+    requeues: dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def cancelled_keys(self) -> set[str]:
@@ -181,12 +194,16 @@ def fold_record(
     key = record.get("key")
     if event not in _EVENTS or not isinstance(key, str):
         raise ValueError(f"{source}: malformed ledger record {record!r}")
+    trace = record.get("trace")
+    if isinstance(trace, str):
+        state.traces.setdefault(key, trace)
     if event == EVENT_SCHEDULED:
         state.scheduled.setdefault(key, record.get("spec", {}))
     elif event == EVENT_CLAIMED:
         state.claims[key] = record.get("worker", "?")
     elif event == EVENT_REQUEUED:
         state.claims.pop(key, None)
+        state.requeues[key] = state.requeues.get(key, 0) + 1
     elif event == EVENT_DONE:
         state.done.add(key)
         state.claims.pop(key, None)
@@ -207,6 +224,8 @@ def _state_to_dict(state: LedgerState) -> dict[str, Any]:
         "claims": state.claims,
         "sweeps": {sweep: list(keys) for sweep, keys in state.sweeps.items()},
         "cancelled": sorted(state.cancelled),
+        "traces": state.traces,
+        "requeues": state.requeues,
     }
 
 
@@ -221,6 +240,11 @@ def _state_from_dict(payload: dict[str, Any]) -> LedgerState:
             for sweep, keys in payload.get("sweeps", {}).items()
         },
         cancelled=set(payload.get("cancelled", [])),
+        traces=dict(payload.get("traces", {})),
+        requeues={
+            key: int(count)
+            for key, count in payload.get("requeues", {}).items()
+        },
     )
 
 
@@ -258,6 +282,29 @@ def replay_ledger(path: str | pathlib.Path) -> LedgerState:
     if is_sharded(path):
         return _replay_dir(path)
     return _replay_file(path)
+
+
+def iter_ledger_records(
+    path: str | pathlib.Path,
+) -> Iterator[Mapping[str, Any]]:
+    """Yield every *raw* surviving ledger record (no folding).
+
+    For consumers that need the per-event fields replay discards --
+    the ``ts`` stamps the timeline joins on, requeue reasons, elapsed
+    times.  A sharded ledger yields only its uncompacted shard events
+    (compaction folds the rest into the snapshot, erasing the raw
+    lines by design); torn tails are skipped, same as replay.
+    """
+    path = pathlib.Path(path)
+    if is_sharded(path):
+        shards = path / SHARD_DIR_NAME
+        files = sorted(shards.glob("*.jsonl")) if shards.is_dir() else []
+    else:
+        files = [path]
+    for file in files:
+        for record in read_jsonl(file, strict=False):
+            if isinstance(record, dict):
+                yield record
 
 
 def ledger_stamp(path: str | pathlib.Path):
@@ -383,6 +430,7 @@ class SweepLedger:
         specs: Iterable[ScenarioSpec],
         already_scheduled: set[str] | None = None,
         sweep: str | None = None,
+        traces: Mapping[str, str] | None = None,
     ) -> None:
         """Schedule points (skipping keys this ledger already holds).
 
@@ -390,7 +438,9 @@ class SweepLedger:
         ledger pass the known keys instead of paying a second full
         replay here; ``sweep`` labels the records with the submitting
         sweep id (and, in the sharded layout, routes them to its
-        shard).
+        shard); ``traces`` maps keys to the trace ids minted at
+        submit, stamped onto the records so the ids survive any crash
+        the sweep itself survives.
         """
         if already_scheduled is None:
             already_scheduled = set(self.replay().scheduled)
@@ -405,30 +455,45 @@ class SweepLedger:
             }
             if sweep is not None:
                 record["sweep"] = sweep
+            if traces is not None and key in traces:
+                record["trace"] = traces[key]
             self._append(record)
 
-    def record_claimed(self, key: str, worker: str) -> None:
+    def record_claimed(
+        self, key: str, worker: str, trace: str | None = None
+    ) -> None:
         """A worker claimed ``key``."""
-        self._append({"event": EVENT_CLAIMED, "key": key, "worker": worker})
+        record = {"event": EVENT_CLAIMED, "key": key, "worker": worker}
+        if trace is not None:
+            record["trace"] = trace
+        self._append(record)
 
     def record_requeued(
-        self, key: str, worker: str, reason: str = "lease-expired"
+        self,
+        key: str,
+        worker: str,
+        reason: str = "lease-expired",
+        trace: str | None = None,
     ) -> None:
         """The coordinator reclaimed ``key`` from ``worker``.
 
         No fsync: losing this record costs nothing on resume (a claim
         with no terminal event replays as pending either way); the
         record exists so a *live* replay agrees with the coordinator's
-        queue, and as the audit trail of lease expiries.
+        queue, and as the audit trail of lease expiries -- which is
+        also why, unlike the other lifecycle events, it carries a
+        ``reason`` (``lease-expired``, ``connection-lost``,
+        ``coordinator-restart``) for the timeline to attribute.
         """
-        self._append(
-            {
-                "event": EVENT_REQUEUED,
-                "key": key,
-                "worker": worker,
-                "reason": reason,
-            }
-        )
+        record: dict[str, Any] = {
+            "event": EVENT_REQUEUED,
+            "key": key,
+            "worker": worker,
+            "reason": reason,
+        }
+        if trace is not None:
+            record["trace"] = trace
+        self._append(record)
 
     def record_submitted(
         self,
@@ -465,25 +530,37 @@ class SweepLedger:
         )
 
     def record_done(
-        self, key: str, worker: str, elapsed: float | None = None
+        self,
+        key: str,
+        worker: str,
+        elapsed: float | None = None,
+        trace: str | None = None,
     ) -> None:
         """``key`` finished and its result is durably stored."""
-        record = {"event": EVENT_DONE, "key": key, "worker": worker}
+        record: dict[str, Any] = {
+            "event": EVENT_DONE,
+            "key": key,
+            "worker": worker,
+        }
         if elapsed is not None:
             record["elapsed"] = float(elapsed)
+        if trace is not None:
+            record["trace"] = trace
         self._append(record, fsync=True)
 
-    def record_failed(self, key: str, worker: str, error: str) -> None:
+    def record_failed(
+        self, key: str, worker: str, error: str, trace: str | None = None
+    ) -> None:
         """``key`` raised while executing (terminal: not requeued)."""
-        self._append(
-            {
-                "event": EVENT_FAILED,
-                "key": key,
-                "worker": worker,
-                "error": str(error),
-            },
-            fsync=True,
-        )
+        record: dict[str, Any] = {
+            "event": EVENT_FAILED,
+            "key": key,
+            "worker": worker,
+            "error": str(error),
+        }
+        if trace is not None:
+            record["trace"] = trace
+        self._append(record, fsync=True)
 
     def _append(
         self,
@@ -492,7 +569,10 @@ class SweepLedger:
         sweep: str | None = None,
     ) -> None:
         # ``sweep`` is routing advice for the sharded subclass; the
-        # single file ignores it.
+        # single file ignores it.  Every record is wall-clock stamped
+        # at append time -- the raw-record timestamps the timeline's
+        # queue-wait/total columns are computed from.
+        record.setdefault("ts", round(time.time(), 6))
         self._appender.append(record, fsync=fsync)
 
     def close(self) -> None:
@@ -646,6 +726,7 @@ class ShardedLedger(SweepLedger):
         fsync: bool | None = None,
         sweep: str | None = None,
     ) -> None:
+        record.setdefault("ts", round(time.time(), 6))
         if sweep is not None:
             shard = self._shard_name(sweep)
             if record.get("event") == EVENT_SUBMITTED:
@@ -663,6 +744,7 @@ class ShardedLedger(SweepLedger):
         specs: Iterable[ScenarioSpec],
         already_scheduled: set[str] | None = None,
         sweep: str | None = None,
+        traces: Mapping[str, str] | None = None,
     ) -> None:
         if sweep is not None:
             # Route the whole batch (and all later lifecycle events of
@@ -675,17 +757,17 @@ class ShardedLedger(SweepLedger):
                 key = spec.key()
                 if key in already_scheduled:
                     continue
-                self._append(
-                    {
-                        "event": EVENT_SCHEDULED,
-                        "key": key,
-                        "spec": spec.to_dict(),
-                        "sweep": sweep,
-                    },
-                    sweep=sweep,
-                )
+                record: dict[str, Any] = {
+                    "event": EVENT_SCHEDULED,
+                    "key": key,
+                    "spec": spec.to_dict(),
+                    "sweep": sweep,
+                }
+                if traces is not None and key in traces:
+                    record["trace"] = traces[key]
+                self._append(record, sweep=sweep)
             return
-        super().record_scheduled(specs, already_scheduled, sweep=None)
+        super().record_scheduled(specs, already_scheduled, sweep=None, traces=traces)
 
     def close(self) -> None:
         with self._lock:

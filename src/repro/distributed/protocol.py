@@ -27,6 +27,13 @@ Message vocabulary (the ``type`` field):
 ``shutdown``    coordinator -> worker: sweep complete, disconnect
 ==============  =============================================================
 
+Telemetry rides the same frames: ``assign`` carries the ``trace`` id
+minted when the point's sweep was submitted, and the worker echoes it
+back on ``claim`` (the trace of its previous assignment), ``result``,
+``result-ref``, ``failed`` and ``heartbeat`` -- so a frame capture,
+the ledger and the span JSONL all join on one id.  ``trace`` is
+optional everywhere: a telemetry-unaware peer interoperates untouched.
+
 Framing is symmetric: both ends speak :func:`read_frame` /
 :func:`write_frame` (asyncio) or :func:`encode_frame` /
 :func:`decode_frame` (sans-io, used by the tests and any synchronous
@@ -43,6 +50,7 @@ import struct
 from typing import Any
 
 from repro.distributed import faults
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -59,6 +67,17 @@ __all__ = [
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
+
+_FRAMES_SENT = obs_metrics.counter(
+    "repro_protocol_frames_sent_total",
+    "Frames written to the wire by this process",
+    ("type",),
+)
+_FRAMES_RECEIVED = obs_metrics.counter(
+    "repro_protocol_frames_received_total",
+    "Frames read off the wire by this process",
+    ("type",),
+)
 
 
 class ProtocolError(ValueError):
@@ -148,6 +167,7 @@ async def read_frame(
         rule = faults.inject("protocol.recv", str(message.get("type", "")))
         if rule is not None and rule.action == faults.ACTION_DROP:
             continue  # injected receive loss: the wire ate this frame
+        _FRAMES_RECEIVED.inc(type=str(message.get("type", "?")))
         return message
 
 
@@ -176,3 +196,4 @@ async def write_frame(
             )
     writer.write(data)
     await writer.drain()
+    _FRAMES_SENT.inc(type=str(message.get("type", "?")))

@@ -74,6 +74,7 @@ import json
 import pathlib
 import re
 import threading
+import time
 import tomllib
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -86,6 +87,8 @@ from repro.distributed.ledger import (
     open_ledger,
     replay_ledger,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import new_trace_id
 from repro.scenario.report import collect_records, sweep_report
 from repro.scenario.spec import (
     ScenarioSpec,
@@ -98,6 +101,60 @@ from repro.scenario.store import ResultIndex
 __all__ = ["ResultsService", "sweep_id"]
 
 _KEY_PATTERN = re.compile(r"^/results/([0-9a-f]{64})$")
+
+#: Content type of the Prometheus text exposition format.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REQUESTS = obs_metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by route template and status",
+    ("route", "status"),
+)
+_LATENCY = obs_metrics.histogram(
+    "repro_http_request_seconds",
+    "HTTP request handling latency, by route template",
+    ("route",),
+)
+# Fabric-wide gauges, refreshed from the durable artifacts (index
+# sidecar + ledger replay) on every /metrics or /healthz hit -- so a
+# scrape sees cross-process truth, not just this process's counters.
+_G_RESULTS = obs_metrics.gauge(
+    "repro_store_results",
+    "Results in the content-addressed store (index sidecar total)",
+)
+_G_BACKLOG = obs_metrics.gauge(
+    "repro_ledger_backlog",
+    "Scheduled points with no terminal event (ledger replay)",
+)
+_G_DONE = obs_metrics.gauge(
+    "repro_ledger_done",
+    "Points the ledger holds as done",
+)
+_G_FAILED = obs_metrics.gauge(
+    "repro_ledger_failed",
+    "Points the ledger holds as terminally failed",
+)
+_G_REQUEUED = obs_metrics.gauge(
+    "repro_ledger_requeued_total",
+    "Requeued events across the whole ledger (at-least-once; survives "
+    "compaction via the snapshot)",
+)
+_G_CANCELLED = obs_metrics.gauge(
+    "repro_ledger_cancelled_sweeps",
+    "Sweeps durably revoked by POST /cancel",
+)
+_G_SHARDS = obs_metrics.gauge(
+    "repro_ledger_shard_count",
+    "Uncompacted shard files of a sharded ledger",
+)
+_G_TAIL = obs_metrics.gauge(
+    "repro_ledger_tail_bytes",
+    "Uncompacted shard bytes of a sharded ledger",
+)
+_G_GENERATION = obs_metrics.gauge(
+    "repro_ledger_compaction_generation",
+    "Generation stamp of the newest ledger compaction",
+)
 
 #: Page size when ``limit`` is omitted, and its hard ceiling.  The
 #: ceiling is what keeps one request from dragging a million-entry
@@ -297,36 +354,60 @@ class ResultsService:
     # -- routing core (pure: path in, response out) -------------------------
 
     def respond(self, path: str) -> tuple[int, str, bytes]:
-        """Resolve one GET to ``(status, content_type, body)``."""
+        """Resolve one GET to ``(status, content_type, body)``.
+
+        Every request is counted and timed under its route *template*
+        (``/results/<key>``, not each key's own label set) so the
+        metric cardinality stays bounded no matter how many results a
+        store holds.
+        """
         parsed = urllib.parse.urlsplit(path)
         route = parsed.path.rstrip("/") or "/"
         query = dict(urllib.parse.parse_qsl(parsed.query))
-        if route == "/healthz":
-            return self._healthz()
-        if route == "/progress":
-            return self._progress(query.get("sweep"))
-        if route == "/results":
-            return self._results_page(query)
-        match = _KEY_PATTERN.match(route)
-        if match:
-            return self._result_payload(match.group(1))
-        if route == "/report":
-            return self._report(query)
-        return self._json(
-            404,
-            {
-                "error": f"unknown route {route!r}",
-                "routes": [
-                    "/healthz",
-                    "/progress[?sweep=<id>]",
-                    "/results?offset=&limit=",
-                    "/results/<key>",
-                    "/report",
-                    "POST /submit",
-                    "POST /cancel",
-                ],
-            },
-        )
+        template = route
+        started = time.perf_counter()
+        response: tuple[int, str, bytes] | None = None
+        try:
+            if route == "/healthz":
+                response = self._healthz()
+            elif route == "/metrics":
+                response = self._metrics()
+            elif route == "/progress":
+                response = self._progress(query.get("sweep"))
+            elif route == "/results":
+                response = self._results_page(query)
+            elif route == "/report":
+                response = self._report(query)
+            else:
+                match = _KEY_PATTERN.match(route)
+                if match:
+                    template = "/results/<key>"
+                    response = self._result_payload(match.group(1))
+                else:
+                    template = "other"
+                    response = self._json(
+                        404,
+                        {
+                            "error": f"unknown route {route!r}",
+                            "routes": [
+                                "/healthz",
+                                "/metrics",
+                                "/progress[?sweep=<id>]",
+                                "/results?offset=&limit=",
+                                "/results/<key>",
+                                "/report",
+                                "POST /submit",
+                                "POST /cancel",
+                            ],
+                        },
+                    )
+            return response
+        finally:
+            status = response[0] if response is not None else 500
+            _LATENCY.observe(
+                time.perf_counter() - started, route=template
+            )
+            _REQUESTS.inc(route=template, status=str(status))
 
     def respond_post(
         self,
@@ -338,23 +419,37 @@ class ResultsService:
         """Resolve one POST to ``(status, content_type, body)``."""
         parsed = urllib.parse.urlsplit(path)
         route = parsed.path.rstrip("/") or "/"
-        if not self._authorized(headers):
-            return self._json(
-                401,
-                {"error": "missing or invalid bearer token"},
-                headers={"WWW-Authenticate": 'Bearer realm="repro"'},
-            )
-        if route == "/submit":
-            return self._submit(body, content_type)
-        if route == "/cancel":
-            return self._cancel(body)
-        return self._json(
-            404,
-            {
-                "error": f"no POST route {route!r}",
-                "routes": ["/submit", "/cancel"],
-            },
+        template = (
+            route if route in ("/submit", "/cancel") else "other"
         )
+        started = time.perf_counter()
+        response: tuple[int, str, bytes] | None = None
+        try:
+            if not self._authorized(headers):
+                response = self._json(
+                    401,
+                    {"error": "missing or invalid bearer token"},
+                    headers={"WWW-Authenticate": 'Bearer realm="repro"'},
+                )
+            elif route == "/submit":
+                response = self._submit(body, content_type)
+            elif route == "/cancel":
+                response = self._cancel(body)
+            else:
+                response = self._json(
+                    404,
+                    {
+                        "error": f"no POST route {route!r}",
+                        "routes": ["/submit", "/cancel"],
+                    },
+                )
+            return response
+        finally:
+            status = response[0] if response is not None else 500
+            _LATENCY.observe(
+                time.perf_counter() - started, route=f"POST {template}"
+            )
+            _REQUESTS.inc(route=f"POST {template}", status=str(status))
 
     def _authorized(self, headers: Mapping[str, str] | None) -> bool:
         """Bearer-token gate on the mutating surface.
@@ -383,6 +478,60 @@ class ResultsService:
             return 0
         return sum(1 for _ in self._cache_dir.glob("*.json"))
 
+    def _refresh_gauges(self) -> None:
+        """Fold the durable artifacts into the registry's gauges.
+
+        Scrape-safe by construction: every source is wrapped so a
+        ledger mid-corruption (or a vanished store) degrades to stale
+        gauge values, never to a failed scrape -- the counters around
+        it keep flowing and the monitor keeps seeing *something*.
+        """
+        try:
+            total, _ = self._index.page(0, 1)
+            _G_RESULTS.set(total)
+        except Exception:  # noqa: BLE001 -- scrape-safe
+            pass
+        if self._ledger_path is None or not self._ledger_path.exists():
+            return
+        try:
+            state = self._replayed_ledger()
+        except Exception:  # noqa: BLE001 -- dirty ledger: keep serving
+            pass
+        else:
+            _G_BACKLOG.set(len(state.pending))
+            _G_DONE.set(len(state.done))
+            _G_FAILED.set(len(state.failed))
+            _G_REQUEUED.set(sum(state.requeues.values()))
+            _G_CANCELLED.set(len(state.cancelled))
+        if is_sharded(self._ledger_path):
+            try:
+                ledger = ShardedLedger(self._ledger_path)
+            except OSError:
+                return
+            try:
+                stats = ledger.shard_stats()
+                _G_SHARDS.set(len(stats))
+                _G_TAIL.set(sum(stats.values()))
+                meta = ledger.last_compaction()
+                if meta is not None:
+                    _G_GENERATION.set(
+                        float(meta.get("generation", 0) or 0)
+                    )
+            finally:
+                ledger.close()
+
+    def _metrics(self) -> tuple[int, str, bytes]:
+        """The whole default registry, Prometheus text format.
+
+        Deliberately auth-exempt (it is a GET, and the mutating
+        surface is what the bearer token gates): scrapers are the one
+        client that must never be locked out by a config change.
+        """
+        self._refresh_gauges()
+        return _Response(
+            200, METRICS_CONTENT_TYPE, obs_metrics.render().encode()
+        )
+
     def _healthz(self) -> tuple[int, str, bytes]:
         """Liveness plus the fabric's load-bearing gauges.
 
@@ -392,6 +541,9 @@ class ResultsService:
         is growing without bound" and "compaction stopped happening"
         are both one scrape away.
         """
+        # /healthz and /metrics tell the same story from the same
+        # sources: a hit on either refreshes the registry's gauges.
+        self._refresh_gauges()
         payload: dict[str, Any] = {
             "status": "ok",
             "results": self._result_count(),
@@ -412,6 +564,7 @@ class ResultsService:
             else:
                 payload["backlog"] = len(state.pending)
                 payload["cancelled_sweeps"] = len(state.cancelled)
+                payload["requeued"] = sum(state.requeues.values())
             if is_sharded(self._ledger_path):
                 ledger = ShardedLedger(self._ledger_path)
                 try:
@@ -470,6 +623,11 @@ class ResultsService:
             unique.setdefault(spec.key(), spec)
         identity = sweep_id(list(unique))
         name = str(document.get("name", "scenario"))
+        # One telemetry trace per submitted sweep, minted here -- the
+        # single point where a sweep enters the fabric.  It rides the
+        # scheduled records into the coordinator, every protocol frame,
+        # and every span any process emits for these points.
+        trace = new_trace_id()
         with self._submit_lock:
             with open_ledger(self._ledger_path) as ledger:
                 # Opening the ledger created the file if needed, so
@@ -519,6 +677,7 @@ class ResultsService:
                     unique.values(),
                     already_scheduled=already,
                     sweep=identity,
+                    traces={key: trace for key in unique},
                 )
                 ledger.record_submitted(identity, list(unique), name=name)
         return self._json(
@@ -528,6 +687,7 @@ class ResultsService:
                 "name": name,
                 "points": len(unique),
                 "new_points": len(set(unique) - already),
+                "trace": trace,
                 "progress": f"/progress?sweep={identity}",
                 "results": f"/results?offset=0&limit={DEFAULT_PAGE_LIMIT}",
             },

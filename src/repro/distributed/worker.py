@@ -59,10 +59,22 @@ from typing import Any
 
 from repro.distributed import faults
 from repro.distributed.protocol import ProtocolError, read_frame, write_frame
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import emit_span, span as obs_span
 from repro.scenario.spec import ScenarioSpec
 from repro.scenario.store import store_result
 
 __all__ = ["run_worker", "worker_loop"]
+
+_POINTS = obs_metrics.counter(
+    "repro_worker_points_total",
+    "Assignments this worker process finished, by outcome",
+    ("outcome",),
+)
+_RECONNECTS = obs_metrics.counter(
+    "repro_worker_reconnects_total",
+    "Torn connections this worker process survived",
+)
 
 #: Base delay of the connect backoff (doubles per failed attempt).
 RETRY_DELAY = 0.2
@@ -155,7 +167,9 @@ async def worker_loop(
     reconnects = 0
 
     async def execute(
-        spec: ScenarioSpec, writer: asyncio.StreamWriter
+        spec: ScenarioSpec,
+        writer: asyncio.StreamWriter,
+        trace: str | None = None,
     ):
         """Run one point, heartbeating while it computes.
 
@@ -203,17 +217,29 @@ async def worker_loop(
                     faults.ACTION_DROP,
                 ):
                     continue  # wedged worker: this beat never goes out
-                await write_frame(writer, {"type": "heartbeat"})
+                beat: dict[str, Any] = {"type": "heartbeat"}
+                if trace is not None:
+                    beat["trace"] = trace
+                await write_frame(writer, beat)
 
     async def session(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> str:
         """One connection's claim loop; returns why it ended."""
         nonlocal executed, failed, attempts, published
+        # The trace id of this connection's most recent assignment:
+        # echoed on claim frames (so a capture can tie the next claim
+        # to the work that freed this worker) and carried on every
+        # frame about the current point.
+        last_trace: str | None = None
         try:
             await write_frame(writer, {"type": "hello", "worker": name})
             while max_points is None or attempts < max_points:
-                await write_frame(writer, {"type": "claim"})
+                claim: dict[str, Any] = {"type": "claim"}
+                if last_trace is not None:
+                    claim["trace"] = last_trace
+                claim_started = time.perf_counter()
+                await write_frame(writer, claim)
                 try:
                     message = await read_frame(reader)
                 except ProtocolError:
@@ -223,6 +249,15 @@ async def worker_loop(
                 kind = message.get("type")
                 if kind == "assign":
                     attempts += 1
+                    trace = message.get("trace")
+                    trace = trace if isinstance(trace, str) else None
+                    last_trace = trace
+                    emit_span(
+                        "worker.claim",
+                        duration=time.perf_counter() - claim_started,
+                        trace=trace,
+                        attrs={"key": message.get("key"), "worker": name},
+                    )
                     started = time.perf_counter()
                     try:
                         # Spec parsing sits inside the failure
@@ -232,7 +267,13 @@ async def worker_loop(
                         # report, not a worker crash that requeues the
                         # point onto the next victim.
                         spec = ScenarioSpec.from_dict(message["spec"])
-                        result = await execute(spec, writer)
+                        with obs_span(
+                            "worker.execute",
+                            trace=trace,
+                            key=message.get("key"),
+                            worker=name,
+                        ):
+                            result = await execute(spec, writer, trace)
                     except (ConnectionError, OSError):
                         # A mid-point heartbeat hit a dead socket: the
                         # coordinator vanished, the point did NOT
@@ -240,14 +281,15 @@ async def worker_loop(
                         raise
                     except Exception as error:  # noqa: BLE001 -- reported
                         failed += 1
-                        await write_frame(
-                            writer,
-                            {
-                                "type": "failed",
-                                "key": message["key"],
-                                "error": f"{type(error).__name__}: {error}",
-                            },
-                        )
+                        _POINTS.inc(outcome="failed")
+                        failed_frame: dict[str, Any] = {
+                            "type": "failed",
+                            "key": message["key"],
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                        if trace is not None:
+                            failed_frame["trace"] = trace
+                        await write_frame(writer, failed_frame)
                         continue
                     sent_ref = False
                     if store_dir is not None:
@@ -257,7 +299,15 @@ async def worker_loop(
                             # atomic temp-file + os.replace --
                             # byte-identical no matter which side
                             # writes.
-                            store_result(store_dir, spec, result)
+                            with obs_span(
+                                "worker.publish",
+                                trace=trace,
+                                key=message.get("key"),
+                                worker=name,
+                            ):
+                                store_result(
+                                    store_dir, spec, result, trace=trace
+                                )
                         except Exception:  # noqa: BLE001 -- fall back
                             # Local publish failed (permissions, a
                             # store this host cannot reach): the full
@@ -265,29 +315,25 @@ async def worker_loop(
                             sent_ref = False
                         else:
                             sent_ref = True
-                            await write_frame(
-                                writer,
-                                {
-                                    "type": "result-ref",
-                                    "key": message["key"],
-                                    "elapsed": (
-                                        time.perf_counter() - started
-                                    ),
-                                },
-                            )
+                            ref_frame: dict[str, Any] = {
+                                "type": "result-ref",
+                                "key": message["key"],
+                                "elapsed": time.perf_counter() - started,
+                            }
+                            if trace is not None:
+                                ref_frame["trace"] = trace
+                            await write_frame(writer, ref_frame)
                     try:
                         if not sent_ref:
-                            await write_frame(
-                                writer,
-                                {
-                                    "type": "result",
-                                    "key": message["key"],
-                                    "result": result.to_dict(),
-                                    "elapsed": (
-                                        time.perf_counter() - started
-                                    ),
-                                },
-                            )
+                            result_frame: dict[str, Any] = {
+                                "type": "result",
+                                "key": message["key"],
+                                "result": result.to_dict(),
+                                "elapsed": time.perf_counter() - started,
+                            }
+                            if trace is not None:
+                                result_frame["trace"] = trace
+                            await write_frame(writer, result_frame)
                     except ProtocolError as error:
                         # Result exceeds the frame bound (encode_frame
                         # refuses before any bytes hit the wire).
@@ -297,14 +343,15 @@ async def worker_loop(
                         # livelock the fleet on recompute/crash
                         # cycles.
                         failed += 1
-                        await write_frame(
-                            writer,
-                            {
-                                "type": "failed",
-                                "key": message["key"],
-                                "error": f"result not sendable: {error}",
-                            },
-                        )
+                        _POINTS.inc(outcome="failed")
+                        oversize_frame: dict[str, Any] = {
+                            "type": "failed",
+                            "key": message["key"],
+                            "error": f"result not sendable: {error}",
+                        }
+                        if trace is not None:
+                            oversize_frame["trace"] = trace
+                        await write_frame(writer, oversize_frame)
                         continue
                     try:
                         reply = await read_frame(reader)
@@ -318,11 +365,13 @@ async def worker_loop(
                             # point is requeued (and NOT counted as
                             # executed -- no result was stored); back
                             # off and keep going.
+                            _POINTS.inc(outcome="retried")
                             await asyncio.sleep(RETRY_DELAY)
                             continue
                         raise ProtocolError(str(reply.get("error")))
                     if reply.get("stored", True):
                         executed += 1  # acked: durably stored
+                        _POINTS.inc(outcome="acked")
                         if sent_ref:
                             published += 1
                 elif kind == "wait":
@@ -359,6 +408,7 @@ async def worker_loop(
         if outcome != _TORN or reconnect_timeout <= 0:
             break
         reconnects += 1
+        _RECONNECTS.inc()
         window = reconnect_timeout
     return {
         "worker": name,

@@ -1,0 +1,16 @@
+"""Dependency-free telemetry for the fabric: metrics, spans, timelines.
+
+Three layers, each importable alone (deliberately NOT imported here:
+:mod:`repro.scenario.store` imports :mod:`repro.obs.metrics`, while
+:mod:`repro.obs.trace` imports the store's appender -- eager package
+imports would tie that knot into a cycle):
+
+* :mod:`repro.obs.metrics` -- process-local counters/gauges/histograms
+  plus the Prometheus text encoder behind ``GET /metrics``;
+* :mod:`repro.obs.trace` -- trace ids minted at sweep submit, spans
+  emitted as torn-tail-safe JSONL under ``$REPRO_TELEMETRY``;
+* :mod:`repro.obs.timeline` -- the ``repro trace <sweep-id>`` join of
+  span JSONL and ledger replay into a per-point timeline.
+"""
+
+__all__ = ["metrics", "timeline", "trace"]

@@ -1,0 +1,269 @@
+"""``repro trace``: join span JSONL with ledger replay per point.
+
+The ledger records *what* happened to every point (scheduled, claimed,
+requeued, done -- each line now timestamped); the span JSONL records
+*how long* the interesting parts took inside each process
+(``worker.execute``, ``worker.publish``, ``coordinator.publish``).
+Joining the two on the trace id minted at submit (and on the point
+key, carried in span attrs) reconstructs a per-point timeline:
+
+* **queue wait** -- first ``scheduled`` to first ``claimed``;
+* **execute** -- the ``elapsed`` the worker reported on its RESULT
+  (authoritative), or the ``worker.execute`` span;
+* **publish** -- the ``worker.publish`` / ``coordinator.publish``
+  span of the store write;
+* **retries** -- every ``requeued`` record, attributed to the worker
+  (and reason: ``connection-lost``, ``lease-expired``,
+  ``coordinator-restart``) whose claim was reclaimed.
+
+Compaction folds old shard events into the snapshot, which erases
+their per-event timestamps; a timeline over a compacted sweep keeps
+the span-derived columns and marks the ledger-derived ones unknown --
+degraded, never wrong.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any
+
+from repro.distributed.ledger import (
+    EVENT_CLAIMED,
+    EVENT_DONE,
+    EVENT_FAILED,
+    EVENT_REQUEUED,
+    EVENT_SCHEDULED,
+    iter_ledger_records,
+    replay_ledger,
+)
+from repro.obs.trace import read_spans
+
+__all__ = ["build_timeline", "render_timeline", "resolve_sweep"]
+
+
+def resolve_sweep(state, sweep: str) -> str:
+    """Resolve ``sweep`` (full id or unique prefix) against a replay."""
+    if sweep in state.sweeps:
+        return sweep
+    matches = [
+        candidate
+        for candidate in state.sweeps
+        if candidate.startswith(sweep)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(
+            f"unknown sweep {sweep!r} "
+            f"({len(state.sweeps)} sweeps in the ledger)"
+        )
+    raise KeyError(
+        f"ambiguous sweep prefix {sweep!r} matches {len(matches)} sweeps"
+    )
+
+
+def build_timeline(
+    sweep: str,
+    ledger_path: str | pathlib.Path,
+    telemetry_dir: str | pathlib.Path | None = None,
+) -> dict[str, Any]:
+    """The per-point timeline of one submitted sweep.
+
+    Returns ``{"sweep": id, "points": [...], "traces": {...}}`` where
+    each point dict carries ``key``, ``trace``, ``queue_wait``,
+    ``execute``, ``publish``, ``total``, ``status``, ``worker`` and
+    ``retries`` (a list of ``{"worker", "reason", "ts"}``).  Durations
+    are seconds or ``None`` when the evidence was compacted away or
+    telemetry was off.
+    """
+    ledger_path = pathlib.Path(ledger_path)
+    state = replay_ledger(ledger_path)
+    sweep = resolve_sweep(state, sweep)
+    keys = list(state.sweeps.get(sweep, ()))
+    wanted = set(keys)
+
+    scheduled_ts: dict[str, float] = {}
+    first_claim: dict[str, tuple[float, str]] = {}
+    last_claim: dict[str, tuple[float, str]] = {}
+    done_records: dict[str, dict[str, Any]] = {}
+    failed_records: dict[str, dict[str, Any]] = {}
+    retries: dict[str, list[dict[str, Any]]] = {key: [] for key in keys}
+    for record in iter_ledger_records(ledger_path):
+        key = record.get("key")
+        if key not in wanted:
+            continue
+        event = record.get("event")
+        ts = record.get("ts")
+        ts = float(ts) if isinstance(ts, (int, float)) else None
+        if event == EVENT_SCHEDULED:
+            if ts is not None and key not in scheduled_ts:
+                scheduled_ts[key] = ts
+        elif event == EVENT_CLAIMED:
+            worker = str(record.get("worker", "?"))
+            if ts is not None:
+                if key not in first_claim:
+                    first_claim[key] = (ts, worker)
+                last_claim[key] = (ts, worker)
+        elif event == EVENT_REQUEUED:
+            retries[key].append(
+                {
+                    "worker": str(record.get("worker", "?")),
+                    "reason": str(record.get("reason", "?")),
+                    "ts": ts,
+                }
+            )
+        elif event == EVENT_DONE:
+            done_records.setdefault(key, record)
+        elif event == EVENT_FAILED:
+            failed_records.setdefault(key, record)
+
+    # Span join: the tightest evidence per (key, span name).
+    spans: dict[tuple[str, str], dict[str, Any]] = {}
+    if telemetry_dir is not None:
+        for record in read_spans(telemetry_dir):
+            span_key = record.get("attrs", {}).get("key")
+            if span_key in wanted:
+                spans.setdefault((span_key, record["name"]), record)
+
+    traces: dict[str, str] = {
+        key: state.traces[key]
+        for key in keys
+        if isinstance(state.traces.get(key), str)
+    }
+
+    points: list[dict[str, Any]] = []
+    for key in keys:
+        done = done_records.get(key)
+        failed = failed_records.get(key)
+        claim = first_claim.get(key)
+        sched = scheduled_ts.get(key)
+        queue_wait = (
+            claim[0] - sched
+            if claim is not None and sched is not None
+            else None
+        )
+        execute = None
+        if done is not None and isinstance(
+            done.get("elapsed"), (int, float)
+        ):
+            execute = float(done["elapsed"])
+        if execute is None:
+            exec_span = spans.get((key, "worker.execute")) or spans.get(
+                (key, "runner.point")
+            )
+            if exec_span is not None:
+                execute = float(exec_span.get("dur", 0.0))
+        publish = None
+        pub_span = spans.get((key, "worker.publish")) or spans.get(
+            (key, "coordinator.publish")
+        )
+        if pub_span is not None:
+            publish = float(pub_span.get("dur", 0.0))
+        terminal_ts = None
+        for record in (done, failed):
+            if record is not None and isinstance(
+                record.get("ts"), (int, float)
+            ):
+                terminal_ts = float(record["ts"])
+                break
+        total = (
+            terminal_ts - sched
+            if terminal_ts is not None and sched is not None
+            else None
+        )
+        if key in state.done:
+            status = "done"
+        elif key in state.failed:
+            status = "failed"
+        else:
+            status = "pending"
+        worker = None
+        if done is not None:
+            worker = done.get("worker")
+        elif failed is not None:
+            worker = failed.get("worker")
+        elif key in last_claim:
+            worker = last_claim[key][1]
+        points.append(
+            {
+                "key": key,
+                "trace": traces.get(key),
+                "status": status,
+                "worker": worker,
+                "queue_wait": queue_wait,
+                "execute": execute,
+                "publish": publish,
+                "total": total,
+                "retries": retries[key],
+            }
+        )
+    return {
+        "sweep": sweep,
+        "cancelled": sweep in state.cancelled,
+        "points": points,
+        "traces": traces,
+    }
+
+
+def _fmt(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def render_timeline(
+    timeline: dict[str, Any], slow: int | None = None
+) -> str:
+    """An aligned text table of :func:`build_timeline`'s output.
+
+    ``slow=N`` keeps only the N slowest points by total wall time
+    (unknown totals sort last), newest offender first -- the "where
+    did my sweep budget go" view.
+    """
+    points = list(timeline["points"])
+    shown = points
+    if slow is not None and slow > 0:
+        shown = sorted(
+            points,
+            key=lambda p: (
+                p["total"] is not None,
+                p["total"] or 0.0,
+            ),
+            reverse=True,
+        )[:slow]
+    header = (
+        f"{'point':<14}{'status':<9}{'worker':<14}{'queue':>10}"
+        f"{'execute':>10}{'publish':>10}{'total':>10}  retries"
+    )
+    lines = [
+        f"sweep {timeline['sweep'][:16]}: {len(points)} points"
+        + (" (CANCELLED)" if timeline.get("cancelled") else ""),
+        header,
+        "-" * len(header),
+    ]
+    for point in shown:
+        retry_text = (
+            "; ".join(
+                f"{r['worker']} ({r['reason']})" for r in point["retries"]
+            )
+            or "-"
+        )
+        lines.append(
+            f"{point['key'][:12]:<14}{point['status']:<9}"
+            f"{str(point['worker'] or '-')[:12]:<14}"
+            f"{_fmt(point['queue_wait']):>10}"
+            f"{_fmt(point['execute']):>10}"
+            f"{_fmt(point['publish']):>10}"
+            f"{_fmt(point['total']):>10}  {retry_text}"
+        )
+    total_retries = sum(len(p["retries"]) for p in points)
+    done = sum(1 for p in points if p["status"] == "done")
+    lines.append(
+        f"{done}/{len(points)} done, {total_retries} requeues"
+        + (f" (showing {len(shown)} slowest)" if shown is not points else "")
+    )
+    return "\n".join(lines)

@@ -16,12 +16,31 @@ import multiprocessing
 import pathlib
 from typing import Any, Iterable, Mapping
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 from repro.scenario.registry import ENGINES
 from repro.scenario.spec import ScenarioSpec, SweepSpec
-from repro.scenario.store import JsonlAppender, load_result, store_result
+from repro.scenario.store import (
+    JsonlAppender,
+    ResultIndex,
+    index_path,
+    load_result,
+    store_result,
+)
 
 #: Default cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = pathlib.Path("results") / "scenarios"
+
+_POINT_SECONDS = obs_metrics.histogram(
+    "repro_runner_point_seconds",
+    "Wall time of one executed sweep point, by engine",
+    ("engine",),
+)
+_CACHE = obs_metrics.counter(
+    "repro_runner_cache_total",
+    "Cache lookups across this process's runners",
+    ("outcome",),
+)
 
 
 def execute_spec(spec: ScenarioSpec):
@@ -32,8 +51,18 @@ def execute_spec(spec: ScenarioSpec):
 
 
 def _run_point(payload: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry: spec dict in, result dict out (picklable both ways)."""
-    return execute_spec(ScenarioSpec.from_dict(payload)).to_dict()
+    """Worker entry: spec dict in, result dict out (picklable both ways).
+
+    Instrumented in the *child*: the histogram lands in the child's
+    process-local registry (discarded with the pool) but the span
+    JSONL is durable -- the per-pid sink file names make the forked
+    writers safe.
+    """
+    spec = ScenarioSpec.from_dict(payload)
+    with obs_span(
+        "runner.point", key=spec.key(), engine=spec.engine
+    ), _POINT_SECONDS.time(engine=spec.engine):
+        return execute_spec(spec).to_dict()
 
 
 def expand_grid(
@@ -105,9 +134,14 @@ class SweepRunner:
         cached = self.cached(spec)
         if cached is not None:
             self.cache_hits += 1
+            _CACHE.inc(outcome="hit")
             return cached
         self.cache_misses += 1
-        result = execute_spec(spec)
+        _CACHE.inc(outcome="miss")
+        with obs_span(
+            "runner.point", key=spec.key(), engine=spec.engine
+        ), _POINT_SECONDS.time(engine=spec.engine):
+            result = execute_spec(spec)
         self._store(spec, result)
         return result
 
@@ -154,11 +188,13 @@ class SweepRunner:
                 cached = self.cached(spec)
                 if cached is not None:
                     self.cache_hits += 1
+                    _CACHE.inc(outcome="hit")
                     emit(spec, cached)
                     if collect:
                         results[index] = cached
                 else:
                     self.cache_misses += 1
+                    _CACHE.inc(outcome="miss")
                     pending.append(index)
             if pending:
 
@@ -184,7 +220,11 @@ class SweepRunner:
         each one completes (in order, so streaming output is stable)."""
         if self._workers <= 1 or len(specs) <= 1:
             for position, spec in enumerate(specs):
-                on_result(position, execute_spec(spec))
+                with obs_span(
+                    "runner.point", key=spec.key(), engine=spec.engine
+                ), _POINT_SECONDS.time(engine=spec.engine):
+                    result = execute_spec(spec)
+                on_result(position, result)
             return
         from repro.scenario.backends import ScenarioResult
 
@@ -200,10 +240,32 @@ class SweepRunner:
 def list_cached(
     cache_dir: str | pathlib.Path = DEFAULT_CACHE_DIR,
 ) -> list[dict[str, Any]]:
-    """Summaries of every cached scenario result under ``cache_dir``."""
+    """Summaries of every cached scenario result under ``cache_dir``.
+
+    Index-aware: a store with the :class:`~repro.scenario.store
+    .ResultIndex` sidecar is listed from the folded index (one stat
+    when warm, and the rebuild heals unindexed files), so ``repro
+    scenario list`` over a million-point store never re-parses every
+    payload.  A store predating the sidecar falls back to the full
+    glob-and-parse scan -- same shape, sorted by file path either way.
+    """
     directory = pathlib.Path(cache_dir)
-    entries = []
+    entries: list[dict[str, Any]] = []
     if not directory.is_dir():
+        return entries
+    if index_path(directory).exists():
+        for entry in ResultIndex(directory).entries():
+            entries.append(
+                {
+                    "key": entry.get("key", "?"),
+                    "name": entry.get("name", "?"),
+                    "engine": entry.get("engine", "?"),
+                    "adversary": entry.get("adversary", "?"),
+                    "churn": entry.get("churn", "?"),
+                    "file": entry.get("file", "?"),
+                }
+            )
+        entries.sort(key=lambda entry: entry["file"])
         return entries
     for path in sorted(directory.glob("*.json")):
         try:

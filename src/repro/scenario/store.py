@@ -36,6 +36,7 @@ import threading
 from typing import Any, Iterator
 
 from repro.distributed import faults
+from repro.obs import metrics as obs_metrics
 from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
@@ -56,6 +57,11 @@ __all__ = [
 INDEX_NAME = "results-index.jsonl"
 
 _KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+_PUBLISHES = obs_metrics.counter(
+    "repro_store_publish_total",
+    "Results published to the content-addressed store by this process",
+)
 
 
 def atomic_write_json(path: str | pathlib.Path, payload: Any) -> None:
@@ -246,7 +252,10 @@ def result_path(
 
 
 def store_result(
-    cache_dir: str | pathlib.Path, spec: ScenarioSpec, result
+    cache_dir: str | pathlib.Path,
+    spec: ScenarioSpec,
+    result,
+    trace: str | None = None,
 ) -> pathlib.Path:
     """Persist one ``{"spec": ..., "result": ...}`` payload atomically.
 
@@ -259,14 +268,20 @@ def store_result(
     parse the whole store.  The ordering matters: index-after-publish
     means a crash between the two leaves an *unindexed* result (healed
     by :meth:`ResultIndex.entries` on its next rebuild), never an
-    index entry pointing at a missing file.
+    index entry pointing at a missing file.  ``trace`` (the sweep's
+    telemetry trace id) rides along on the index line only -- the
+    result payload stays a pure function of the spec.
     """
     path = result_path(cache_dir, spec)
     atomic_write_json(
         path, {"spec": spec.to_dict(), "result": result.to_dict()}
     )
+    entry = _index_entry(spec.key(), spec.to_dict(), path)
+    if trace is not None:
+        entry["trace"] = trace
     with JsonlAppender(index_path(cache_dir)) as appender:
-        appender.append(_index_entry(spec.key(), spec.to_dict(), path))
+        appender.append(entry)
+    _PUBLISHES.inc()
     return path
 
 

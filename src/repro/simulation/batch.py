@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.parameters import ModelParameters
+from repro.obs import metrics as obs_metrics
 from repro.core.policies import CountAdversaryPolicy, resolve_count_policy
 from repro.core.statespace import State
 from repro.core.transitions import (
@@ -94,6 +95,25 @@ LABEL_CODES: dict[str, tuple[int, ...]] = {
 #: Trajectory-advance modes of :func:`run_batch_trajectories`.
 MODE_EVENT = "event"
 MODE_SKIP = "skip"
+
+# Counter pairs instead of histograms: these phases run once per chunk
+# (not per point), so two atomic adds keep the hot path unperturbed and
+# rate(seconds)/rate(calls) still yields the mean phase latency.
+_PHASE_SECONDS = obs_metrics.counter(
+    "repro_batch_phase_seconds_total",
+    "Wall seconds spent in each batch-engine phase",
+    ("phase",),
+)
+_PHASE_CALLS = obs_metrics.counter(
+    "repro_batch_phase_calls_total",
+    "Entries into each batch-engine phase",
+    ("phase",),
+)
+
+
+def _phase(name: str):
+    """Timer over one batch-engine phase (row assembly, dispatch, ...)."""
+    return obs_metrics.timed(_PHASE_SECONDS, _PHASE_CALLS, phase=name)
 
 
 def _flat_offsets(cum_probs: np.ndarray) -> np.ndarray:
@@ -227,27 +247,28 @@ class BatchClusterEngine:
         variant = (
             policy is not None or p_join is not None or with_kind_rows
         )
-        if variant:
-            self._policy = resolve_count_policy(policy)
-            rows = transition_rows(
-                params, policy=self._policy, p_join=p_join
-            )
-        else:
-            self._policy = None
-            rows = transition_rows(params)
-        self._p_join = p_join
-        self._rows = rows
-        self._targets = rows.targets
-        self._width = rows.width
-        codes = rows.category_codes
-        self._codes = codes
-        self._transient = codes <= CODE_POLLUTED
-        self._polluted = codes == CODE_POLLUTED
-        self._flat_cum = _flat_offsets(rows.cum_probs)
-        self._skip: _SkipTables | None = None
-        self._kind_tables: dict[str, _KindTable] | None = None
-        if with_kind_rows:
-            self._build_kind_tables()
+        with _phase("row-assembly"):
+            if variant:
+                self._policy = resolve_count_policy(policy)
+                rows = transition_rows(
+                    params, policy=self._policy, p_join=p_join
+                )
+            else:
+                self._policy = None
+                rows = transition_rows(params)
+            self._p_join = p_join
+            self._rows = rows
+            self._targets = rows.targets
+            self._width = rows.width
+            codes = rows.category_codes
+            self._codes = codes
+            self._transient = codes <= CODE_POLLUTED
+            self._polluted = codes == CODE_POLLUTED
+            self._flat_cum = _flat_offsets(rows.cum_probs)
+            self._skip: _SkipTables | None = None
+            self._kind_tables: dict[str, _KindTable] | None = None
+            if with_kind_rows:
+                self._build_kind_tables()
 
     # -- accessors ----------------------------------------------------------
 
@@ -836,22 +857,25 @@ def run_batch_trajectories(
         kind_schedule = np.ascontiguousarray(kind_schedule, dtype=bool)
         if kind_schedule.size == 0:
             raise ValueError("kind_schedule must be non-empty")
-        return _run_scheduled_mode(
-            engine,
-            runs,
-            initial,
-            max_steps,
-            kind_schedule,
-            counter_dtype,
-            index_dtype,
-        )
+        with _phase("dispatch"):
+            return _run_scheduled_mode(
+                engine,
+                runs,
+                initial,
+                max_steps,
+                kind_schedule,
+                counter_dtype,
+                index_dtype,
+            )
     state = _TrajectoryArrays(
         engine, runs, initial, counter_dtype, index_dtype
     )
     if mode == MODE_SKIP:
-        _run_skip_mode(engine, state, max_steps)
+        with _phase("skip-sampling"):
+            _run_skip_mode(engine, state, max_steps)
     else:
-        _run_event_mode(engine, state, max_steps)
+        with _phase("dispatch"):
+            _run_event_mode(engine, state, max_steps)
     return state.result(runs)
 
 

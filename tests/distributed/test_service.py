@@ -596,6 +596,7 @@ class TestHealthzGauges:
             )
             health = json.loads(get(service, "/healthz")[2])
             assert health["backlog"] == 6
+            assert health["requeued"] == 0
             assert health["shard_count"] == 1
             assert health["tail_bytes"] > 0
             assert health["last_compaction"] is None
@@ -613,3 +614,113 @@ class TestHealthzGauges:
                 get(service, f"/progress?sweep={reply['sweep']}")[2]
             )
             assert progress["points"] == 6
+
+    def test_requeue_count_survives_compaction(self, tmp_path):
+        """``requeued`` in /healthz folds from the ledger (snapshot
+        included), so it strictly increases across a requeue even
+        after compaction erases the event record itself."""
+        from repro.distributed.ledger import ShardedLedger
+        from repro.scenario.spec import load_scenario_document
+
+        ledger = tmp_path / "ledger"
+        specs = load_scenario_document(GRID_DOCUMENT).expand()
+        with ResultsService(
+            tmp_path / "cache", ledger_path=ledger
+        ).start() as service:
+            post(service, "/submit", json.dumps(GRID_DOCUMENT).encode())
+            with ShardedLedger(ledger) as handle:
+                key = specs[0].key()
+                handle.record_claimed(key, "w0")
+                handle.record_requeued(
+                    key, "w0", reason="connection-lost"
+                )
+                handle.record_claimed(key, "w1")
+                handle.record_requeued(key, "w1", reason="lease-expired")
+                handle.compact()
+            health = json.loads(get(service, "/healthz")[2])
+            assert health["requeued"] == 2
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Every /metrics line parses; HELP/TYPE appear once per metric."""
+    import re
+
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+        r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+        r'(,[a-zA-Z_+]+="(?:[^"\\]|\\.)*")*\})?'
+        r" -?[0-9].*$"
+    )
+    seen_help: set[str] = set()
+    seen_type: set[str] = set()
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            assert name not in seen_help, f"duplicate HELP {name}"
+            seen_help.add(name)
+        elif line.startswith("# TYPE "):
+            name = line.split()[2]
+            assert name not in seen_type, f"duplicate TYPE {name}"
+            seen_type.add(name)
+        else:
+            assert sample.match(line), f"unparseable: {line!r}"
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """``{'name{labels}': value}`` for every sample line."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+class TestMetricsRoute:
+    def test_exposition_is_valid_and_correctly_typed(self, service):
+        status, content_type, body = get(service, "/metrics")
+        assert status == 200
+        assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+        text = body.decode()
+        assert_valid_exposition(text)
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "# TYPE repro_store_results gauge" in text
+
+    def test_gauges_reflect_the_durable_artifacts(self, service):
+        samples = parse_samples(get(service, "/metrics")[2].decode())
+        assert samples["repro_store_results"] == 6
+        assert samples["repro_ledger_backlog"] == 1  # one still claimed
+        assert samples["repro_ledger_done"] == 5
+        assert samples["repro_ledger_requeued_total"] == 0
+
+    def test_requests_are_counted_by_route_template(self, service, populated):
+        get(service, "/healthz")
+        get(service, f"/results/{populated['specs'][0].key()}")
+        samples = parse_samples(get(service, "/metrics")[2].decode())
+        assert (
+            samples['repro_http_requests_total{route="/healthz",status="200"}']
+            >= 1
+        )
+        # Per-key requests share one bounded template label.
+        assert (
+            samples[
+                'repro_http_requests_total'
+                '{route="/results/<key>",status="200"}'
+            ]
+            >= 1
+        )
+        assert (
+            samples['repro_http_request_seconds_count{route="/healthz"}'] >= 1
+        )
+
+    def test_metrics_is_auth_exempt(self, tmp_path):
+        with ResultsService(
+            tmp_path / "cache",
+            ledger_path=tmp_path / "ledger.jsonl",
+            auth_token="sesame",
+        ).start() as service:
+            status, content_type, _ = get(service, "/metrics")
+            assert status == 200
+            assert content_type.startswith("text/plain")

@@ -1,0 +1,23 @@
+"""Obs-suite fixtures: telemetry and fault-plan hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed import faults
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry_and_faults():
+    """Every test starts and ends with telemetry off and no fault plan.
+
+    ``configure(None)`` pins emission off regardless of the ambient
+    ``$REPRO_TELEMETRY``, so a developer's shell settings cannot turn
+    a unit test into an integration test.
+    """
+    trace.configure(None)
+    faults.clear()
+    yield
+    trace.configure(None)
+    faults.clear()

@@ -1,0 +1,237 @@
+"""Unit tests of the process-local metrics registry and its text encoder."""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    timed,
+)
+
+#: One Prometheus text-format sample line: name, optional {labels}, value.
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_+]+="(?:[^"\\]|\\.)*")*\})?'
+    r" -?[0-9].*$"
+)
+
+
+def assert_valid_exposition(text: str) -> None:
+    """Structural validity of one Prometheus text exposition payload.
+
+    Every line must parse as a HELP/TYPE header or a sample, HELP and
+    TYPE must appear at most once per metric, and every sample must
+    belong to the most recently declared metric family.
+    """
+    seen_help: set[str] = set()
+    seen_type: set[str] = set()
+    current: str | None = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            name = line.split()[2]
+            assert name not in seen_help, f"duplicate HELP for {name}"
+            seen_help.add(name)
+            current = name
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            name, kind = parts[2], parts[3]
+            assert name not in seen_type, f"duplicate TYPE for {name}"
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            seen_type.add(name)
+            current = name
+        else:
+            assert SAMPLE_LINE.match(line), f"unparseable sample: {line!r}"
+            assert current is not None, f"sample before any header: {line!r}"
+            sample_name = re.split(r"[{ ]", line, maxsplit=1)[0]
+            assert sample_name.startswith(current), (
+                f"sample {sample_name} outside family {current}"
+            )
+
+
+class TestRegistry:
+    def test_duplicate_registration_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total", "help")
+        second = registry.counter("repro_test_total", "other help")
+        assert first is second
+
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_kind_total", "help")
+        with pytest.raises(TypeError, match="already a counter"):
+            registry.gauge("repro_kind_total", "help")
+        with pytest.raises(TypeError, match="already a counter"):
+            registry.histogram("repro_kind_total", "help")
+
+    def test_invalid_metric_name_is_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad name", "help")
+
+    def test_module_helpers_share_the_default_registry(self):
+        counter = metrics.counter("repro_helper_test_total", "help")
+        again = metrics.default_registry().counter(
+            "repro_helper_test_total", "help"
+        )
+        assert counter is again
+
+
+class TestCounter:
+    def test_counts_up_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_up_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_label_sets_are_independent_and_enforced(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_lbl_total", "help", ("kind",))
+        counter.inc(kind="a")
+        counter.inc(kind="b")
+        counter.inc(kind="a")
+        assert counter.value(kind="a") == 2
+        assert counter.value(kind="b") == 1
+        assert counter.value(kind="never") == 0
+        with pytest.raises(ValueError, match="labels"):
+            counter.inc()  # missing the declared label
+        with pytest.raises(ValueError, match="labels"):
+            counter.inc(kind="a", extra="x")
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_race_total", "help")
+
+        def spin() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_depth", "help")
+        gauge.set(5)
+        assert gauge.value() == 5
+        gauge.inc(-2)
+        assert gauge.value() == 3
+        gauge.set(0)
+        assert gauge.value() == 0
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_lat_seconds", "help", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        lines = hist.render()
+        samples = {
+            line.split(" ")[0]: int(line.split(" ")[1])
+            for line in lines
+            if not line.startswith("#")
+            and line.startswith("repro_lat_seconds_bucket")
+        }
+        assert samples['repro_lat_seconds_bucket{le="0.1"}'] == 1
+        assert samples['repro_lat_seconds_bucket{le="1"}'] == 3
+        assert samples['repro_lat_seconds_bucket{le="10"}'] == 4
+        assert samples['repro_lat_seconds_bucket{le="+Inf"}'] == 5
+        assert hist.count() == 5
+        (sum_line,) = [
+            line for line in lines
+            if line.startswith("repro_lat_seconds_sum")
+        ]
+        assert float(sum_line.split(" ")[1]) == pytest.approx(56.05)
+
+    def test_time_context_manager_observes_once(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_timed_seconds", "help")
+        with hist.time():
+            pass
+        assert hist.count() == 1
+
+    def test_default_buckets_are_sorted_and_fixed(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_dflt_seconds", "help")
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_empty_bucket_layout_is_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("repro_nobuckets", "help", buckets=())
+
+
+class TestTimed:
+    def test_counter_pair_accumulates_seconds_and_calls(self):
+        registry = MetricsRegistry()
+        seconds = registry.counter(
+            "repro_phase_seconds_total", "help", ("phase",)
+        )
+        calls = registry.counter(
+            "repro_phase_calls_total", "help", ("phase",)
+        )
+        for _ in range(3):
+            with timed(seconds, calls, phase="x"):
+                pass
+        assert calls.value(phase="x") == 3
+        assert seconds.value(phase="x") >= 0
+        assert calls.value(phase="y") == 0
+
+    def test_seconds_accumulate_even_when_the_block_raises(self):
+        registry = MetricsRegistry()
+        seconds = registry.counter("repro_err_seconds_total", "help")
+        with pytest.raises(RuntimeError):
+            with timed(seconds):
+                raise RuntimeError("boom")
+        assert seconds.value() >= 0
+
+
+class TestRender:
+    def test_full_registry_renders_valid_exposition_text(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_render_total", "counted \"things\"", ("kind",)
+        )
+        counter.inc(kind='quo"te')
+        counter.inc(kind="plain")
+        registry.gauge("repro_render_depth", "a depth").set(7)
+        hist = registry.histogram(
+            "repro_render_seconds", "a latency", ("route",)
+        )
+        hist.observe(0.2, route="/metrics")
+        text = registry.render()
+        assert text.endswith("\n")
+        assert_valid_exposition(text)
+        assert '\\"' in text  # the label value was escaped
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+
+    def test_default_registry_exposition_is_valid(self):
+        # Import the instrumented seams so their module-level metrics
+        # land in the default registry, then validate the whole thing.
+        import repro.distributed.coordinator  # noqa: F401
+        import repro.distributed.service  # noqa: F401
+        import repro.distributed.worker  # noqa: F401
+        import repro.scenario.runner  # noqa: F401
+        import repro.simulation.batch  # noqa: F401
+
+        assert_valid_exposition(metrics.render())
